@@ -1,0 +1,49 @@
+"""Ablation of §4 implementation choices on the DITTO engine:
+
+* ``leaf-on`` / ``leaf-off`` — the leaf-call optimization ("if all the
+  non-primitive arguments to a function call are null, DITTO does not
+  perform any cache lookups");
+* ``step-limit`` — the §3.5 timeout alternative armed with a generous
+  budget (its bookkeeping cost, without triggering fallbacks);
+* ``lenient`` — runtime purity policing disabled (strict=False), isolating
+  the cost of the helper/method checks.
+
+All variants compute identical results; compare times within each group.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+SIZE = 400
+MODS_PER_ROUND = 25
+
+VARIANTS = {
+    "leaf-on": {},
+    "leaf-off": {"leaf_optimization": False},
+    "step-limit": {"step_limit": 10_000_000},
+    "lenient": {"strict": False},
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_engine_variants_ordered_list(benchmark, cycle_factory, variant):
+    benchmark.group = "abl-impl-ordered_list"
+    benchmark.extra_info["variant"] = variant
+    cycle = cycle_factory(
+        "ordered_list", SIZE, "ditto", MODS_PER_ROUND,
+        **VARIANTS[variant],
+    )
+    benchmark.pedantic(cycle, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("variant", ["leaf-on", "leaf-off"])
+def test_engine_variants_avl(benchmark, cycle_factory, variant):
+    """AVL checks recurse into None children constantly — the structure
+    where leaf-call inlining matters most."""
+    benchmark.group = "abl-impl-avl_tree"
+    benchmark.extra_info["variant"] = variant
+    cycle = cycle_factory(
+        "avl_tree", SIZE, "ditto", MODS_PER_ROUND, **VARIANTS[variant]
+    )
+    benchmark.pedantic(cycle, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,36 @@
+"""Ablation (§3.2 vs §3.3): the naive incrementalizer of Figure 6 against
+DITTO's optimistic incrementalizer of Figure 7.
+
+The naive version "requires a memoization table lookup for every function
+invocation in the computation, even those that are unaffected by any input
+modifications"; the optimistic one touches only changed nodes.  Expect
+``ditto`` to beat ``naive`` within each group, with the gap growing with
+structure size, and both to beat ``full``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+SIZES = (200, 800)
+MODS_PER_ROUND = 25
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("mode", ["full", "naive", "ditto"])
+def test_naive_vs_optimistic_ordered_list(benchmark, cycle_factory, size,
+                                          mode):
+    benchmark.group = f"abl-optimistic-ordered_list-{size}"
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["mode"] = mode
+    cycle = cycle_factory("ordered_list", size, mode, MODS_PER_ROUND)
+    benchmark.pedantic(cycle, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("mode", ["full", "naive", "ditto"])
+def test_naive_vs_optimistic_red_black_tree(benchmark, cycle_factory, mode):
+    benchmark.group = "abl-optimistic-red_black_tree-400"
+    benchmark.extra_info["size"] = 400
+    benchmark.extra_info["mode"] = mode
+    cycle = cycle_factory("red_black_tree", 400, mode, 15)
+    benchmark.pedantic(cycle, rounds=2, iterations=1, warmup_rounds=1)

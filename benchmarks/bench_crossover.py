@@ -1,0 +1,32 @@
+"""§5.1.1 crossover table: at the paper's reported crossover sizes
+(ordered list 250, hash table 100, red-black tree 200) and above, the
+incrementalized check should beat the full check within each group.
+
+Compare the ``full`` and ``ditto`` rows inside each
+``crossover-<workload>-<size>`` group of the benchmark output; regenerate
+the search-based table with ``python -m repro.bench crossover``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: (workload, paper crossover size)
+PAPER_CROSSOVERS = (
+    ("ordered_list", 250),
+    ("hash_table", 100),
+    ("red_black_tree", 200),
+)
+MODS_PER_ROUND = 40
+
+
+@pytest.mark.parametrize("workload,size", PAPER_CROSSOVERS)
+@pytest.mark.parametrize("mode", ["full", "ditto"])
+def test_crossover_at_paper_size(benchmark, cycle_factory, workload, size,
+                                 mode):
+    benchmark.group = f"crossover-{workload}-{size}"
+    benchmark.extra_info["workload"] = workload
+    benchmark.extra_info["paper_crossover"] = size
+    benchmark.extra_info["mode"] = mode
+    cycle = cycle_factory(workload, size, mode, MODS_PER_ROUND)
+    benchmark.pedantic(cycle, rounds=3, iterations=1, warmup_rounds=1)

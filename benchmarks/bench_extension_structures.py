@@ -1,0 +1,25 @@
+"""Extension benchmarks: the non-paper structures (AVL tree, binary heap,
+skip list, doubly-linked list) under the same full-vs-DITTO protocol,
+checking that the paper's result generalizes beyond its three benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+WORKLOADS = (
+    "avl_tree", "binary_heap", "btree", "rope", "skip_list",
+    "doubly_linked_list",
+)
+SIZE = 400
+MODS_PER_ROUND = 20
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("mode", ["full", "ditto"])
+def test_extension_structures(benchmark, cycle_factory, workload, mode):
+    benchmark.group = f"ext-{workload}-{SIZE}"
+    benchmark.extra_info["workload"] = workload
+    benchmark.extra_info["mode"] = mode
+    cycle = cycle_factory(workload, SIZE, mode, MODS_PER_ROUND)
+    benchmark.pedantic(cycle, rounds=2, iterations=1, warmup_rounds=1)

@@ -1,0 +1,24 @@
+"""Figure 11 (middle): hash-table performance — the two-function bucket
+invariant (Figure 9) under 50/50 insert/delete churn.
+
+Paper shape: same as the ordered list; the paper reports the lowest
+crossover (100 elements) for this structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+SIZES = (50, 200, 800)
+MODS_PER_ROUND = 30
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("mode", ["none", "full", "ditto"])
+def test_fig11_hash_table(benchmark, cycle_factory, size, mode):
+    benchmark.group = f"fig11-hash_table-{size}"
+    benchmark.extra_info["workload"] = "hash_table"
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["mode"] = mode
+    cycle = cycle_factory("hash_table", size, mode, MODS_PER_ROUND)
+    benchmark.pedantic(cycle, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,27 @@
+"""Figure 11 (left): ordered-list performance at several sizes under
+(i) no invariant checks, (ii) the full recursive check after every
+modification, (iii) the DITTO-incrementalized check.
+
+Paper shape to reproduce: the full-check curve grows superlinearly with
+size (O(size) check x modifications) while the DITTO curve stays close to
+the no-check curve; DITTO wins from a few hundred elements up.
+Regenerate the full table with ``python -m repro.bench fig11``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+SIZES = (50, 200, 800)
+MODS_PER_ROUND = 30
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("mode", ["none", "full", "ditto"])
+def test_fig11_ordered_list(benchmark, cycle_factory, size, mode):
+    benchmark.group = f"fig11-ordered_list-{size}"
+    benchmark.extra_info["workload"] = "ordered_list"
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["mode"] = mode
+    cycle = cycle_factory("ordered_list", size, mode, MODS_PER_ROUND)
+    benchmark.pedantic(cycle, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,24 @@
+"""Figure 11 (right): red-black-tree performance — the paper's "acid
+test", three invariants (Figure 10) over 50/50 insert/delete churn with
+rotations and recoloring.
+
+Paper shape: DITTO still tracks the no-check curve; crossover ~200.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+SIZES = (50, 200, 800)
+MODS_PER_ROUND = 20
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("mode", ["none", "full", "ditto"])
+def test_fig11_red_black_tree(benchmark, cycle_factory, size, mode):
+    benchmark.group = f"fig11-red_black_tree-{size}"
+    benchmark.extra_info["workload"] = "red_black_tree"
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["mode"] = mode
+    cycle = cycle_factory("red_black_tree", size, mode, MODS_PER_ROUND)
+    benchmark.pedantic(cycle, rounds=3, iterations=1, warmup_rounds=1)

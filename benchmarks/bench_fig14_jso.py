@@ -1,0 +1,47 @@
+"""Figure 14: JSO end-to-end obfuscation time versus input size, with the
+Figure 13 renaming-map invariant checked after every event (one function
+declaration processed per event).
+
+Paper shape: the full check makes the tool's event loop sluggish and the
+gap widens with input size; "DITTO's incrementalized version of the check
+is able to mitigate much of the overhead."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DittoEngine
+from repro.apps.jso import JsObfuscator, generate_program, jso_invariant
+
+SIZES = (50, 150, 300)
+
+
+def _run_obfuscation(size: int, mode: str) -> None:
+    jso = JsObfuscator()
+    engine = None
+    if mode == "ditto":
+        engine = DittoEngine(jso_invariant)
+        engine.run(jso)
+    try:
+        for chunk in generate_program(size, seed=0xF16):
+            jso.feed(chunk)
+            if mode == "full":
+                assert jso_invariant(jso) is True
+            elif engine is not None:
+                assert engine.run(jso) is True
+    finally:
+        if engine is not None:
+            engine.close()
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("mode", ["none", "full", "ditto"])
+def test_fig14_jso(benchmark, size, mode):
+    benchmark.group = f"fig14-jso-{size}"
+    benchmark.extra_info["functions"] = size
+    benchmark.extra_info["mode"] = mode
+    benchmark.pedantic(
+        _run_obfuscation, args=(size, mode), rounds=2, iterations=1,
+        warmup_rounds=0,
+    )

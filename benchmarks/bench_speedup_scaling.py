@@ -1,0 +1,37 @@
+"""Speedup-scaling claims: "roughly 5-fold at 5,000 elements, and growing
+linearly with data structure size" (abstract); "The average speedup at
+3200 elements is 7.5x" (§5.1.1).
+
+Within each ``speedup-<workload>-<size>`` group, the ratio of the ``full``
+row's time to the ``ditto`` row's time is the speedup; it should grow
+roughly linearly across the size axis.  ``python -m repro.bench speedup``
+prints the ratios directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+SIZES = (400, 1600, 3200)
+MODS_PER_ROUND = 15
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("mode", ["full", "ditto"])
+def test_speedup_scaling_ordered_list(benchmark, cycle_factory, size, mode):
+    benchmark.group = f"speedup-ordered_list-{size}"
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["mode"] = mode
+    cycle = cycle_factory("ordered_list", size, mode, MODS_PER_ROUND)
+    benchmark.pedantic(cycle, rounds=2, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("size", (400, 1600))
+@pytest.mark.parametrize("mode", ["full", "ditto"])
+def test_speedup_scaling_red_black_tree(benchmark, cycle_factory, size,
+                                        mode):
+    benchmark.group = f"speedup-red_black_tree-{size}"
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["mode"] = mode
+    cycle = cycle_factory("red_black_tree", size, mode, MODS_PER_ROUND)
+    benchmark.pedantic(cycle, rounds=2, iterations=1, warmup_rounds=1)

@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+Each benchmark measures one *mutate + invariant check* event cycle under a
+given mode, using the paper's workloads (§5.1/§5.2 operation mixes).  The
+workload and engine are built in setup (untimed); the engine persists
+across rounds, so incremental numbers are steady-state — the same protocol
+as the paper's 10,000-modification runs.
+
+Sizes here are trimmed so the whole suite finishes in minutes; the CLI
+(``python -m repro.bench``) runs the full Figure 11 size axis.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro import DittoEngine, reset_tracking
+from repro.bench.workloads import get_workload
+
+sys.setrecursionlimit(200_000)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracking():
+    reset_tracking()
+    yield
+    reset_tracking()
+
+
+@pytest.fixture
+def cycle_factory():
+    """Build a (callable, teardown) pair running mutate+check cycles."""
+    engines: list[DittoEngine] = []
+
+    def make(workload_name: str, size: int, mode: str, mods_per_round: int,
+             seed: int = 0xD1770, **engine_options):
+        workload = get_workload(workload_name, size, seed=seed)
+        engine = None
+        if mode in ("ditto", "naive"):
+            engine = DittoEngine(workload.entry, mode=mode,
+                                 **engine_options)
+            engines.append(engine)
+            engine.run(*workload.check_args())  # build graph (untimed)
+
+        def cycle():
+            for _ in range(mods_per_round):
+                workload.mutate()
+                if mode == "full":
+                    workload.run_full_check()
+                elif engine is not None:
+                    engine.run(*workload.check_args())
+
+        return cycle
+
+    yield make
+    for engine in engines:
+        engine.close()

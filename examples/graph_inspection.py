@@ -1,0 +1,53 @@
+"""Inspecting DITTO's computation graph (repro.debug).
+
+When designing a new invariant it helps to *see* what the engine memoized:
+how many invocations, how they share subcomputations, and what one mutation
+dirties.  This demo builds a small red-black tree, prints the text
+rendering of the graph, shows what an insert does to it, and emits a
+Graphviz file you can render with ``dot -Tpng``.
+
+Run:  python examples/graph_inspection.py
+"""
+
+from repro import DittoEngine
+from repro.debug import graph_dot, graph_stats, graph_text
+from repro.structures import RedBlackTree, rbt_invariant
+
+
+def main():
+    tree = RedBlackTree()
+    for key in (50, 30, 70, 20, 40):
+        tree.insert(key)
+
+    engine = DittoEngine(rbt_invariant)
+    assert engine.run(tree) is True
+
+    print("computation graph after the first check "
+          "(three invariants over five nodes):\n")
+    print(graph_text(engine, max_nodes=60))
+
+    stats = graph_stats(engine)
+    print(f"\nstats: {int(stats['nodes'])} nodes, "
+          f"{int(stats['edges'])} call edges, "
+          f"{int(stats['implicits'])} implicit arguments, "
+          f"max depth {int(stats['max_depth'])}, "
+          f"{100 * stats['sharing']:.0f}% of nodes shared by >1 caller")
+
+    report_before = engine.stats.snapshot()
+    tree.insert(60)
+    engine.run(tree)
+    delta = engine.stats.delta(report_before)
+    print(f"\ninsert(60): {delta['dirty_marked']} invocations dirtied, "
+          f"{delta['execs']} re-executed, {delta['reuses']} reused, "
+          f"{delta['nodes_pruned']} pruned")
+
+    path = "/tmp/ditto_graph.dot"
+    with open(path, "w") as handle:
+        handle.write(graph_dot(engine))
+    print(f"\nGraphviz rendering written to {path} "
+          f"(render with: dot -Tpng {path} -o graph.png)")
+    engine.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""repro — a Python reproduction of DITTO (Shankar & Bodík, PLDI 2007).
+
+DITTO automatically incrementalizes dynamic, side-effect-free data structure
+invariant checks: it rewrites a recursive check so that each invocation only
+re-examines the parts of the structure modified since the last check,
+reusing cached results (optimistically) for everything else.
+
+Public API in three layers:
+
+* ``repro.check`` / ``repro.DittoEngine`` — mark check functions and build
+  an incrementalizer for an entry point.
+* ``repro.TrackedObject`` / ``repro.TrackedArray`` / ``repro.TrackedList``
+  — write-barrier base classes for the data structures under check.
+* ``repro.structures`` / ``repro.apps`` — ready-made structures, invariants,
+  and the paper's two sample applications (Netcols, JSO).
+
+Quickstart::
+
+    from repro import DittoEngine, TrackedObject, check
+
+    class Elem(TrackedObject):
+        def __init__(self, value, next=None):
+            self.value = value
+            self.next = next
+
+    @check
+    def is_ordered(e):
+        if e is None or e.next is None:
+            return True
+        if e.value > e.next.value:
+            return False
+        return is_ordered(e.next)
+
+    engine = DittoEngine(is_ordered)
+    head = Elem(1, Elem(5))
+    assert engine.run(head) is True      # full run, graph built
+    head.next = Elem(3, head.next)       # barrier logs the mutation
+    assert engine.run(head) is True      # incremental: O(1) re-execution
+"""
+
+from .core import (
+    ArgsKey,
+    CheckRestrictionError,
+    ComputationNode,
+    CyclicCheckError,
+    DittoEngine,
+    DittoError,
+    EngineStateError,
+    EngineStats,
+    InstrumentationError,
+    OptimisticMispredictionError,
+    ResultTypeError,
+    RunReport,
+    StepLimitExceeded,
+    TrackedArray,
+    TrackedList,
+    TrackedObject,
+    TrackingError,
+    UnknownCheckError,
+    is_tracked,
+    reset_tracking,
+    tracking_state,
+)
+from .instrument import (
+    CheckFunction,
+    check,
+    instrumented_source,
+    recursify,
+    register_pure_helper,
+    register_pure_method,
+)
+from .guard import InvariantGuard, InvariantViolation, guarded
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArgsKey",
+    "check",
+    "CheckFunction",
+    "CheckRestrictionError",
+    "ComputationNode",
+    "CyclicCheckError",
+    "DittoEngine",
+    "DittoError",
+    "EngineStateError",
+    "EngineStats",
+    "InstrumentationError",
+    "instrumented_source",
+    "InvariantGuard",
+    "InvariantViolation",
+    "guarded",
+    "is_tracked",
+    "OptimisticMispredictionError",
+    "recursify",
+    "register_pure_helper",
+    "register_pure_method",
+    "reset_tracking",
+    "ResultTypeError",
+    "RunReport",
+    "StepLimitExceeded",
+    "TrackedArray",
+    "TrackedList",
+    "TrackedObject",
+    "TrackingError",
+    "tracking_state",
+    "UnknownCheckError",
+    "__version__",
+]

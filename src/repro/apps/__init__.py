@@ -1,0 +1,39 @@
+"""The paper's two sample applications (§5.2): Netcols and JSO."""
+
+from .netcols import (
+    NetcolsGame,
+    NetcolsBot,
+    check_empty,
+    check_full,
+    check_top,
+    netcols_invariant,
+)
+from .jso import (
+    JList,
+    JsObfuscator,
+    Token,
+    TokenKind,
+    generate_program,
+    good_mapping,
+    in_reserved,
+    jso_invariant,
+    tokenize,
+)
+
+__all__ = [
+    "check_empty",
+    "check_full",
+    "check_top",
+    "generate_program",
+    "good_mapping",
+    "in_reserved",
+    "JList",
+    "JsObfuscator",
+    "jso_invariant",
+    "netcols_invariant",
+    "NetcolsBot",
+    "NetcolsGame",
+    "Token",
+    "TokenKind",
+    "tokenize",
+]

@@ -1,0 +1,418 @@
+"""JSO — the paper's JavaScript-obfuscator sample application (§5.2).
+
+"JSO is a JavaScript obfuscator written in 600 lines of Java.  It renames
+JavaScript functions, and keeps a map from old names to new so that if the
+same function is invoked again, its correct new name will be used.
+However, functions whose names have certain properties or that are on a
+list of reserved keywords should not be renamed.  Thus, we check the
+invariant that keys in the renaming map do not meet any exclusionary
+criteria.  To enable this invariant, we maintain an auxiliary list of map
+keys, ``names``."
+
+This module contains:
+
+* a JavaScript tokenizer (identifiers, keywords, numbers, strings with
+  escapes, template literals, comments, operators/punctuation) — the
+  compiler-ish substrate the obfuscator runs on;
+* :class:`JsObfuscator`, which renames function declarations and their call
+  sites, maintaining the old→new map and the tracked ``names`` key list;
+* the Figure 13 invariant (:func:`good_mapping` / :func:`in_reserved`):
+  every renamed key starts with a lowercase letter, is not digit-initial,
+  and is not a reserved word;
+* :func:`generate_program`, a deterministic synthetic-JS generator used to
+  reproduce Figure 14's input-size sweep.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..core.tracked import TrackedArray, TrackedObject
+from ..instrument.registry import check
+
+#: ECMAScript reserved words plus the names JSO must never touch.
+RESERVED_WORDS = (
+    "break", "case", "catch", "class", "const", "continue", "debugger",
+    "default", "delete", "do", "else", "export", "extends", "finally",
+    "for", "function", "if", "import", "in", "instanceof", "let", "new",
+    "return", "super", "switch", "this", "throw", "try", "typeof", "var",
+    "void", "while", "with", "yield", "eval", "arguments", "undefined",
+    "null", "true", "false",
+)
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer.
+# ---------------------------------------------------------------------------
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    TEMPLATE = "template"
+    PUNCT = "punct"
+    COMMENT = "comment"
+    WHITESPACE = "whitespace"
+    NEWLINE = "newline"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_ident(self, text: Optional[str] = None) -> bool:
+        return self.kind is TokenKind.IDENT and (
+            text is None or self.text == text
+        )
+
+
+class TokenizeError(ValueError):
+    """Malformed JavaScript input."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+_PUNCT_3 = ("===", "!==", "**=", "...", "<<=", ">>=", "&&=", "||=", "??=")
+_PUNCT_2 = (
+    "==", "!=", "<=", ">=", "&&", "||", "??", "=>", "++", "--", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "**", "?.",
+)
+_PUNCT_1 = "+-*/%=<>!&|^~?:;,.()[]{}"
+
+
+def tokenize(source: str, keep_trivia: bool = False) -> list[Token]:
+    """Tokenize JavaScript ``source``.  Trivia (whitespace/comments) are
+    dropped unless ``keep_trivia`` — the obfuscator keeps them so it can
+    re-emit a faithful program."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def emit(kind: TokenKind, text: str) -> None:
+        if keep_trivia or kind not in (
+            TokenKind.WHITESPACE, TokenKind.COMMENT, TokenKind.NEWLINE
+        ):
+            tokens.append(Token(kind, text, line, col))
+
+    while i < n:
+        ch = source[i]
+        start = i
+        if ch == "\n":
+            emit(TokenKind.NEWLINE, "\n")
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            while i < n and source[i] in " \t\r":
+                i += 1
+            emit(TokenKind.WHITESPACE, source[start:i])
+            col += i - start
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            emit(TokenKind.COMMENT, source[start:i])
+            col += i - start
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise TokenizeError("unterminated block comment", line, col)
+            text = source[i : end + 2]
+            emit(TokenKind.COMMENT, text)
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                col = len(text) - text.rfind("\n")
+            else:
+                col += len(text)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch in "_$":
+            while i < n and (source[i].isalnum() or source[i] in "_$"):
+                i += 1
+            text = source[start:i]
+            kind = (
+                TokenKind.KEYWORD
+                if text in RESERVED_WORDS
+                else TokenKind.IDENT
+            )
+            emit(kind, text)
+            col += i - start
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and source[i + 1].isdigit()
+        ):
+            i += 1
+            while i < n and (source[i].isalnum() or source[i] in "._xXbBoOeE"):
+                if source[i] in "eE" and i + 1 < n and source[i + 1] in "+-":
+                    i += 1
+                i += 1
+            emit(TokenKind.NUMBER, source[start:i])
+            col += i - start
+            continue
+        if ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n and source[i] != quote:
+                if source[i] == "\\":
+                    i += 1
+                if i < n and source[i] == "\n":
+                    raise TokenizeError("unterminated string", line, col)
+                i += 1
+            if i >= n:
+                raise TokenizeError("unterminated string", line, col)
+            i += 1
+            emit(TokenKind.STRING, source[start:i])
+            col += i - start
+            continue
+        if ch == "`":
+            i += 1
+            while i < n and source[i] != "`":
+                if source[i] == "\\":
+                    i += 1
+                i += 1
+            if i >= n:
+                raise TokenizeError("unterminated template literal", line, col)
+            i += 1
+            text = source[start:i]
+            emit(TokenKind.TEMPLATE, text)
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                col = len(text) - text.rfind("\n")
+            else:
+                col += len(text)
+            continue
+        matched = False
+        for group in (_PUNCT_3, _PUNCT_2):
+            for punct in group:
+                if source.startswith(punct, i):
+                    emit(TokenKind.PUNCT, punct)
+                    i += len(punct)
+                    col += len(punct)
+                    matched = True
+                    break
+            if matched:
+                break
+        if matched:
+            continue
+        if ch in _PUNCT_1:
+            emit(TokenKind.PUNCT, ch)
+            i += 1
+            col += 1
+            continue
+        raise TokenizeError(f"unexpected character {ch!r}", line, col)
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# The invariant (paper Figure 13).
+# ---------------------------------------------------------------------------
+
+class JList(TrackedObject):
+    """The auxiliary linked list of renaming-map keys."""
+
+    def __init__(self, value: str, next: Optional["JList"] = None):
+        self.value = value
+        self.next = next
+
+    def __repr__(self) -> str:
+        return f"JList({self.value!r})"
+
+
+@check
+def in_reserved(jso, s, off):
+    """``s`` appears in the reserved-name array at position >= ``off``."""
+    reserved = jso.reserved_names
+    if off == len(reserved):
+        return False
+    return s == reserved[off] or in_reserved(jso, s, off + 1)
+
+
+@check
+def good_mapping(jso, names):
+    """Every key in the renaming map is renameable: lowercase-initial,
+    non-digit-initial, and not reserved (Figure 13)."""
+    if names is None:
+        return True
+    s = names.value
+    c = s[0]
+    if c.isupper() or c.isdigit():
+        return False
+    b1 = not in_reserved(jso, s, 0)
+    b2 = good_mapping(jso, names.next)
+    return b1 and b2
+
+
+@check
+def jso_invariant(jso):
+    """Entry point: the renaming map contains no protected name."""
+    return good_mapping(jso, jso.names)
+
+
+# ---------------------------------------------------------------------------
+# The obfuscator.
+# ---------------------------------------------------------------------------
+
+class JsObfuscator(TrackedObject):
+    """Renames JavaScript function declarations and their call sites.
+
+    Processing is event-loop style, as in the paper: :meth:`feed` consumes
+    one chunk of source, extends the renaming map with any new function
+    declarations, and emits the rewritten chunk.  The caller runs the
+    invariant between events.
+    """
+
+    def __init__(self, reserved: tuple[str, ...] = RESERVED_WORDS):
+        self.reserved_names = TrackedArray(reserved)
+        self.names: Optional[JList] = None
+        self._mapping: dict[str, str] = {}
+        self._counter = 0
+
+    @property
+    def mapping(self) -> dict[str, str]:
+        return dict(self._mapping)
+
+    def _is_reserved(self, name: str) -> bool:
+        for i in range(len(self.reserved_names)):
+            if self.reserved_names[i] == name:
+                return True
+        return False
+
+    def renameable(self, name: str) -> bool:
+        """A name may be renamed iff it fails every exclusion rule."""
+        return not (
+            name[0].isupper() or name[0].isdigit() or self._is_reserved(name)
+        )
+
+    def _fresh_name(self) -> str:
+        self._counter += 1
+        index = self._counter
+        letters = "abcdefghijklmnopqrstuvwxyz"
+        out = []
+        while index:
+            index, rem = divmod(index - 1, 26)
+            out.append(letters[rem])
+        return "_" + "".join(reversed(out))
+
+    def _map_name(self, name: str) -> str:
+        new = self._mapping.get(name)
+        if new is None:
+            new = self._fresh_name()
+            self._mapping[name] = new
+            self.names = JList(name, self.names)
+        return new
+
+    def drop_name(self, name: str) -> bool:
+        """Forget a mapping (e.g. the declaration scope ended); unlinks the
+        key from the tracked ``names`` list."""
+        if name not in self._mapping:
+            return False
+        del self._mapping[name]
+        node = self.names
+        prev: Optional[JList] = None
+        while node is not None:
+            if node.value == name:
+                if prev is None:
+                    self.names = node.next
+                else:
+                    prev.next = node.next
+                return True
+            prev, node = node, node.next
+        return False
+
+    def feed(self, source: str) -> str:
+        """Obfuscate one chunk of JavaScript, updating the renaming map."""
+        tokens = tokenize(source, keep_trivia=True)
+        out: list[str] = []
+        for index, token in enumerate(tokens):
+            if token.kind is not TokenKind.IDENT:
+                out.append(token.text)
+                continue
+            name = token.text
+            declared = self._previous_significant(
+                tokens, index
+            ) == "function"
+            if declared and self.renameable(name):
+                out.append(self._map_name(name))
+            elif name in self._mapping:
+                out.append(self._mapping[name])
+            else:
+                out.append(name)
+        return "".join(out)
+
+    @staticmethod
+    def _previous_significant(tokens: list[Token], index: int) -> str:
+        for j in range(index - 1, -1, -1):
+            if tokens[j].kind not in (
+                TokenKind.WHITESPACE,
+                TokenKind.COMMENT,
+                TokenKind.NEWLINE,
+            ):
+                return tokens[j].text
+        return ""
+
+    # Fault injection: bypass the exclusion rules (the bug the invariant
+    # exists to catch).
+    def corrupt_add(self, name: str) -> None:
+        """Force ``name`` into the map even if it is protected."""
+        if name not in self._mapping:
+            self._mapping[name] = self._fresh_name()
+            self.names = JList(name, self.names)
+
+
+# ---------------------------------------------------------------------------
+# Synthetic input generator (Figure 14's size axis).
+# ---------------------------------------------------------------------------
+
+def generate_program(
+    functions: int, seed: int = 0x15EED, calls_per_function: int = 2
+) -> Iterator[str]:
+    """Yield ``functions`` chunks of synthetic JavaScript, each declaring
+    one function and calling a few earlier ones.  Deterministic in
+    ``seed``."""
+    state = seed & 0x7FFFFFFF
+    names: list[str] = []
+
+    def rand(bound: int) -> int:
+        nonlocal state
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        return state % bound
+
+    adjectives = ("fast", "lazy", "tiny", "grand", "odd", "neat", "calm")
+    nouns = ("parser", "widget", "cache", "router", "queue", "mixer", "node")
+    for index in range(functions):
+        name = (
+            f"{adjectives[rand(len(adjectives))]}"
+            f"_{nouns[rand(len(nouns))]}_{index}"
+        )
+        body_calls = []
+        for _ in range(min(calls_per_function, len(names))):
+            callee = names[rand(len(names))]
+            body_calls.append(f"  {callee}({rand(100)});")
+        names.append(name)
+        chunk = (
+            f"function {name}(x) {{\n"
+            f"  // auto-generated\n"
+            f"  var total = x * {1 + rand(9)};\n"
+            + "\n".join(body_calls)
+            + ("\n" if body_calls else "")
+            + f"  return total + {rand(50)};\n"
+            f"}}\n"
+        )
+        yield chunk

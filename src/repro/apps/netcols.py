@@ -1,0 +1,264 @@
+"""Netcols — the paper's Tetris-like sample application (§5.2).
+
+"Jewels fall from the sky through a rectangular grid and must be made to
+form patterns as they land.  The program keeps an array ``top`` of the
+position of the highest landed jewels in each column, and maintains the
+invariant that no jewels are floating — i.e. there are no empty squares
+below the highest spot in each column, and there are no bejeweled squares
+above it."
+
+This module implements a playable columns-style game engine:
+
+* a ``width × height`` grid of jewel colors (``None`` = empty), stored as
+  tracked arrays so every cell write is barrier-visible;
+* pieces of three jewels dropped into a column, landing on the stack;
+* match-3 clearing along rows, columns, and diagonals, with gravity
+  compaction and cascade resolution;
+* a deterministic :class:`NetcolsBot` that plays pseudo-random moves, so
+  benchmarks and tests reproduce the paper's "event loop" workload.
+
+The invariant is Figure 12 verbatim (``checkTop`` / ``checkFull`` /
+``checkEmpty``); the paper reports the per-frame event loop dropping from
+80 ms (full check) to 15 ms with DITTO.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.tracked import TrackedArray, TrackedObject
+from ..instrument.registry import check
+
+#: Number of jewel colors (classic columns uses 6).
+COLORS = 6
+#: Jewels per dropped piece.
+PIECE_SIZE = 3
+#: Minimum run length that clears.
+MATCH_LEN = 3
+
+
+@check
+def check_full(game, col, row):
+    """Rows ``0 … row`` of column ``col`` are all occupied (Figure 12's
+    ``checkFull``, counting rows downward from the column top)."""
+    if row < 0:
+        return True
+    cells = game.grid[col]
+    return cells[row] is not None and check_full(game, col, row - 1)
+
+
+@check
+def check_empty(game, col, row):
+    """Rows ``row … height-1`` of column ``col`` are all empty (Figure 12's
+    ``checkEmpty``)."""
+    if row == game.height:
+        return True
+    cells = game.grid[col]
+    return cells[row] is None and check_empty(game, col, row + 1)
+
+
+@check
+def check_top(game, col):
+    """Columns ``col …`` have no floating jewels and a correct ``top``
+    entry (Figure 12's ``checkTop``)."""
+    if col == game.width:
+        return True
+    t = game.top[col]
+    b1 = check_empty(game, col, t)
+    b2 = check_full(game, col, t - 1)
+    b3 = check_top(game, col + 1)
+    return b1 and b2 and b3
+
+
+@check
+def netcols_invariant(game):
+    """Entry point: the whole grid is floating-jewel free."""
+    return check_top(game, 0)
+
+
+class NetcolsGame(TrackedObject):
+    """Game state: the grid, the per-column tops, and the score."""
+
+    def __init__(self, width: int = 8, height: int = 20):
+        if width < 1 or height < PIECE_SIZE:
+            raise ValueError("grid too small")
+        self.width = width
+        self.height = height
+        self.grid = TrackedArray(
+            [TrackedArray(height) for _ in range(width)]
+        )
+        self.top = TrackedArray([0] * width)
+        self.score = 0
+        self.pieces_dropped = 0
+        self.game_over = False
+
+    # Queries. -------------------------------------------------------------------
+
+    def column_height(self, col: int) -> int:
+        return self.top[col]
+
+    def cell(self, col: int, row: int) -> Optional[int]:
+        return self.grid[col][row]
+
+    def column_free(self, col: int) -> int:
+        """Free cells remaining in ``col``."""
+        return self.height - self.top[col]
+
+    def render(self) -> str:
+        """ASCII rendering (row 0 at the bottom)."""
+        lines = []
+        for row in range(self.height - 1, -1, -1):
+            cells = []
+            for col in range(self.width):
+                v = self.grid[col][row]
+                cells.append("." if v is None else str(v))
+            lines.append("".join(cells))
+        lines.append("-" * self.width)
+        return "\n".join(lines)
+
+    # Mechanics. ------------------------------------------------------------------
+
+    def drop_piece(self, col: int, colors: tuple[int, ...]) -> int:
+        """Drop a piece (bottom-to-top jewel colors) into ``col``; resolve
+        matches and cascades.  Returns the number of jewels cleared.
+        Raises ValueError if the column cannot hold the piece."""
+        if self.game_over:
+            raise ValueError("game over")
+        if not 0 <= col < self.width:
+            raise ValueError(f"column {col} out of range")
+        if self.column_free(col) < len(colors):
+            self.game_over = True
+            return 0
+        cells = self.grid[col]
+        base = self.top[col]
+        for offset, color in enumerate(colors):
+            cells[base + offset] = color
+        self.top[col] = base + len(colors)
+        self.pieces_dropped += 1
+        cleared = self._resolve_matches()
+        self.score += cleared
+        return cleared
+
+    def _resolve_matches(self) -> int:
+        """Clear match-3 runs and compact until the grid is stable."""
+        total = 0
+        while True:
+            matched = self._find_matches()
+            if not matched:
+                return total
+            total += len(matched)
+            for col, row in matched:
+                self.grid[col][row] = None
+            self._apply_gravity(sorted({col for col, _ in matched}))
+
+    def _find_matches(self) -> set[tuple[int, int]]:
+        # Hot loop: read the raw cell storage directly — reads carry no
+        # write barrier, so this is pure constant-factor relief for the
+        # game code, identical across benchmark modes.
+        columns = [self.grid[c]._items for c in range(self.width)]
+        tops = [self.top[c] for c in range(self.width)]
+        matched: set[tuple[int, int]] = set()
+        directions = ((1, 0), (0, 1), (1, 1), (1, -1))
+        for col in range(self.width):
+            cells = columns[col]
+            for row in range(tops[col]):
+                color = cells[row]
+                if color is None:
+                    continue
+                for dc, dr in directions:
+                    c, r = col + dc, row + dr
+                    length = 1
+                    while (
+                        0 <= c < self.width
+                        and 0 <= r < self.height
+                        and columns[c][r] == color
+                    ):
+                        length += 1
+                        c, r = c + dc, r + dr
+                    if length >= MATCH_LEN:
+                        c, r = col, row
+                        for _ in range(length):
+                            matched.add((c, r))
+                            c, r = c + dc, r + dr
+        return matched
+
+    def _apply_gravity(self, columns: Optional[list[int]] = None) -> None:
+        """Compact the given columns (default: all) downward and refresh
+        ``top``."""
+        if columns is None:
+            columns = list(range(self.width))
+        for col in columns:
+            cells = self.grid[col]
+            write = 0
+            for row in range(self.height):
+                v = cells[row]
+                if v is not None:
+                    if row != write:
+                        cells[write] = v
+                        cells[row] = None
+                    write += 1
+            if self.top[col] != write:
+                self.top[col] = write
+
+    # Fault injection. ---------------------------------------------------------------
+
+    def corrupt_float(self, col: int) -> bool:
+        """Create a floating jewel above the column top."""
+        t = self.top[col]
+        if t + 1 >= self.height:
+            return False
+        self.grid[col][t + 1] = 1
+        return True
+
+    def corrupt_top(self, col: int, delta: int = 1) -> None:
+        """Skew the ``top`` entry for ``col``."""
+        self.top[col] = max(0, min(self.height, self.top[col] + delta))
+
+
+class NetcolsBot:
+    """Deterministic pseudo-random player (LCG), the workload driver.
+
+    Each :meth:`step` drops one piece into a playable column.  When the
+    board cannot hold another piece anywhere, the grid is cleared (new
+    game) so long benchmark runs keep mutating the structure.
+    """
+
+    def __init__(self, game: NetcolsGame, seed: int = 0xC0105):
+        self.game = game
+        self._state = seed & 0x7FFFFFFF
+        self.games_played = 1
+
+    def _rand(self, bound: int) -> int:
+        self._state = (self._state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self._state % bound
+
+    def _playable_columns(self) -> list[int]:
+        game = self.game
+        return [
+            col
+            for col in range(game.width)
+            if game.column_free(col) >= PIECE_SIZE
+        ]
+
+    def _new_game(self) -> None:
+        game = self.game
+        for col in range(game.width):
+            cells = game.grid[col]
+            for row in range(game.top[col]):
+                cells[row] = None
+            game.top[col] = 0
+        game.game_over = False
+        self.games_played += 1
+
+    def step(self) -> int:
+        """Play one frame: drop a piece (restarting first if necessary).
+        Returns the number of jewels cleared this frame."""
+        playable = self._playable_columns()
+        if not playable:
+            self._new_game()
+            playable = self._playable_columns()
+        col = playable[self._rand(len(playable))]
+        colors = tuple(
+            1 + self._rand(COLORS) for _ in range(PIECE_SIZE)
+        )
+        return self.game.drop_piece(col, colors)

@@ -1,0 +1,51 @@
+"""Benchmark harness reproducing every table and figure in the paper.
+
+* :mod:`repro.bench.workloads` — the paper's data-structure mutation mixes.
+* :mod:`repro.bench.runner` — timed sweeps, speedups, crossover search.
+* :mod:`repro.bench.report` — paper-style text tables.
+* ``python -m repro.bench`` — regenerate any experiment from the command
+  line (see EXPERIMENTS.md for the experiment ids).
+"""
+
+from .workloads import (
+    WORKLOADS,
+    HashTableWorkload,
+    JsoWorkload,
+    NetcolsWorkload,
+    OrderedListWorkload,
+    RedBlackTreeWorkload,
+    Workload,
+    get_workload,
+)
+from .runner import (
+    CrossoverResult,
+    SweepRow,
+    find_crossover,
+    measure_modes,
+    run_with_big_stack,
+    speedup_series,
+    sweep,
+)
+from .report import ascii_chart, figure11_chart, format_series, format_table
+
+__all__ = [
+    "ascii_chart",
+    "CrossoverResult",
+    "figure11_chart",
+    "find_crossover",
+    "run_with_big_stack",
+    "format_series",
+    "format_table",
+    "get_workload",
+    "HashTableWorkload",
+    "JsoWorkload",
+    "measure_modes",
+    "NetcolsWorkload",
+    "OrderedListWorkload",
+    "RedBlackTreeWorkload",
+    "speedup_series",
+    "sweep",
+    "SweepRow",
+    "Workload",
+    "WORKLOADS",
+]

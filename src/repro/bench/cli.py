@@ -1,0 +1,347 @@
+"""Command-line harness regenerating every table and figure in the paper.
+
+Usage::
+
+    python -m repro.bench all            # everything (slow)
+    python -m repro.bench fig11          # Figure 11, all three structures
+    python -m repro.bench fig11 --workload red_black_tree
+    python -m repro.bench crossover      # §5.1.1 crossover-size table
+    python -m repro.bench speedup        # abstract's speedup-scaling claim
+    python -m repro.bench fig14          # Figure 14, JSO size sweep
+    python -m repro.bench netcols        # §5.2 per-frame event-loop times
+    python -m repro.bench ablation       # naive-vs-optimistic + impl toggles
+
+``--quick`` shrinks sizes/mod counts by ~4x for a fast sanity pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Any, Sequence
+
+from ..core.engine import DittoEngine
+from .runner import find_crossover, measure_modes, sweep
+from .report import (
+    figure11_chart,
+    format_crossover,
+    format_series,
+    format_table,
+)
+from .workloads import get_workload
+
+#: Figure 11 structures and their paper-reported crossovers.
+FIG11_WORKLOADS = ("ordered_list", "hash_table", "red_black_tree")
+PAPER_CROSSOVERS = {
+    "ordered_list": 250,
+    "hash_table": 100,
+    "red_black_tree": 200,
+}
+
+FULL_SIZES = (50, 100, 200, 400, 800, 1600, 3200)
+QUICK_SIZES = (50, 200, 800)
+
+
+def cmd_fig11(args: argparse.Namespace) -> dict[str, Any]:
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    mods = args.mods or (100 if args.quick else 400)
+    workloads = [args.workload] if args.workload else list(FIG11_WORKLOADS)
+    payload: dict[str, Any] = {"mods": mods, "workloads": {}}
+    for name in workloads:
+        rows = sweep(name, sizes, mods, seed=args.seed)
+        print(
+            format_series(
+                f"\n[fig11-{name}] {mods} modifications per size "
+                f"(paper: Figure 11, {name.replace('_', ' ')})",
+                rows,
+            )
+        )
+        print()
+        print(figure11_chart(f"time (s) vs size — {name}", rows))
+        payload["workloads"][name] = [
+            {
+                "size": row.size,
+                "none_s": row.none_s,
+                "full_s": row.full_s,
+                "ditto_s": row.ditto_s,
+                "speedup": row.speedup,
+            }
+            for row in rows
+        ]
+    return payload
+
+
+def cmd_crossover(args: argparse.Namespace) -> dict[str, Any]:
+    mods = args.mods or (60 if args.quick else 200)
+    results = []
+    for name in FIG11_WORKLOADS:
+        result = find_crossover(
+            name,
+            mods=mods,
+            lo=5,
+            hi=600 if args.quick else 2000,
+            seed=args.seed,
+            repeats=2 if args.quick else 3,
+        )
+        results.append(result)
+    print("\n[tab-crossover] smallest size where DITTO beats the full check")
+    print(format_crossover(results))
+    print(
+        format_table(
+            ["workload", "paper crossover"],
+            [(k, v) for k, v in PAPER_CROSSOVERS.items()],
+        )
+    )
+    return {
+        "measured": {
+            r.workload: r.crossover_size for r in results
+        },
+        "paper": dict(PAPER_CROSSOVERS),
+    }
+
+
+def cmd_speedup(args: argparse.Namespace) -> dict[str, Any]:
+    sizes = (200, 800, 3200) if args.quick else (200, 800, 3200, 5000)
+    # Enough modifications that the one-time graph build amortizes away,
+    # approximating the paper's 10,000-modification protocol.
+    mods = args.mods or (150 if args.quick else 400)
+    print(
+        "\n[claim-speedup] paper: ~5x at 5,000 elements, growing linearly;"
+        " 7.5x average at 3,200"
+    )
+    rows = []
+    for name in FIG11_WORKLOADS:
+        series = sweep(name, sizes, mods, seed=args.seed)
+        for row in series:
+            rows.append((name, row.size, f"{row.speedup:.2f}x"))
+    print(format_table(["workload", "size", "speedup (full/DITTO)"], rows))
+    at_3200 = [
+        float(r[2][:-1]) for r in rows if r[1] == 3200
+    ]
+    if at_3200:
+        print(
+            f"average speedup at 3200 elements: "
+            f"{sum(at_3200) / len(at_3200):.2f}x (paper: 7.5x)"
+        )
+    return {
+        "series": [
+            {"workload": w, "size": s, "speedup": float(sp[:-1])}
+            for w, s, sp in rows
+        ],
+        "avg_at_3200": (sum(at_3200) / len(at_3200)) if at_3200 else None,
+    }
+
+
+def cmd_fig14(args: argparse.Namespace) -> dict[str, Any]:
+    sizes = (50, 100, 200) if args.quick else (50, 100, 200, 400, 800)
+    print("\n[fig14-jso] end-to-end obfuscation time vs input size")
+    rows = []
+    payload = []
+    for size in sizes:
+        measured = measure_modes(
+            "jso", size, mods=size, modes=("none", "full", "ditto"),
+            seed=args.seed,
+        )
+        full_s = measured["full"].seconds
+        ditto_s = measured["ditto"].seconds
+        rows.append(
+            (
+                size,
+                f"{measured['none'].seconds:.3f}",
+                f"{full_s:.3f}",
+                f"{ditto_s:.3f}",
+                f"{full_s / ditto_s:.2f}x",
+            )
+        )
+        payload.append(
+            {
+                "functions": size,
+                "none_s": measured["none"].seconds,
+                "full_s": full_s,
+                "ditto_s": ditto_s,
+            }
+        )
+    print(
+        format_table(
+            ["functions", "no check (s)", "full check (s)", "DITTO (s)",
+             "speedup"],
+            rows,
+        )
+    )
+    return {"series": payload}
+
+
+def cmd_netcols(args: argparse.Namespace) -> dict[str, Any]:
+    frames = args.mods or (100 if args.quick else 400)
+    width = 24 if args.quick else 48
+    print(
+        f"\n[claim-netcols] average event-loop frame time, {width}x20 grid "
+        f"(paper: 80ms full -> 15ms DITTO on its grid/machine)"
+    )
+    rows = []
+    payload: dict[str, Any] = {"grid_width": width, "frames": frames,
+                               "ms_per_frame": {}}
+    for mode in ("none", "full", "ditto"):
+        measured = measure_modes(
+            "netcols", width, frames, (mode,), seed=args.seed
+        )[mode]
+        per_frame = 1000.0 * measured.seconds / frames
+        payload["ms_per_frame"][mode] = per_frame
+        rows.append((mode, f"{per_frame:.3f} ms/frame"))
+    print(format_table(["mode", "frame time"], rows))
+    return payload
+
+
+def cmd_ablation(args: argparse.Namespace) -> dict[str, Any]:
+    size = 200 if args.quick else 800
+    mods = args.mods or (60 if args.quick else 200)
+    print(f"\n[abl-optimistic] naive (Fig. 6) vs optimistic (Fig. 7), "
+          f"size {size}, {mods} mods")
+    rows = []
+    payload: dict[str, Any] = {"size": size, "mods": mods,
+                               "optimistic_vs_naive": {}, "variants": {}}
+    for name in FIG11_WORKLOADS:
+        measured = measure_modes(
+            name, size, mods, ("full", "naive", "ditto"), seed=args.seed
+        )
+        payload["optimistic_vs_naive"][name] = {
+            mode: measured[mode].seconds
+            for mode in ("full", "naive", "ditto")
+        }
+        rows.append(
+            (
+                name,
+                f"{measured['full'].seconds:.3f}",
+                f"{measured['naive'].seconds:.3f}",
+                f"{measured['ditto'].seconds:.3f}",
+            )
+        )
+    print(format_table(
+        ["workload", "full (s)", "naive (s)", "optimistic (s)"], rows
+    ))
+
+    print(f"\n[abl-impl] implementation-choice toggles, ordered_list "
+          f"size {size}")
+    variants = [
+        ("default", {}),
+        ("no leaf-call optimization", {"leaf_optimization": False}),
+        ("step-limit fallback (tight)", {"step_limit": 50_000}),
+    ]
+    rows = []
+    for label, options in variants:
+        measured = measure_modes(
+            "ordered_list", size, mods, ("ditto",), seed=args.seed,
+            engine_options=options,
+        )["ditto"]
+        payload["variants"][label] = measured.seconds
+        rows.append((label, f"{measured.seconds:.3f}"))
+    print(format_table(["engine variant", "DITTO (s)"], rows))
+    return payload
+
+
+def cmd_overhead(args: argparse.Namespace) -> dict[str, Any]:
+    """Space overhead of the incrementalization data structures (§5.1.1
+    mentions "some baseline overhead due to write barriers and the
+    incrementalization data structures that have to be maintained")."""
+    from ..core.engine import DittoEngine
+    from ..debug import graph_stats
+    from .runner import run_with_big_stack
+    from .workloads import get_workload
+
+    sizes = (100, 400) if args.quick else (100, 400, 1600)
+    workloads = (
+        [args.workload] if args.workload else list(FIG11_WORKLOADS)
+    )
+    print("\n[ext-overhead] computation-graph size per structure size")
+    rows = []
+    payload: dict[str, Any] = {}
+
+    def measure(name: str, size: int) -> dict[str, float]:
+        workload = get_workload(name, size, seed=args.seed)
+        engine = DittoEngine(workload.entry)
+        try:
+            engine.run(*workload.check_args())
+            stats = graph_stats(engine)
+            stats["reverse_map"] = engine.table.reverse_map_size()
+            return stats
+        finally:
+            engine.close()
+
+    for name in workloads:
+        payload[name] = {}
+        for size in sizes:
+            stats = run_with_big_stack(lambda: measure(name, size))
+            payload[name][size] = stats
+            rows.append(
+                (
+                    name,
+                    size,
+                    int(stats["nodes"]),
+                    int(stats["edges"]),
+                    int(stats["implicits"]),
+                    int(stats["reverse_map"]),
+                    f"{stats['nodes'] / size:.2f}",
+                )
+            )
+    print(
+        format_table(
+            ["workload", "size", "graph nodes", "edges", "implicit args",
+             "reverse-map keys", "nodes/element"],
+            rows,
+        )
+    )
+    return payload
+
+
+COMMANDS = {
+    "fig11": cmd_fig11,
+    "crossover": cmd_crossover,
+    "speedup": cmd_speedup,
+    "fig14": cmd_fig14,
+    "netcols": cmd_netcols,
+    "ablation": cmd_ablation,
+    "overhead": cmd_overhead,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "experiment", choices=sorted(COMMANDS) + ["all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument("--workload", help="restrict fig11 to one workload")
+    parser.add_argument("--mods", type=int, help="modifications per run")
+    parser.add_argument("--seed", type=int, default=0xD1770)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sizes, faster run"
+    )
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="also write the measured data as JSON (for CI/regression "
+             "tracking)",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    payload: dict[str, Any] = {}
+    if args.experiment == "all":
+        for name in ("fig11", "crossover", "speedup", "fig14", "netcols",
+                     "ablation", "overhead"):
+            payload[name] = COMMANDS[name](args)
+    else:
+        payload[args.experiment] = COMMANDS[args.experiment](args)
+    elapsed = time.perf_counter() - start
+    if args.json:
+        payload["meta"] = {"quick": args.quick, "seed": args.seed,
+                           "seconds": elapsed}
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\n(JSON written to {args.json})")
+    print(f"\n(total bench time: {elapsed:.1f}s)")
+    return 0

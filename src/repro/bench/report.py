@@ -1,0 +1,135 @@
+"""Paper-style text rendering of benchmark results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .runner import CrossoverResult, SweepRow
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[i]) for i, c in enumerate(row))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_series(title: str, rows: Sequence[SweepRow]) -> str:
+    """Figure 11-style output: one line per size, three curves + speedup."""
+    table = format_table(
+        ["size", "no-invariants (s)", "full check (s)", "DITTO (s)",
+         "speedup"],
+        [
+            (
+                row.size,
+                f"{row.none_s:.3f}",
+                f"{row.full_s:.3f}",
+                f"{row.ditto_s:.3f}",
+                f"{row.speedup:.2f}x",
+            )
+            for row in rows
+        ],
+    )
+    return f"{title}\n{table}"
+
+
+def ascii_chart(
+    title: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 64,
+) -> str:
+    """Plot named series against shared x positions as a text chart —
+    the terminal rendering of the paper's figures.
+
+    Each series is marked with the first letter of its name; overlapping
+    points print ``*``.  X positions are spread evenly (the paper's size
+    axes are roughly geometric, so even spacing reads like a log axis).
+    """
+    if not xs or not series:
+        return f"{title}\n<no data>"
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length != len(xs)")
+    all_values = [y for ys in series.values() for y in ys]
+    lo = min(all_values)
+    hi = max(all_values)
+    span = (hi - lo) or 1.0
+    plot_width = max(width, 2 * len(xs))
+    columns = [
+        round(i * (plot_width - 1) / max(1, len(xs) - 1))
+        for i in range(len(xs))
+    ]
+    grid = [[" "] * plot_width for _ in range(height)]
+    for name, ys in series.items():
+        mark = name[0].upper()
+        for i, y in enumerate(ys):
+            row = height - 1 - round((y - lo) / span * (height - 1))
+            col = columns[i]
+            grid[row][col] = "*" if grid[row][col] not in (" ",) else mark
+    y_hi = f"{hi:.3g}"
+    y_lo = f"{lo:.3g}"
+    label_width = max(len(y_hi), len(y_lo))
+    lines = [title]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_hi.rjust(label_width)
+        elif row_index == height - 1:
+            label = y_lo.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(f"{' ' * label_width} +{'-' * plot_width}")
+    x_axis = [" "] * plot_width
+    for i, x in enumerate(xs):
+        text = f"{x:g}"
+        start = min(columns[i], plot_width - len(text))
+        for j, ch in enumerate(text):
+            x_axis[start + j] = ch
+    lines.append(f"{' ' * label_width}  {''.join(x_axis)}")
+    legend = "   ".join(f"{name[0].upper()} = {name}" for name in series)
+    lines.append(f"{' ' * label_width}  [{legend}]")
+    return "\n".join(lines)
+
+
+def figure11_chart(title: str, rows: Sequence[SweepRow]) -> str:
+    """Render a Figure 11 panel (three curves over the size axis)."""
+    xs = [row.size for row in rows]
+    return ascii_chart(
+        title,
+        xs,
+        {
+            "none (no checks)": [row.none_s for row in rows],
+            "full checks": [row.full_s for row in rows],
+            "ditto (incremental)": [row.ditto_s for row in rows],
+        },
+    )
+
+
+def format_crossover(results: Sequence[CrossoverResult]) -> str:
+    """§5.1.1-style crossover table."""
+    return format_table(
+        ["workload", "crossover size"],
+        [
+            (
+                r.workload,
+                "n/a (never wins in range)"
+                if r.crossover_size is None
+                else r.crossover_size,
+            )
+            for r in results
+        ],
+    )

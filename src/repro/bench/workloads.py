@@ -1,0 +1,409 @@
+"""The paper's benchmark workloads (§5.1 / §5.2).
+
+Each workload knows how to build a structure at a given size and how to
+apply one mutation drawn from the paper's operation mix:
+
+* **Ordered list** — 50 % insertion of a random element, 25 % deletion of a
+  random element, 25 % deletion of the first element (queue-style).
+* **Hash table** — 50 % random insertions, 50 % random deletions.
+* **Red-black tree** — 50 % random insertions, 50 % random deletions.
+* **Netcols** — one bot frame per mutation (a piece drop with cascade
+  resolution).
+* **JSO** — one synthetic function declaration fed to the obfuscator per
+  mutation.
+
+Deletions pick "a random element … from the set of elements guaranteed to
+fulfill the operation", i.e. an element actually present.  Workloads are
+deterministic in their seed.  Extension workloads cover the non-paper
+structures (AVL, heap, skip list, doubly-linked list) with the 50/50 mix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..apps.jso import JsObfuscator, generate_program, jso_invariant
+from ..apps.netcols import NetcolsBot, NetcolsGame, netcols_invariant
+from ..instrument.registry import CheckFunction
+from ..structures.avl_tree import AVLTree, avl_invariant
+from ..structures.binary_heap import BinaryHeap, heap_invariant
+from ..structures.btree import BTree, btree_invariant
+from ..structures.doubly_linked_list import DoublyLinkedList, dll_invariant
+from ..structures.hash_table import HashTable, hash_table_invariant
+from ..structures.ordered_list import OrderedIntList, is_ordered
+from ..structures.red_black_tree import RedBlackTree, rbt_invariant
+from ..structures.rope import Rope, rope_invariant
+from ..structures.skip_list import SkipList, skip_list_invariant
+
+_VALUE_SPACE = 1 << 30
+
+
+class Workload:
+    """One benchmark workload: a structure factory plus a mutation mix.
+
+    Subclasses set :attr:`entry` (the invariant check's entry point) and
+    implement :meth:`_build` and :meth:`mutate`; :meth:`check_args` maps the
+    structure to the entry point's argument tuple.
+    """
+
+    name: str = "workload"
+    entry: CheckFunction
+
+    def __init__(self, size: int, seed: int = 0xD1770):
+        self.size = size
+        self.rng = random.Random(seed)
+        self.structure = self._build(size)
+
+    def _build(self, size: int) -> Any:
+        raise NotImplementedError
+
+    def mutate(self) -> None:
+        """Apply one mutation from the paper's operation mix."""
+        raise NotImplementedError
+
+    def check_args(self) -> tuple:
+        """Arguments for the invariant's entry-point function."""
+        return (self.structure,)
+
+    def run_full_check(self) -> Any:
+        """Run the original (un-incrementalized) check once."""
+        return self.entry(*self.check_args())
+
+
+class OrderedListWorkload(Workload):
+    """§5.1 ordered list: 50 % insert / 25 % delete / 25 % delete-first."""
+
+    name = "ordered_list"
+    entry = is_ordered
+
+    def _build(self, size: int) -> OrderedIntList:
+        lst = OrderedIntList()
+        self._values: list[int] = []
+        for _ in range(size):
+            value = self.rng.randrange(_VALUE_SPACE)
+            lst.insert(value)
+            self._values.append(value)
+        self._values.sort()
+        return lst
+
+    def check_args(self) -> tuple:
+        return (self.structure.head,)
+
+    def mutate(self) -> None:
+        roll = self.rng.random()
+        if roll < 0.5 or not self._values:
+            value = self.rng.randrange(_VALUE_SPACE)
+            self.structure.insert(value)
+            # Keep the mirror sorted with a binary insert.
+            lo, hi = 0, len(self._values)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self._values[mid] < value:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            self._values.insert(lo, value)
+        elif roll < 0.75:
+            index = self.rng.randrange(len(self._values))
+            self.structure.delete(self._values.pop(index))
+        else:
+            self.structure.delete_first()
+            self._values.pop(0)
+
+
+class HashTableWorkload(Workload):
+    """§5.1 hash table: 50 % random insertions, 50 % random deletions."""
+
+    name = "hash_table"
+    entry = hash_table_invariant
+
+    def _build(self, size: int) -> HashTable:
+        table = HashTable(capacity=max(16, 2 * size))
+        self._keys: list[int] = []
+        present: set[int] = set()
+        while len(present) < size:
+            key = self.rng.randrange(_VALUE_SPACE)
+            if key not in present:
+                present.add(key)
+                table.put(key, key)
+                self._keys.append(key)
+        return table
+
+    def mutate(self) -> None:
+        if (self.rng.random() < 0.5 or not self._keys):
+            key = self.rng.randrange(_VALUE_SPACE)
+            if key not in self.structure:
+                self._keys.append(key)
+            self.structure.put(key, key)
+        else:
+            index = self.rng.randrange(len(self._keys))
+            self.structure.remove(self._keys.pop(index))
+
+
+class RedBlackTreeWorkload(Workload):
+    """§5.1 red-black tree: 50 % random insertions, 50 % random deletions."""
+
+    name = "red_black_tree"
+    entry = rbt_invariant
+
+    def _build(self, size: int) -> RedBlackTree:
+        tree = RedBlackTree()
+        self._keys: list[int] = []
+        present: set[int] = set()
+        while len(present) < size:
+            key = self.rng.randrange(_VALUE_SPACE)
+            if key not in present:
+                present.add(key)
+                tree.insert(key, key)
+                self._keys.append(key)
+        return tree
+
+    def mutate(self) -> None:
+        if self.rng.random() < 0.5 or not self._keys:
+            key = self.rng.randrange(_VALUE_SPACE)
+            if key not in self.structure:
+                self._keys.append(key)
+            self.structure.insert(key, key)
+        else:
+            index = self.rng.randrange(len(self._keys))
+            self.structure.delete(self._keys.pop(index))
+
+
+class AVLTreeWorkload(Workload):
+    """Extension: AVL tree, 50/50 insert/delete."""
+
+    name = "avl_tree"
+    entry = avl_invariant
+
+    def _build(self, size: int) -> AVLTree:
+        tree = AVLTree()
+        self._keys: list[int] = []
+        present: set[int] = set()
+        while len(present) < size:
+            key = self.rng.randrange(_VALUE_SPACE)
+            if key not in present:
+                present.add(key)
+                tree.insert(key)
+                self._keys.append(key)
+        return tree
+
+    def mutate(self) -> None:
+        if self.rng.random() < 0.5 or not self._keys:
+            key = self.rng.randrange(_VALUE_SPACE)
+            if key not in self.structure:
+                self._keys.append(key)
+            self.structure.insert(key)
+        else:
+            index = self.rng.randrange(len(self._keys))
+            self.structure.delete(self._keys.pop(index))
+
+
+class BinaryHeapWorkload(Workload):
+    """Extension: binary heap, 60 % push / 40 % pop."""
+
+    name = "binary_heap"
+    entry = heap_invariant
+
+    def _build(self, size: int) -> BinaryHeap:
+        heap = BinaryHeap(capacity=max(16, 4 * size))
+        for _ in range(size):
+            heap.push(self.rng.randrange(_VALUE_SPACE))
+        return heap
+
+    def mutate(self) -> None:
+        if self.rng.random() < 0.6 or len(self.structure) == 0:
+            self.structure.push(self.rng.randrange(_VALUE_SPACE))
+        else:
+            self.structure.pop()
+
+
+class BTreeWorkload(Workload):
+    """Extension: B-tree (t=3), 50/50 insert/delete."""
+
+    name = "btree"
+    entry = btree_invariant
+
+    def _build(self, size: int) -> BTree:
+        tree = BTree(t=3)
+        self._keys: list[int] = []
+        present: set[int] = set()
+        while len(present) < size:
+            key = self.rng.randrange(_VALUE_SPACE)
+            if key not in present:
+                present.add(key)
+                tree.insert(key)
+                self._keys.append(key)
+        return tree
+
+    def mutate(self) -> None:
+        if self.rng.random() < 0.5 or not self._keys:
+            key = self.rng.randrange(_VALUE_SPACE)
+            if self.structure.insert(key):
+                self._keys.append(key)
+        else:
+            index = self.rng.randrange(len(self._keys))
+            self.structure.delete(self._keys.pop(index))
+
+
+class SkipListWorkload(Workload):
+    """Extension: skip list, 50/50 insert/delete."""
+
+    name = "skip_list"
+    entry = skip_list_invariant
+
+    def _build(self, size: int) -> SkipList:
+        lst = SkipList(seed=self.rng.randrange(1 << 30))
+        self._values: list[int] = []
+        present: set[int] = set()
+        while len(present) < size:
+            value = self.rng.randrange(_VALUE_SPACE)
+            if value not in present:
+                present.add(value)
+                lst.insert(value)
+                self._values.append(value)
+        return lst
+
+    def mutate(self) -> None:
+        if self.rng.random() < 0.5 or not self._values:
+            value = self.rng.randrange(_VALUE_SPACE)
+            if self.structure.insert(value):
+                self._values.append(value)
+        else:
+            index = self.rng.randrange(len(self._values))
+            self.structure.delete(self._values.pop(index))
+
+
+class DoublyLinkedListWorkload(Workload):
+    """Extension: deque usage, pushes and pops at both ends."""
+
+    name = "doubly_linked_list"
+    entry = dll_invariant
+
+    def _build(self, size: int) -> DoublyLinkedList:
+        lst = DoublyLinkedList()
+        for i in range(size):
+            lst.push_back(i)
+        return lst
+
+    def mutate(self) -> None:
+        roll = self.rng.random()
+        if roll < 0.3 or len(self.structure) == 0:
+            self.structure.push_back(self.rng.randrange(_VALUE_SPACE))
+        elif roll < 0.6:
+            self.structure.push_front(self.rng.randrange(_VALUE_SPACE))
+        elif roll < 0.8:
+            self.structure.pop_front()
+        else:
+            self.structure.pop_back()
+
+
+class RopeWorkload(Workload):
+    """Extension: text-buffer edits — 60 % insert / 40 % delete at random
+    positions.  ``size`` is the initial character count."""
+
+    name = "rope"
+    entry = rope_invariant
+
+    def _build(self, size: int) -> Rope:
+        alphabet = "abcdefghijklmnopqrstuvwxyz "
+        text = "".join(
+            alphabet[self.rng.randrange(len(alphabet))] for _ in range(size)
+        )
+        return Rope(text)
+
+    def mutate(self) -> None:
+        rope = self.structure
+        n = len(rope)
+        if self.rng.random() < 0.6 or n < 8:
+            index = self.rng.randrange(n + 1)
+            rope.insert(index, "word"[: 1 + self.rng.randrange(4)])
+        else:
+            start = self.rng.randrange(n - 4)
+            rope.delete(start, start + 1 + self.rng.randrange(3))
+
+
+class NetcolsWorkload(Workload):
+    """§5.2 Netcols: one bot frame per mutation.  ``size`` selects the grid
+    width (height fixed at 20), scaling the invariant's work."""
+
+    name = "netcols"
+    entry = netcols_invariant
+
+    def _build(self, size: int) -> NetcolsGame:
+        width = max(4, size)
+        game = NetcolsGame(width=width, height=20)
+        self._bot = NetcolsBot(game, seed=self.rng.randrange(1 << 30))
+        # Warm the board so checks see realistic stacks.
+        for _ in range(2 * width):
+            self._bot.step()
+        return game
+
+    def mutate(self) -> None:
+        self._bot.step()
+
+
+class JsoWorkload(Workload):
+    """§5.2 JSO: ``size`` is the number of synthetic function declarations;
+    each mutation feeds one declaration chunk to the obfuscator."""
+
+    name = "jso"
+    entry = jso_invariant
+
+    def _build(self, size: int) -> JsObfuscator:
+        jso = JsObfuscator()
+        self._chunks = list(
+            generate_program(size, seed=self.rng.randrange(1 << 30))
+        )
+        self._cursor = 0
+        self.output: list[str] = []
+        return jso
+
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._chunks)
+
+    def mutate(self) -> None:
+        if self._cursor < len(self._chunks):
+            self.output.append(
+                self.structure.feed(self._chunks[self._cursor])
+            )
+            self._cursor += 1
+        else:
+            # Churn: retract and re-add an early mapping.
+            node = self.structure.names
+            if node is not None:
+                name = node.value
+                self.structure.drop_name(name)
+                self.structure.feed(f"function {name}(x) {{ return x; }}\n")
+
+
+#: Registry of workloads by name.
+WORKLOADS: dict[str, type[Workload]] = {
+    cls.name: cls
+    for cls in (
+        OrderedListWorkload,
+        HashTableWorkload,
+        RedBlackTreeWorkload,
+        AVLTreeWorkload,
+        BinaryHeapWorkload,
+        BTreeWorkload,
+        RopeWorkload,
+        SkipListWorkload,
+        DoublyLinkedListWorkload,
+        NetcolsWorkload,
+        JsoWorkload,
+    )
+}
+
+
+def get_workload(
+    name: str, size: int, seed: int = 0xD1770
+) -> Workload:
+    """Instantiate a registered workload."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return cls(size, seed=seed)

@@ -1,0 +1,63 @@
+"""Core incrementalization machinery (the paper's contribution)."""
+
+from .argkeys import ArgsKey, is_primitive
+from .engine import DittoEngine
+from .errors import (
+    CheckRestrictionError,
+    CyclicCheckError,
+    DittoError,
+    EngineStateError,
+    InstrumentationError,
+    OptimisticMispredictionError,
+    ResultTypeError,
+    StepLimitExceeded,
+    TrackingError,
+    UnknownCheckError,
+)
+from .locations import FieldLocation, IndexLocation, LengthLocation, Location
+from .memo_table import MemoTable
+from .node import ComputationNode
+from .order_maintenance import OrderList, Record
+from .stats import EngineStats, RunReport
+from .tracked import (
+    TrackedArray,
+    TrackedList,
+    TrackedObject,
+    WriteLog,
+    is_tracked,
+    reset_tracking,
+    tracking_state,
+)
+
+__all__ = [
+    "ArgsKey",
+    "CheckRestrictionError",
+    "ComputationNode",
+    "CyclicCheckError",
+    "DittoEngine",
+    "DittoError",
+    "EngineStateError",
+    "EngineStats",
+    "FieldLocation",
+    "IndexLocation",
+    "InstrumentationError",
+    "is_primitive",
+    "is_tracked",
+    "LengthLocation",
+    "Location",
+    "MemoTable",
+    "OptimisticMispredictionError",
+    "OrderList",
+    "Record",
+    "reset_tracking",
+    "ResultTypeError",
+    "RunReport",
+    "StepLimitExceeded",
+    "TrackedArray",
+    "TrackedList",
+    "TrackedObject",
+    "TrackingError",
+    "tracking_state",
+    "UnknownCheckError",
+    "WriteLog",
+]

@@ -1,0 +1,81 @@
+"""Memo-table key semantics (paper §4, "Hashing of objects").
+
+DITTO's memo table maps a function's explicit-argument list to the
+computation node for that invocation.  Because DITTO is automatic, it cannot
+ask the programmer for an equality notion, so it uses a conservative
+all-purpose strategy:
+
+* **semantic equality** for primitive values (numbers, booleans, strings,
+  ``None`` — Python's immutable scalars), and
+* **pointer identity** for everything else (heap objects), via ``id()``.
+
+Pointer identity prevents two semantically-equal but distinct heap objects
+from sharing a node (if only one were later mutated, the shared cached
+result would be wrong for the other).  The hash combines
+``id()``-based hashes for objects with value hashes for primitives,
+mirroring ``System.identityHashCode`` / ``Object.hashCode`` in the paper.
+
+``ArgsKey`` instances keep strong references to the argument objects, so an
+``id()`` can never be recycled while a memo-table entry is alive.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Types compared and hashed by value.  ``bool`` is a subclass of ``int``;
+#: tuples of primitives also compare by value (they are immutable).
+_PRIMITIVE_TYPES = (int, float, str, bytes, complex, frozenset, type(None))
+
+
+def is_primitive(value: Any) -> bool:
+    """True if ``value`` is compared semantically in memo keys."""
+    if isinstance(value, tuple):
+        return all(is_primitive(v) for v in value)
+    return isinstance(value, _PRIMITIVE_TYPES)
+
+
+class ArgsKey:
+    """Hashable key wrapping one explicit-argument tuple."""
+
+    __slots__ = ("args", "_parts", "_hash")
+
+    def __init__(self, args: tuple):
+        self.args = args
+        parts = []
+        for a in args:
+            if is_primitive(a):
+                parts.append((0, a))
+            else:
+                parts.append((1, id(a)))
+        self._parts = tuple(parts)
+        self._hash = hash(self._parts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArgsKey):
+            return NotImplemented
+        if self._parts is other._parts:
+            return True
+        if len(self._parts) != len(other._parts):
+            return False
+        for (tag_a, val_a), (tag_b, val_b) in zip(self._parts, other._parts):
+            if tag_a != tag_b:
+                return False
+            if tag_a == 0:
+                # Semantic comparison; also require same type so that
+                # 1 and 1.0 and True do not collapse into one invocation.
+                if type(val_a) is not type(val_b) or val_a != val_b:
+                    return False
+            elif val_a != val_b:  # identity comparison via id()
+                return False
+        return True
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"ArgsKey{self.args!r}"

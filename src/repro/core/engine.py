@@ -1,0 +1,617 @@
+"""The DITTO incrementalization engine.
+
+One :class:`DittoEngine` incrementalizes one invariant check, identified by
+its entry-point function (paper §2: "we identify the check by the
+entry-point function that is invoked by the main program").  Three execution
+modes reproduce the paper's three strategies:
+
+* ``"scratch"`` — run the original, un-instrumented check (the "standard
+  invariant checks" curve in Figure 11);
+* ``"naive"`` — the naive incrementalizer of Figure 6: reuse a cached
+  invocation only after *replaying* every callee and confirming all callee
+  return values are unchanged;
+* ``"ditto"`` — the optimistic incrementalizer of Figure 7 (default):
+  reuse any non-dirty cached invocation outright, then repair with pruning,
+  return-value propagation, and misprediction retry.
+
+Typical use::
+
+    from repro import DittoEngine, check
+
+    @check
+    def is_ordered(e): ...
+
+    engine = DittoEngine(is_ordered)
+    lst = OrderedIntList()
+    assert engine.run(lst.head)        # first run: builds the graph
+    lst.insert(42)                     # write barriers log the mutations
+    assert engine.run(lst.head)        # incremental: re-runs O(1) nodes
+
+The engine validates the check against the paper's static restrictions at
+construction time, registers the fields the check reads with the global
+write-barrier state, and compiles instrumented versions of every function
+in the check's call-graph closure.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Optional
+
+from ..instrument.registry import CheckFunction, check as as_check, closure_of
+from ..instrument.transform import instrument, instrumented_source
+from .argkeys import ArgsKey, is_primitive
+from .errors import (
+    CyclicCheckError,
+    DittoError,
+    EngineStateError,
+    OptimisticMispredictionError,
+    ResultTypeError,
+    StepLimitExceeded,
+    UnknownCheckError,
+)
+from .memo_table import MemoTable
+from .node import ComputationNode
+from .order_maintenance import OrderList
+from .runtime import Runtime
+from .stats import EngineStats, RunReport
+from .tracked import tracking_state
+
+_MODES = ("ditto", "naive", "scratch")
+
+#: Scalar types never treated as heap references by the leaf-call test.
+_SCALARS = (int, float, bool, str, bytes, complex)
+
+#: Maximum misprediction-retry rounds before exceptions are forwarded to the
+#: main program (§3.5: "If an exception still occurs at this stage, the
+#: exception is forwarded on").
+_MAX_RETRY_ROUNDS = 3
+
+
+class DittoEngine:
+    """Automatic incrementalizer for one data structure invariant check."""
+
+    def __init__(
+        self,
+        entry: CheckFunction,
+        mode: str = "ditto",
+        strict: bool = True,
+        leaf_optimization: bool = True,
+        step_limit: Optional[int] = None,
+        recursion_limit: Optional[int] = 20_000,
+    ):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        #: Checks recurse once per structure element and the engine adds a
+        #: few frames per invocation, so runs raise the interpreter
+        #: recursion limit to at least this value (None disables; for very
+        #: deep structures run inside
+        #: :func:`repro.bench.runner.run_with_big_stack`).
+        self.recursion_limit = recursion_limit
+        self.entry = as_check(entry)
+        self.mode = mode
+        self.strict = strict
+        self.leaf_optimization = leaf_optimization
+        self.step_limit = step_limit
+        self.stats = EngineStats()
+        self.table = MemoTable()
+        self.order = OrderList()
+        self.runtime = Runtime(self)
+
+        # Resolve the check's function closure and validate every member
+        # (analysis() raises CheckRestrictionError on a violation).
+        self.functions: dict[int, CheckFunction] = closure_of(self.entry)
+        fields: set[str] = set()
+        for fn in self.functions.values():
+            fields.update(fn.analysis().fields_read)
+        self.monitored_fields = frozenset(fields)
+        tracking_state().monitor_fields(self.monitored_fields)
+        self._log_cid = tracking_state().write_log.register()
+
+        # Compile instrumented versions (Figure 3) of every check function.
+        self._compiled: dict[int, Any] = {}
+        for fn in self.functions.values():
+            uid_map = {
+                name: callee.uid
+                for name, callee in fn.resolve_callees().items()
+            }
+            self._compiled[fn.uid] = instrument(fn, uid_map, self.runtime)
+
+        # Execution state.
+        self._stack: list[ComputationNode] = []
+        self._root: Optional[ComputationNode] = None
+        # Artificial caller pinning the root so it is never pruned.
+        self._anchor = ComputationNode(self.entry, ArgsKey(("<anchor>",)))
+        self.steps = 0
+        self.in_incremental_run = False
+        self._final_retry = False
+        self._running = False
+        self._tick = 0
+        self._to_propagate: set[ComputationNode] = set()
+        self._failed: set[ComputationNode] = set()
+        self._closed = False
+
+    # Public API. -----------------------------------------------------------------
+
+    def run(self, *args: Any) -> Any:
+        """Execute the invariant check on the current program state and
+        return its result, reusing previous executions where possible."""
+        if self._closed:
+            raise EngineStateError("engine has been closed")
+        if self._running:
+            raise EngineStateError("re-entrant DittoEngine.run() call")
+        if self.mode == "scratch":
+            self.stats.runs += 1
+            self.stats.full_runs += 1
+            return self.entry.original(*args)
+        self._running = True
+        try:
+            return self._run_tracked(args)
+        finally:
+            self._running = False
+
+    def run_with_report(self, *args: Any) -> RunReport:
+        """Like :meth:`run`, also returning per-run statistics."""
+        before = self.stats.snapshot()
+        incremental = self._root is not None
+        result = self.run(*args)
+        return RunReport(
+            result=result,
+            mode=self.mode,
+            incremental=incremental and self.mode != "scratch",
+            delta=self.stats.delta(before),
+            graph_size=len(self.table),
+        )
+
+    def invalidate(self) -> None:
+        """Drop the computation graph; the next run starts from scratch."""
+        for node in self.table.clear():
+            if node.order_rec is not None:
+                self.order.delete(node.order_rec)
+                node.order_rec = None
+        self._anchor.calls.clear()
+        self._root = None
+        self._to_propagate.clear()
+        self._failed.clear()
+        # Discard pending log entries; the next run re-reads everything.
+        tracking_state().write_log.consume(self._log_cid)
+
+    def close(self) -> None:
+        """Release global tracking resources held by this engine."""
+        if self._closed:
+            return
+        self.invalidate()
+        tracking_state().write_log.unregister(self._log_cid)
+        tracking_state().unmonitor_fields(self.monitored_fields)
+        self._closed = True
+
+    def __enter__(self) -> "DittoEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @property
+    def graph_size(self) -> int:
+        return len(self.table)
+
+    def graph_snapshot(self) -> dict[tuple[str, tuple], object]:
+        """(function name, explicit args) → return value, for tests."""
+        return self.table.snapshot()
+
+    def validate(self) -> None:
+        """Assert the engine's internal consistency invariants; raises
+        ``AssertionError`` with a description on any violation.  Intended
+        for tests (the property machines call it after every step) and for
+        debugging engine extensions — it walks the whole graph.
+        """
+        table = self.table
+        # Anchor and root agree.
+        if self._root is not None:
+            assert table.contains(self._root), "root not in table"
+            assert self._root.callers.get(self._anchor, 0) == 1, (
+                "root is not anchored exactly once"
+            )
+            assert self._anchor.calls.count(self._root) == 1, (
+                "anchor call edge out of sync"
+            )
+        edge_counts: dict[tuple[int, int], int] = {}
+        for node in table:
+            assert not node.dirty, f"{node} left dirty after run"
+            assert not node.failed, f"{node} left failed after run"
+            assert not node.in_progress, f"{node} left in-progress"
+            assert node.has_result, f"{node} has no result"
+            assert node.order_rec is not None and node.order_rec.alive, (
+                f"{node} lost its order record"
+            )
+            for callee in node.calls:
+                assert table.contains(callee), (
+                    f"{node} calls pruned node {callee}"
+                )
+                key = (id(node), id(callee))
+                edge_counts[key] = edge_counts.get(key, 0) + 1
+            for location in node.implicits:
+                assert node in table.nodes_reading(location), (
+                    f"reverse map missing {location} -> {node}"
+                )
+        for node in table:
+            for caller, count in node.callers.items():
+                if caller is self._anchor:
+                    continue
+                assert table.contains(caller), (
+                    f"{node} has pruned caller {caller}"
+                )
+                assert edge_counts.get((id(caller), id(node))) == count, (
+                    f"edge multiplicity mismatch {caller} -> {node}"
+                )
+            if node is not self._root:
+                assert node.caller_count() > 0, f"{node} unreachable"
+
+    def instrumented_source(self, func: Optional[CheckFunction] = None) -> str:
+        """The Figure 3 view: instrumented source of a check function."""
+        fn = as_check(func) if func is not None else self.entry
+        uid_map = {
+            name: callee.uid for name, callee in fn.resolve_callees().items()
+        }
+        return instrumented_source(fn, uid_map)
+
+    # Run orchestration (Figure 7's ``incrementalize``). ----------------------------
+
+    def _run_tracked(self, args: tuple) -> Any:
+        self.stats.runs += 1
+        self.steps = 0
+        if (
+            self.recursion_limit is not None
+            and sys.getrecursionlimit() < self.recursion_limit
+        ):
+            sys.setrecursionlimit(self.recursion_limit)
+        try:
+            return self._incrementalize(args)
+        except StepLimitExceeded:
+            # §3.5 second remedy: discard and re-run from scratch.
+            self.stats.scratch_fallbacks += 1
+            self.invalidate()
+            self.in_incremental_run = False
+            return self._incrementalize(args)
+        except DittoError:
+            raise
+        except BaseException:
+            # A genuine failure escaped (invariant code crashed); drop the
+            # graph so the next run rebuilds a consistent state.
+            self.invalidate()
+            raise
+
+    def _incrementalize(self, args: tuple) -> Any:
+        key = ArgsKey(args)
+        pending = tracking_state().write_log.consume(self._log_cid)
+        dirty = self.table.map_locations_to_nodes(pending)
+        root = self.table.lookup(self.entry, key)
+        first_run = self._root is None
+        self.in_incremental_run = not first_run
+
+        if first_run:
+            self.stats.full_runs += 1
+        else:
+            self.stats.incremental_runs += 1
+
+        for node in dirty:
+            node.dirty = True
+        self.stats.dirty_marked += len(dirty)
+        self._to_propagate.clear()
+        self._failed.clear()
+
+        try:
+            # Re-run the root first when its entry arguments are new
+            # (Figure 7: "need to re-run root if arguments have changed").
+            if root is None:
+                try:
+                    root = self._retarget_root(key)
+                except OptimisticMispredictionError:
+                    root = self._root  # created; retried after propagation
+                    assert root is not None
+            else:
+                if root is not self._root:
+                    # The entry arguments changed to an invocation that
+                    # already exists in the graph (e.g. queue-style
+                    # delete-first whose new head was memoized): re-anchor
+                    # without re-executing.
+                    self._reanchor(root)
+                if self.mode == "naive":
+                    # Figure 6: one top-down replay from the root
+                    # re-executes exactly the invocations whose inputs
+                    # changed.
+                    self._naive_value(root)
+            if self.mode == "ditto":
+                # Re-execute dirty invocations closest to the root first;
+                # invocations that already fell out of the computation are
+                # pruned, not re-executed (Figure 7).
+                for node in sorted(dirty, key=ComputationNode.sort_token):
+                    if not (self.table.contains(node) and node.dirty):
+                        continue
+                    if node is not self._root and node.caller_count() == 0:
+                        self._prune(node)
+                        continue
+                    self.stats.dirty_execs += 1
+                    try:
+                        self._exec(node)
+                    except OptimisticMispredictionError:
+                        pass  # recorded in self._failed; retried below
+            self._propagate()
+            self._retry_failed()
+        finally:
+            self.in_incremental_run = False
+        assert root.has_result
+        return root.return_val
+
+    def _retarget_root(self, key: ArgsKey) -> ComputationNode:
+        """Create/execute the root node for a new entry-argument tuple and
+        re-anchor; the previous root's subgraph is pruned if unreachable."""
+        old_root = self._root
+        node, created = self.table.get_or_create(self.entry, key)
+        if created:
+            self.stats.nodes_created += 1
+            node.order_rec = self.order.insert_last()
+        self.table.add_edge(self._anchor, node)
+        self._root = node
+        try:
+            self._exec(node)
+        finally:
+            if old_root is not None and self.table.contains(old_root):
+                self._anchor.calls.remove(old_root)
+                self.table.remove_edge(self._anchor, old_root)
+                if old_root.caller_count() == 0:
+                    self._prune(old_root)
+        return node
+
+    def _reanchor(self, node: ComputationNode) -> None:
+        """Move the artificial root anchor onto ``node`` (already memoized)
+        and prune whatever part of the old root's graph becomes
+        unreachable."""
+        old_root = self._root
+        self.table.add_edge(self._anchor, node)
+        self._root = node
+        if old_root is not None and self.table.contains(old_root):
+            self._anchor.calls.remove(old_root)
+            self.table.remove_edge(self._anchor, old_root)
+            if old_root.caller_count() == 0:
+                self._prune(old_root)
+
+    # Node execution (Figure 7's ``exec``). -------------------------------------------
+
+    def current_node(self) -> ComputationNode:
+        return self._stack[-1]
+
+    def _exec(self, node: ComputationNode) -> Any:
+        """(Re-)execute ``node``'s invocation against the current program
+        state, rebuilding its implicit arguments and call edges."""
+        if node.in_progress:
+            raise CyclicCheckError(node.func.name, node.explicit_args)
+        old_calls = node.calls
+        old_has = node.has_result
+        old_val = node.return_val
+        self.table.clear_implicits(node)
+        node.calls = []
+        node.in_progress = True
+        self._stack.append(node)
+        try:
+            result = self._compiled[node.func.uid](*node.explicit_args)
+        except StepLimitExceeded:
+            raise
+        except Exception as exc:
+            # Roll back the partially-recorded call edges; the node keeps
+            # its old value and stays scheduled for re-execution.  Fresh
+            # nodes created by the aborted execution are pruned if nothing
+            # else reaches them.
+            partial_calls = node.calls
+            for child in partial_calls:
+                self.table.remove_edge(node, child)
+            node.calls = old_calls
+            for child in set(partial_calls):
+                if (
+                    self.table.contains(child)
+                    and child.caller_count() == 0
+                    and not child.in_progress
+                ):
+                    self._prune(child)
+            if (
+                self.mode == "ditto"
+                and self.in_incremental_run
+                and not self._final_retry
+            ):
+                # §3.5: presumably caused by a stale optimistic value.
+                node.failed = True
+                self._failed.add(node)
+                self.stats.mispredictions += 1
+                raise OptimisticMispredictionError(node, exc) from exc
+            raise
+        finally:
+            node.in_progress = False
+            self._stack.pop()
+
+        if not is_primitive(result):
+            raise ResultTypeError(
+                f"check {node.func.name!r} returned {type(result).__name__}; "
+                f"checks must return immutable primitive values"
+            )
+        self._tick += 1
+        node.last_exec_tick = self._tick
+        node.dirty = False
+        node.failed = False
+        self._failed.discard(node)
+        node.return_val = result
+        node.has_result = True
+        self.stats.execs += 1
+        if not self.in_incremental_run:
+            self.stats.initial_execs += 1
+
+        # Drop the superseded call edges and prune unreachable callees.
+        for child in old_calls:
+            self.table.remove_edge(node, child)
+        for child in set(old_calls):
+            if (
+                self.table.contains(child)
+                and child.caller_count() == 0
+            ):
+                self._prune(child)
+
+        if old_has and not _same_value(result, old_val):
+            node.value_tick = self._tick
+            self._to_propagate.add(node)
+
+        # A pruning cascade may have tried to remove this node while it was
+        # executing (rotation-style reshapes can make it a stale descendant
+        # of a pruned region); the removal was deferred.  If nothing
+        # reaches it now, complete the prune.
+        if (
+            node is not self._root
+            and node.caller_count() == 0
+            and self.table.contains(node)
+        ):
+            self._prune(node)
+        return result
+
+    def _prune(self, node: ComputationNode) -> None:
+        removed = self.table.prune(node)
+        self.stats.nodes_pruned += len(removed)
+        for n in removed:
+            if n.order_rec is not None:
+                self.order.delete(n.order_rec)
+                n.order_rec = None
+            self._to_propagate.discard(n)
+            self._failed.discard(n)
+
+    # Memoized call dispatch (Figures 6/7 ``memo``). ---------------------------------
+
+    def memo_call(self, uid: int, args: tuple) -> Any:
+        """Entry point for ``__ditto_rt__.call`` from instrumented code."""
+        func = self.functions.get(uid)
+        if func is None:
+            raise UnknownCheckError(f"no check function with uid {uid}")
+        if self.leaf_optimization and _is_leaf_call(args):
+            # §4 "Optimizing leaf calls": run outright, attributing any
+            # implicit reads to the caller; no memo entry is created.
+            self.stats.leaf_execs += 1
+            return self._compiled[uid](*args)
+        caller = self._stack[-1]
+        key = ArgsKey(args)
+        node, created = self.table.get_or_create(func, key)
+        if created:
+            self.stats.nodes_created += 1
+            node.order_rec = self.order.insert_last()
+        self.table.add_edge(caller, node)
+        if node.dirty or not node.has_result:
+            return self._exec(node)
+        if self.mode == "naive":
+            return self._naive_value(node)
+        # Optimistic memoization: reuse without validating callee returns.
+        self.stats.reuses += 1
+        return node.return_val
+
+    def _naive_value(self, node: ComputationNode) -> Any:
+        """Figure 6's memo: reuse only after replaying every callee and
+        confirming each returns its cached value."""
+        if node.dirty or not node.has_result:
+            return self._exec(node)
+        for child in list(node.calls):
+            old_return_val = child.return_val
+            self.stats.replays += 1
+            value = self._naive_value(child)
+            if not _same_value(value, old_return_val):
+                # A memo lookup failed somewhere in the child's call tree.
+                return self._exec(node)
+        self.stats.reuses += 1
+        return node.return_val
+
+    # Return-value propagation (Figure 7's ``propagate_return_vals``). -----------------
+
+    def _propagate(self) -> None:
+        while self._to_propagate:
+            node = max(self._to_propagate, key=ComputationNode.sort_token)
+            self._to_propagate.discard(node)
+            if not self.table.contains(node):
+                continue
+            callers = [
+                c
+                for c in node.callers
+                if c is not self._anchor and self.table.contains(c)
+            ]
+            callers.sort(key=ComputationNode.sort_token, reverse=True)
+            for caller in callers:
+                if caller.last_exec_tick > node.value_tick:
+                    continue  # already re-executed after this change
+                if not self.table.contains(caller):
+                    continue
+                self.stats.propagation_execs += 1
+                try:
+                    self._exec(caller)
+                except OptimisticMispredictionError:
+                    pass  # retried later
+
+    def _retry_failed(self) -> None:
+        """Re-execute nodes whose incremental re-execution raised (§3.5).
+        After bounded rounds, a persisting exception is forwarded to the
+        main program."""
+        rounds = 0
+        while self._failed and rounds < _MAX_RETRY_ROUNDS:
+            rounds += 1
+            batch = sorted(
+                (n for n in self._failed if self.table.contains(n)),
+                key=ComputationNode.sort_token,
+                reverse=True,  # deepest first: settle callees before callers
+            )
+            self._failed.clear()
+            for node in batch:
+                if not (
+                    self.table.contains(node) and (node.dirty or node.failed)
+                ):
+                    continue
+                if node is not self._root and node.caller_count() == 0:
+                    self._prune(node)
+                    continue
+                self.stats.retry_execs += 1
+                try:
+                    self._exec(node)
+                except OptimisticMispredictionError:
+                    pass
+            self._propagate()
+        if self._failed:
+            self._final_retry = True
+            try:
+                batch = sorted(
+                    (n for n in self._failed if self.table.contains(n)),
+                    key=ComputationNode.sort_token,
+                    reverse=True,
+                )
+                self._failed.clear()
+                for node in batch:
+                    if not (
+                        self.table.contains(node)
+                        and (node.dirty or node.failed)
+                    ):
+                        continue
+                    if node is not self._root and node.caller_count() == 0:
+                        self._prune(node)
+                        continue
+                    self.stats.retry_execs += 1
+                    self._exec(node)  # exceptions escape to the caller
+            finally:
+                self._final_retry = False
+            self._propagate()
+
+
+def _same_value(a: Any, b: Any) -> bool:
+    """Return-value comparison: semantic equality within the same type, so a
+    change from ``True`` to ``1`` still propagates."""
+    return type(a) is type(b) and a == b
+
+
+def _is_leaf_call(args: tuple) -> bool:
+    """Paper §4: a call is a leaf call if it has at least one reference
+    argument and all its reference arguments are None."""
+    has_ref = False
+    for a in args:
+        if a is None:
+            has_ref = True
+        elif not isinstance(a, _SCALARS):
+            return False
+    return has_ref

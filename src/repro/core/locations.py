@@ -1,0 +1,111 @@
+"""Heap-location model.
+
+DITTO's computation graph records, for every function invocation, the set of
+heap locations the invocation's own frame read (its *implicit arguments*,
+Definition 1).  Write barriers later report mutations of individual
+locations, and a reverse map from locations to computation nodes identifies
+the invocations that must be re-executed.
+
+A location is a (container identity, coordinate) pair:
+
+* ``FieldLocation`` — an object field, e.g. ``e.next``.
+* ``IndexLocation`` — one slot of an array/list, e.g. ``buckets[i]``.
+* ``LengthLocation`` — the length of an array/list (Java's
+  ``buckets.length``); growing or shrinking a tracked list mutates it.
+
+Identity semantics: two locations are the same iff they name the same slot
+of the *same* container object (``id()`` equality), matching the paper's
+pointer-identity treatment of heap objects.  Locations hold a strong
+reference to their container; they live only inside memo-table entries and
+the transient write log, so this does not leak (entries are pruned when the
+computation no longer reaches them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+
+class Location:
+    """Abstract heap location.  Hashable, with identity-based container
+    equality.  Concrete subclasses define ``coordinate``."""
+
+    __slots__ = ("container", "_hash")
+
+    def __init__(self, container: Any):
+        self.container = container
+        self._hash = hash((type(self).__name__, id(container), self._coord()))
+
+    def _coord(self) -> Hashable:
+        raise NotImplementedError
+
+    @property
+    def coordinate(self) -> Hashable:
+        return self._coord()
+
+    def read(self) -> Any:
+        """Return the value currently stored at this location."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.container is other.container  # type: ignore[attr-defined]
+            and self._coord() == other._coord()  # type: ignore[attr-defined]
+        )
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({type(self.container).__name__}"
+            f"@{id(self.container):#x}, {self._coord()!r})"
+        )
+
+
+class FieldLocation(Location):
+    """The field ``container.<field>`` of a tracked object."""
+
+    __slots__ = ("field",)
+
+    def __init__(self, container: Any, field: str):
+        self.field = field
+        super().__init__(container)
+
+    def _coord(self) -> Hashable:
+        return self.field
+
+    def read(self) -> Any:
+        return getattr(self.container, self.field)
+
+
+class IndexLocation(Location):
+    """The slot ``container[index]`` of a tracked array or list."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, container: Any, index: int):
+        self.index = index
+        super().__init__(container)
+
+    def _coord(self) -> Hashable:
+        return self.index
+
+    def read(self) -> Any:
+        return self.container[self.index]
+
+
+class LengthLocation(Location):
+    """The length of a tracked array or list (``len(container)``)."""
+
+    __slots__ = ()
+
+    def _coord(self) -> Hashable:
+        return "<len>"
+
+    def read(self) -> Any:
+        return len(self.container)

@@ -1,0 +1,182 @@
+"""The memoization table and its reverse (location → nodes) map.
+
+Paper §3.1: "DITTO stores the graph in memory in the form of a table …
+indexed by a pair (f, explicit args)"; "In addition … a reverse map, from
+heap locations (implicit arguments) to table entries, is created."
+
+The table also centralizes the reference-count maintenance on tracked
+containers (paper §4): a container's count equals the number of live
+implicit-argument entries, across all nodes in this table, whose location
+names the container.  Write barriers consult the count to skip logging
+writes no invariant check depends on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+from .argkeys import ArgsKey
+from .locations import Location
+from .node import ComputationNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..instrument.registry import CheckFunction
+
+
+class MemoTable:
+    """Computation graph storage for one engine."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, ArgsKey], ComputationNode] = {}
+        self._reverse: dict[Location, set[ComputationNode]] = {}
+
+    # Entry lookup. ----------------------------------------------------------
+
+    def lookup(
+        self, func: "CheckFunction", key: ArgsKey
+    ) -> Optional[ComputationNode]:
+        return self._entries.get((func.uid, key))
+
+    def get_or_create(
+        self, func: "CheckFunction", key: ArgsKey
+    ) -> tuple[ComputationNode, bool]:
+        """Return ``(node, created)`` for invocation ``func(key.args)``."""
+        table_key = (func.uid, key)
+        node = self._entries.get(table_key)
+        if node is not None:
+            return node, False
+        node = ComputationNode(func, key)
+        self._entries[table_key] = node
+        return node, True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ComputationNode]:
+        return iter(self._entries.values())
+
+    # Implicit arguments and the reverse map. --------------------------------
+
+    def record_implicit(self, node: ComputationNode, location: Location) -> None:
+        """Add ``location`` to ``node``'s implicit arguments, updating the
+        reverse map and the container's reference count."""
+        if location in node.implicits:
+            return
+        node.implicits.add(location)
+        dependents = self._reverse.get(location)
+        if dependents is None:
+            dependents = set()
+            self._reverse[location] = dependents
+        dependents.add(node)
+        container = location.container
+        incref = getattr(container, "_ditto_incref", None)
+        if incref is not None:
+            incref()
+
+    def clear_implicits(self, node: ComputationNode) -> None:
+        """Drop all of ``node``'s implicit arguments (before re-execution or
+        when pruning), releasing reverse-map entries and reference counts."""
+        for location in node.implicits:
+            dependents = self._reverse.get(location)
+            if dependents is not None:
+                dependents.discard(node)
+                if not dependents:
+                    del self._reverse[location]
+            decref = getattr(location.container, "_ditto_decref", None)
+            if decref is not None:
+                decref()
+        node.implicits.clear()
+
+    def nodes_reading(self, location: Location) -> set[ComputationNode]:
+        """Nodes whose implicit arguments include ``location``."""
+        return self._reverse.get(location, set())
+
+    def map_locations_to_nodes(
+        self, locations: Iterable[Location]
+    ) -> set[ComputationNode]:
+        """``map_locs_to_memo_table_entries`` from Figure 7."""
+        dirty: set[ComputationNode] = set()
+        for loc in locations:
+            dependents = self._reverse.get(loc)
+            if dependents:
+                dirty.update(dependents)
+        return dirty
+
+    # Call edges. -------------------------------------------------------------
+
+    def add_edge(self, caller: ComputationNode, callee: ComputationNode) -> None:
+        """Record one ``caller -> callee`` call occurrence."""
+        caller.calls.append(callee)
+        callee.callers[caller] = callee.callers.get(caller, 0) + 1
+        new_depth = caller.depth + 1
+        if callee.depth == 0 or new_depth < callee.depth:
+            callee.depth = new_depth
+
+    def remove_edge(self, caller: ComputationNode, callee: ComputationNode) -> None:
+        """Remove one ``caller -> callee`` call occurrence (the caller's
+        ``calls`` list is managed by the engine)."""
+        count = callee.callers.get(caller, 0)
+        if count <= 1:
+            callee.callers.pop(caller, None)
+        else:
+            callee.callers[caller] = count - 1
+
+    # Pruning (Figure 7's ``prune``). ------------------------------------------
+
+    def prune(self, node: ComputationNode) -> list[ComputationNode]:
+        """Remove ``node`` and, transitively, any callee left without
+        callers.  Returns the list of removed nodes (for stats and for the
+        engine to release order-maintenance records).
+
+        A node that is currently executing is never removed, even at zero
+        callers: after a rotation-style reshape, a pruning cascade can
+        reach an *ancestor of the current execution* through stale edges.
+        Such nodes finish their execution and the engine prunes them then
+        if they are still unreachable."""
+        removed: list[ComputationNode] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.in_progress:
+                continue  # deferred: the engine re-checks after its exec
+            table_key = (current.func.uid, current.key)
+            if self._entries.get(table_key) is not current:
+                continue  # already pruned
+            del self._entries[table_key]
+            self.clear_implicits(current)
+            removed.append(current)
+            for callee in current.calls:
+                self.remove_edge(current, callee)
+                if callee.caller_count() == 0:
+                    stack.append(callee)
+            current.calls.clear()
+            current.callers.clear()
+        return removed
+
+    def contains(self, node: ComputationNode) -> bool:
+        return self._entries.get((node.func.uid, node.key)) is node
+
+    def clear(self) -> list[ComputationNode]:
+        """Drop the whole graph (step-limit fallback / engine reset),
+        releasing all reference counts.  Returns the removed nodes."""
+        removed = list(self._entries.values())
+        for node in removed:
+            self.clear_implicits(node)
+            node.calls.clear()
+            node.callers.clear()
+        self._entries.clear()
+        self._reverse.clear()
+        return removed
+
+    # Introspection used by tests. ---------------------------------------------
+
+    def snapshot(self) -> dict[tuple[str, tuple], object]:
+        """Map ``(function name, explicit args)`` to return values, for
+        graph-isomorphism assertions in the test suite."""
+        return {
+            (node.func.name, node.explicit_args): node.return_val
+            for node in self._entries.values()
+        }
+
+    def reverse_map_size(self) -> int:
+        return len(self._reverse)

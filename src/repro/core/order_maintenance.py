@@ -1,0 +1,180 @@
+"""Order-maintenance list (Bender, Cole, Demaine, Farach-Colton, Zito 2002).
+
+The DITTO implementation keeps computation-graph nodes "ordered using the
+order maintenance algorithm due to Bender, et al." instead of re-deriving a
+BFS order on every run (paper §3.4).  This module implements the tag/
+relabeling ("list-labeling") variant from that paper: every record carries
+an integer label drawn from a universe of size 2**62; ``order(a, b)`` is a
+label comparison; inserting into a saturated gap relabels the smallest
+enclosing aligned tag range whose density is below a geometrically-falling
+threshold, giving O(log n) amortized insertions.
+
+The engine stamps each computation node with a record at creation time
+(immediately after its parent / previous sibling), yielding a total order
+consistent with the execution order of the check, and uses it to break ties
+when scheduling dirty-node re-execution and return-value propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+#: Labels live in the open interval (0, _UNIVERSE); sentinels take the ends.
+_UNIVERSE = 1 << 62
+#: Density threshold base 1 < T < 2; range at level ``i`` (size ``2**i``)
+#: may be relabeled when its record count is below ``2**i / T**i``.
+_T = 1.5
+
+
+class Record:
+    """One element of an :class:`OrderList`.  Treat as opaque."""
+
+    __slots__ = ("label", "prev", "next", "owner")
+
+    def __init__(self, label: int, owner: "OrderList | None"):
+        self.label = label
+        self.prev: Optional[Record] = None
+        self.next: Optional[Record] = None
+        self.owner = owner
+
+    @property
+    def alive(self) -> bool:
+        return self.owner is not None
+
+    def __repr__(self) -> str:
+        return f"Record(label={self.label})"
+
+
+class OrderList:
+    """A total order supporting O(1) queries and amortized O(log n) inserts.
+
+    ``insert_after(rec)`` / ``insert_before(rec)`` create a new record
+    adjacent to ``rec``; ``order(a, b)`` returns True iff ``a`` precedes
+    ``b``; ``delete(rec)`` removes a record.  The two sentinel endpoints are
+    internal and never exposed.
+    """
+
+    def __init__(self) -> None:
+        self._head = Record(0, None)
+        self._tail = Record(_UNIVERSE, None)
+        self._head.next = self._tail
+        self._tail.prev = self._head
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Record]:
+        rec = self._head.next
+        while rec is not self._tail:
+            assert rec is not None
+            yield rec
+            rec = rec.next
+
+    def insert_first(self) -> Record:
+        """Insert a record before everything else."""
+        return self.insert_after(self._head)
+
+    def insert_last(self) -> Record:
+        """Insert a record after everything else."""
+        assert self._tail.prev is not None
+        return self.insert_after(self._tail.prev)
+
+    def insert_after(self, rec: Record) -> Record:
+        """Insert and return a fresh record immediately after ``rec``."""
+        if rec is not self._head and rec.owner is not self:
+            raise ValueError("record does not belong to this OrderList")
+        nxt = rec.next
+        assert nxt is not None
+        if nxt.label - rec.label < 2:
+            self._rebalance(rec if rec is not self._head else nxt)
+            nxt = rec.next
+            assert nxt is not None
+        new = Record((rec.label + nxt.label) // 2, self)
+        new.prev, new.next = rec, nxt
+        rec.next = new
+        nxt.prev = new
+        self._size += 1
+        return new
+
+    def insert_before(self, rec: Record) -> Record:
+        if rec.owner is not self:
+            raise ValueError("record does not belong to this OrderList")
+        assert rec.prev is not None
+        return self.insert_after(rec.prev)
+
+    def delete(self, rec: Record) -> None:
+        """Remove ``rec`` from the order.  Idempotent."""
+        if rec.owner is not self:
+            return
+        assert rec.prev is not None and rec.next is not None
+        rec.prev.next = rec.next
+        rec.next.prev = rec.prev
+        rec.owner = None
+        rec.prev = rec.next = None
+        self._size -= 1
+
+    def order(self, a: Record, b: Record) -> bool:
+        """True iff ``a`` precedes ``b`` in the list."""
+        if a.owner is not self or b.owner is not self:
+            raise ValueError("record does not belong to this OrderList")
+        return a.label < b.label
+
+    # Internal: Bender-style range relabeling. ------------------------------
+
+    def _rebalance(self, rec: Record) -> None:
+        """Relabel the smallest enclosing aligned tag range around ``rec``
+        whose density is below the level threshold."""
+        pivot_label = rec.label
+        lo = hi = rec
+        count = 1
+        level = 0
+        threshold = 1.0
+        while level < 62:
+            level += 1
+            threshold /= _T
+            size = 1 << level
+            min_label = pivot_label & ~(size - 1)
+            max_label = min_label + size - 1
+            while (
+                lo.prev is not None
+                and lo.prev is not self._head
+                and lo.prev.label >= min_label
+            ):
+                lo = lo.prev
+                count += 1
+            while (
+                hi.next is not None
+                and hi.next is not self._tail
+                and hi.next.label <= max_label
+            ):
+                hi = hi.next
+                count += 1
+            if max_label >= _UNIVERSE:
+                break
+            # Accept the range only if it is sparse enough *and* even
+            # spreading leaves a gap of at least 2, so the pending insert
+            # finds a free midpoint label.
+            if count / size < threshold and size // (count + 1) >= 2:
+                self._relabel_range(lo, count, min_label, size)
+                return
+        # Fall back to relabeling the whole list across the universe.
+        self._relabel_range(
+            self._head.next, self._size, 0, _UNIVERSE  # type: ignore[arg-type]
+        )
+
+    def _relabel_range(
+        self, first: Record, count: int, min_label: int, size: int
+    ) -> None:
+        """Evenly spread ``count`` records starting at ``first`` over the
+        half-open tag range ``[min_label, min_label + size)``, keeping all
+        labels strictly positive (the head sentinel owns label 0)."""
+        gap = size // (count + 1)
+        assert gap >= 1, "tag range too dense to relabel"
+        label = min_label
+        node: Optional[Record] = first
+        for _ in range(count):
+            assert node is not None
+            label += gap
+            node.label = label
+            node = node.next

@@ -1,0 +1,141 @@
+"""The runtime object instrumented check code calls into.
+
+Every engine owns one :class:`Runtime`, bound as ``__ditto_rt__`` in the
+namespace of its compiled check functions (see
+:mod:`repro.instrument.transform`).  The runtime:
+
+* records implicit arguments — ``get_attr`` / ``get_item`` / ``get_len``
+  attribute each heap read to the computation node currently executing
+  (reads made by callees are attributed to the callee, matching
+  Definition 1's "implicit arguments … not … locations read (only) by the
+  callees");
+* is the memoization entry point — ``call`` implements the mode-dependent
+  ``memo`` functions of Figures 6 and 7, including the leaf-call
+  optimization of §4;
+* polices purity of non-check calls (``helper`` / ``method``), the runtime
+  complement of the static whitelist;
+* counts steps for the optional step-limit fallback (§3.5's second remedy
+  for optimistic non-termination).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from .errors import StepLimitExceeded, TrackingError
+from .tracked import TrackedArray, TrackedObject
+from ..instrument.transform import (
+    IMMUTABLE_RECEIVERS,
+    is_pure_helper,
+    is_pure_method,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import DittoEngine
+
+
+class Runtime:
+    """Per-engine services for instrumented check code."""
+
+    __slots__ = ("engine",)
+
+    def __init__(self, engine: "DittoEngine"):
+        self.engine = engine
+
+    # Implicit-argument recording. ---------------------------------------------
+
+    def _step(self) -> None:
+        engine = self.engine
+        engine.steps += 1
+        if (
+            engine.step_limit is not None
+            and engine.in_incremental_run
+            and engine.steps > engine.step_limit
+        ):
+            raise StepLimitExceeded(
+                f"incremental run exceeded {engine.step_limit} steps"
+            )
+
+    def get_attr(self, obj: Any, name: str) -> Any:
+        self._step()
+        engine = self.engine
+        if isinstance(obj, TrackedObject):
+            engine.stats.implicit_reads += 1
+            engine.table.record_implicit(
+                engine.current_node(), obj._ditto_location(name)
+            )
+            return getattr(obj, name)
+        if obj is None or isinstance(obj, IMMUTABLE_RECEIVERS):
+            # None raises AttributeError naturally (the Java NPE analog);
+            # immutable values can be read freely.
+            return getattr(obj, name)
+        if engine.strict:
+            raise TrackingError(
+                f"check read attribute {name!r} of untracked mutable object "
+                f"{type(obj).__name__}; derive it from TrackedObject"
+            )
+        return getattr(obj, name)
+
+    def get_item(self, obj: Any, index: Any) -> Any:
+        self._step()
+        engine = self.engine
+        if isinstance(obj, TrackedArray):
+            if isinstance(index, int) and index < 0:
+                index += len(obj)
+            engine.stats.implicit_reads += 1
+            engine.table.record_implicit(
+                engine.current_node(), obj._ditto_location(index)
+            )
+            return obj[index]
+        if isinstance(obj, (str, bytes, tuple, frozenset, range)):
+            return obj[index]
+        if engine.strict:
+            raise TrackingError(
+                f"check indexed into untracked mutable container "
+                f"{type(obj).__name__}; use TrackedArray/TrackedList"
+            )
+        return obj[index]
+
+    def get_len(self, obj: Any) -> int:
+        self._step()
+        engine = self.engine
+        if isinstance(obj, TrackedArray):
+            engine.stats.implicit_reads += 1
+            engine.table.record_implicit(
+                engine.current_node(), obj._ditto_location("<len>")
+            )
+            return len(obj)
+        if isinstance(obj, (str, bytes, tuple, frozenset, range)):
+            return len(obj)
+        if engine.strict:
+            raise TrackingError(
+                f"check took len() of untracked mutable container "
+                f"{type(obj).__name__}; use TrackedArray/TrackedList"
+            )
+        return len(obj)
+
+    # Calls. ---------------------------------------------------------------------
+
+    def call(self, uid: int, *args: Any) -> Any:
+        self._step()
+        return self.engine.memo_call(uid, args)
+
+    def helper(self, func: Any, *args: Any) -> Any:
+        self._step()
+        if self.engine.strict and not is_pure_helper(func):
+            raise TrackingError(
+                f"check called unregistered helper "
+                f"{getattr(func, '__name__', func)!r}; register it with "
+                f"repro.register_pure_helper if it is pure"
+            )
+        return func(*args)
+
+    def method(self, receiver: Any, name: str, *args: Any) -> Any:
+        self._step()
+        if self.engine.strict and not is_pure_method(receiver, name):
+            raise TrackingError(
+                f"check called method {name!r} on "
+                f"{type(receiver).__name__}; register it with "
+                f"repro.register_pure_method if it is pure"
+            )
+        return getattr(receiver, name)(*args)

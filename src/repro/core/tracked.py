@@ -1,0 +1,296 @@
+"""Write-barrier substrate: tracked objects, tracked arrays, the write log.
+
+The original DITTO injects write barriers into the *bytecode of the whole
+program* and a reference-count header into every class used by invariant
+checks (by re-parenting the class hierarchy onto ``IncObject``).  Python has
+no ambient bytecode hook, so this reproduction asks data structures checked
+by DITTO to derive from :class:`TrackedObject` (and to use
+:class:`TrackedArray` / :class:`TrackedList` where Java code would use
+arrays).  This is the same contract as the paper's ``IncObject`` rewriting:
+every object type an invariant check reads carries the barrier and the
+reference count; the rest of the program is untouched.
+
+Both of the paper's Section 4 barrier optimizations are implemented:
+
+1. **Monitored-field filter** — barriers only *log* writes to fields that
+   some invariant check actually reads (collected by the static analysis at
+   engine-construction time).  Writes to other fields cost one set lookup.
+2. **Reference-count filter** — each tracked container carries a count of
+   live implicit-argument entries (across all engines) that name one of its
+   locations.  A write to a container with a zero count affects no
+   computation node and is not logged.
+
+Mutations that pass both filters append their :class:`~repro.core.locations.
+Location` to the global :class:`WriteLog`.  Each engine keeps a cursor into
+the log and consumes newly-logged locations at the start of its next run;
+the log compacts itself once every registered engine has caught up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from .locations import FieldLocation, IndexLocation, LengthLocation, Location
+
+
+class WriteLog:
+    """Append-only log of mutated heap locations with per-consumer cursors.
+
+    Consumers (engines) register and receive a consumer id; ``consume(cid)``
+    returns every location logged since that consumer's previous call.  A
+    location whose latest log position is still unread by *some* consumer is
+    not appended again (write deduplication); the backing list is compacted
+    whenever all consumers have caught up.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[Location] = []
+        self._cursors: dict[int, int] = {}
+        self._next_cid = 0
+        self._last_pos: dict[Location, int] = {}
+
+    def register(self) -> int:
+        """Register a new consumer; it starts at the current end of the log
+        (pre-existing writes predate the consumer's first run and are seen
+        by that run from scratch anyway)."""
+        cid = self._next_cid
+        self._next_cid += 1
+        self._cursors[cid] = len(self._entries)
+        return cid
+
+    def unregister(self, cid: int) -> None:
+        self._cursors.pop(cid, None)
+        self._compact()
+
+    def append(self, location: Location) -> None:
+        """Log a mutation of ``location`` unless its most recent occurrence
+        is still unread by every consumer."""
+        if not self._cursors:
+            return
+        last = self._last_pos.get(location)
+        if last is not None and last >= max(self._cursors.values()):
+            return
+        self._last_pos[location] = len(self._entries)
+        self._entries.append(location)
+
+    def consume(self, cid: int) -> list[Location]:
+        """Return locations logged since consumer ``cid`` last consumed."""
+        start = self._cursors[cid]
+        pending = self._entries[start:]
+        self._cursors[cid] = len(self._entries)
+        self._compact()
+        return pending
+
+    def _compact(self) -> None:
+        if not self._cursors:
+            low = len(self._entries)
+        else:
+            low = min(self._cursors.values())
+        if low == len(self._entries) and self._entries:
+            self._entries.clear()
+            self._last_pos.clear()
+            for cid in self._cursors:
+                self._cursors[cid] = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class TrackingState:
+    """Process-global tracking state shared by all engines.
+
+    Holds the write log and the union of monitored field names.  Tests call
+    :func:`reset_tracking` to start from a clean slate.
+    """
+
+    def __init__(self) -> None:
+        self.write_log = WriteLog()
+        # field name -> number of engines monitoring it
+        self._monitored_fields: dict[str, int] = {}
+
+    def monitor_fields(self, fields: Iterable[str]) -> None:
+        for f in fields:
+            self._monitored_fields[f] = self._monitored_fields.get(f, 0) + 1
+
+    def unmonitor_fields(self, fields: Iterable[str]) -> None:
+        for f in fields:
+            n = self._monitored_fields.get(f, 0) - 1
+            if n <= 0:
+                self._monitored_fields.pop(f, None)
+            else:
+                self._monitored_fields[f] = n
+
+    def is_monitored(self, field: str) -> bool:
+        return field in self._monitored_fields
+
+    @property
+    def monitored_fields(self) -> frozenset[str]:
+        return frozenset(self._monitored_fields)
+
+
+_state = TrackingState()
+
+
+def tracking_state() -> TrackingState:
+    """Return the process-global :class:`TrackingState`."""
+    return _state
+
+
+def reset_tracking() -> None:
+    """Discard all tracking state (write log, monitored fields).
+
+    Intended for test isolation; engines created before a reset must not be
+    used afterwards.
+    """
+    global _state
+    _state = TrackingState()
+
+
+class TrackedObject:
+    """Base class for heap objects read by DITTO invariant checks.
+
+    Mirrors the paper's ``IncObject``: carries a reference-count header and
+    a write barrier.  Assigning to an attribute of an instance whose
+    reference count is positive *and* whose attribute name is read by some
+    check logs the mutated :class:`FieldLocation` into the global write log.
+
+    Attributes whose names start with ``_`` are never monitored, so internal
+    bookkeeping writes are cheap and invisible to the engines.
+    """
+
+    _ditto_refcount = 0
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if (
+            self._ditto_refcount > 0
+            and name[0] != "_"
+            and _state.is_monitored(name)
+        ):
+            _state.write_log.append(self._ditto_location(name))
+        object.__setattr__(self, name, value)
+
+    def _ditto_location(self, name: str) -> FieldLocation:
+        """Interned :class:`FieldLocation` for ``self.<name>`` — one object
+        per (container, field), shared by write barriers and implicit-read
+        recording so the hot paths skip Location construction/hashing."""
+        cache = self.__dict__.get("_ditto_loc_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_ditto_loc_cache", cache)
+        location = cache.get(name)
+        if location is None:
+            location = FieldLocation(self, name)
+            cache[name] = location
+        return location
+
+    # Reference-count maintenance (called by the memo table). ---------------
+
+    def _ditto_incref(self) -> None:
+        object.__setattr__(self, "_ditto_refcount", self._ditto_refcount + 1)
+
+    def _ditto_decref(self) -> None:
+        object.__setattr__(self, "_ditto_refcount", self._ditto_refcount - 1)
+
+
+class TrackedArray:
+    """Fixed-length array with write barriers on element stores.
+
+    The Python analog of a Java array used by a check (hash-table buckets,
+    the Netcols grid, ``reserved_names``).  Reading is plain indexing; the
+    instrumented check records :class:`IndexLocation` /
+    :class:`LengthLocation` implicit arguments through the runtime.
+    """
+
+    def __init__(self, initial: Iterable[Any] | int, fill: Any = None):
+        if isinstance(initial, int):
+            self._items: list[Any] = [fill] * initial
+        else:
+            self._items = list(initial)
+        self._ditto_refcount = 0
+        self._ditto_loc_cache: dict[Any, Location] = {}
+
+    def __getitem__(self, index: int) -> Any:
+        return self._items[index]
+
+    def _ditto_location(self, index: "int | str") -> Location:
+        """Interned :class:`IndexLocation` (or, for the key ``"<len>"``,
+        :class:`LengthLocation`) — see ``TrackedObject._ditto_location``."""
+        location = self._ditto_loc_cache.get(index)
+        if location is None:
+            if index == "<len>":
+                location = LengthLocation(self)
+            else:
+                location = IndexLocation(self, index)
+            self._ditto_loc_cache[index] = location
+        return location
+
+    def __setitem__(self, index: int, value: Any) -> None:
+        if self._ditto_refcount > 0:
+            if index < 0:
+                index += len(self._items)
+            _state.write_log.append(self._ditto_location(index))
+        self._items[index] = value
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:
+        return f"TrackedArray({self._items!r})"
+
+    def fill(self, value: Any) -> None:
+        """Set every slot to ``value`` (bulk store, one barrier per slot)."""
+        for i in range(len(self._items)):
+            self[i] = value
+
+    def _ditto_incref(self) -> None:
+        self._ditto_refcount += 1
+
+    def _ditto_decref(self) -> None:
+        self._ditto_refcount -= 1
+
+
+class TrackedList(TrackedArray):
+    """Growable tracked sequence.
+
+    Structural operations (append/pop/insert/remove) log the length location
+    and every element slot they shift, so a check that reads ``len`` or
+    iterates by index is correctly re-run.
+    """
+
+    def append(self, value: Any) -> None:
+        if self._ditto_refcount > 0:
+            _state.write_log.append(self._ditto_location("<len>"))
+            _state.write_log.append(self._ditto_location(len(self._items)))
+        self._items.append(value)
+
+    def pop(self, index: int = -1) -> Any:
+        if index < 0:
+            index += len(self._items)
+        if self._ditto_refcount > 0:
+            _state.write_log.append(self._ditto_location("<len>"))
+            for i in range(index, len(self._items)):
+                _state.write_log.append(self._ditto_location(i))
+        return self._items.pop(index)
+
+    def insert(self, index: int, value: Any) -> None:
+        if index < 0:
+            index += len(self._items)
+        if self._ditto_refcount > 0:
+            _state.write_log.append(self._ditto_location("<len>"))
+            for i in range(index, len(self._items) + 1):
+                _state.write_log.append(self._ditto_location(i))
+        self._items.insert(index, value)
+
+    def remove(self, value: Any) -> None:
+        self.pop(self._items.index(value))
+
+    def __repr__(self) -> str:
+        return f"TrackedList({self._items!r})"
+
+
+def is_tracked(obj: Any) -> bool:
+    """True if ``obj`` participates in write-barrier tracking."""
+    return isinstance(obj, (TrackedObject, TrackedArray))

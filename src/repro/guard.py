@@ -1,0 +1,141 @@
+"""Invariant guards: the paper's method-entry/exit checking pattern.
+
+Figure 1 calls ``invariants()`` at the entry and exit of every mutating
+method: "The former ensures that the invariant is maintained by
+modifications performed from outside the class … The latter ensures that
+the list operation itself maintains the invariant."  This module packages
+that pattern around a :class:`~repro.core.engine.DittoEngine`:
+
+* :class:`InvariantGuard` — owns an engine for one check entry point;
+  ``check(*args)`` runs it and raises :class:`InvariantViolation` on
+  failure; ``guarding(*args)`` is a with-block that checks on entry *and*
+  exit.
+* :func:`guarded` — a method decorator for data-structure classes::
+
+      class OrderedIntList(TrackedObject):
+          @guarded(is_ordered, args=lambda self: (self.head,))
+          def insert(self, value):
+              ...
+
+  Every call to ``insert`` now checks ``is_ordered`` incrementally before
+  and after the body, at DITTO cost instead of full-traversal cost.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional
+
+from .core.engine import DittoEngine
+from .core.errors import DittoError
+from .instrument.registry import CheckFunction, check as as_check
+
+
+class InvariantViolation(DittoError):
+    """An invariant check returned a failing result."""
+
+    def __init__(self, check_name: str, args: tuple, result: Any,
+                 moment: str = "check"):
+        self.check_name = check_name
+        self.args = args
+        self.result = result
+        self.moment = moment
+        super().__init__(
+            f"invariant {check_name!r} violated at {moment} "
+            f"(returned {result!r})"
+        )
+
+
+def _failed(result: Any) -> bool:
+    """A check fails on False, and on the error values used by
+    checkBlackDepth-style integer checks (-1)."""
+    return result is False or result == -1
+
+
+class InvariantGuard:
+    """Runs one invariant check incrementally and escalates failures."""
+
+    def __init__(
+        self,
+        entry: CheckFunction,
+        mode: str = "ditto",
+        on_violation: str = "raise",
+        failed: Optional[Callable[[Any], bool]] = None,
+        **engine_options: Any,
+    ):
+        if on_violation not in ("raise", "record"):
+            raise ValueError("on_violation must be 'raise' or 'record'")
+        self.entry = as_check(entry)
+        self.engine = DittoEngine(self.entry, mode=mode, **engine_options)
+        self.on_violation = on_violation
+        self.violations: list[InvariantViolation] = []
+        self._failed = failed if failed is not None else _failed
+        self.checks_run = 0
+
+    def check(self, *args: Any, moment: str = "check") -> Any:
+        """Run the check; raise or record on a failing result."""
+        result = self.engine.run(*args)
+        self.checks_run += 1
+        if self._failed(result):
+            violation = InvariantViolation(
+                self.entry.name, args, result, moment
+            )
+            if self.on_violation == "raise":
+                raise violation
+            self.violations.append(violation)
+        return result
+
+    @contextmanager
+    def guarding(self, *args: Any) -> Iterator["InvariantGuard"]:
+        """Check the invariant at block entry and block exit (the paper's
+        method-entry/exit discipline).  The exit check runs only when the
+        body did not itself raise, so the body's own exception is not
+        masked."""
+        self.check(*args, moment="entry")
+        yield self
+        self.check(*args, moment="exit")
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "InvariantGuard":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def guarded(
+    entry: CheckFunction,
+    args: Callable[[Any], tuple] = lambda self: (self,),
+    mode: str = "ditto",
+    **engine_options: Any,
+) -> Callable:
+    """Decorate a mutating method so the invariant is checked incrementally
+    at its entry and exit.
+
+    One shared :class:`InvariantGuard` (and hence one engine/graph) is
+    created per decorated class, lazily on first call, and stored on the
+    class as ``_ditto_guard_<check name>``.
+    """
+    entry = as_check(entry)
+    attr = f"_ditto_guard_{entry.name}"
+
+    def decorate(method: Callable) -> Callable:
+        @functools.wraps(method)
+        def wrapper(self, *call_args: Any, **call_kwargs: Any) -> Any:
+            guard = getattr(type(self), attr, None)
+            if guard is None:
+                guard = InvariantGuard(entry, mode=mode, **engine_options)
+                setattr(type(self), attr, guard)
+            guard.check(*args(self), moment=f"entry of {method.__name__}")
+            result = method(self, *call_args, **call_kwargs)
+            # Recompute the check arguments: the method may have replaced
+            # the root (e.g. a new list head).
+            guard.check(*args(self), moment=f"exit of {method.__name__}")
+            return result
+
+        return wrapper
+
+    return decorate

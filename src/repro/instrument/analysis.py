@@ -1,0 +1,459 @@
+"""Static analysis of check functions.
+
+Two jobs, both from the paper:
+
+1. **Admissibility** (Definition 2 + §3.5).  A check must be side-effect
+   free (no heap writes, no impure calls, no escaping mutable allocations)
+   and must satisfy the optimistic-memoization restriction: *no loop
+   conditional or function call may depend — via data or control flow — on a
+   callee return value*.  The paper notes this analysis "is fairly trivial
+   because aliasing is impossible in a side-effect-free function"; ours is a
+   syntax-directed taint analysis over the function body, iterated to a
+   fixpoint so taint flows around loops.  Taint sources are the results of
+   calls to other ``@check`` functions (the values optimistic memoization
+   may serve stale).  Violations:
+
+   * a ``while`` test or ``for`` loop that is tainted or control-dependent
+     on taint;
+   * a call whose argument expressions are tainted;
+   * a call control-dependent on taint — an ``if``/``while`` body guarded by
+     a tainted test, the tail operands of a short-circuit ``and``/``or``
+     whose earlier operands are tainted, or a conditional expression with a
+     tainted condition.  (This is exactly why the paper's checks compute
+     ``b1``/``b2`` first and combine them afterwards.)
+
+2. **Barrier planning** (§4).  Collect the set of object field names the
+   check reads, so write barriers only log stores to those fields.
+
+The analysis also enforces the supported check subset: positional-only
+plain functions; statements limited to returns, local assignments,
+``if``/``while``/``for i in range(...)``, ``assert``/``raise``/``pass``/
+``break``/``continue``; no comprehensions, lambdas, ``in`` tests, nested
+definitions, try/with/import/global/del, starred or keyword arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..core.errors import CheckRestrictionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .registry import CheckFunction
+
+#: Builtins a check may call freely (pure, total on valid inputs).
+PURE_BUILTINS = frozenset(
+    {
+        "abs",
+        "min",
+        "max",
+        "ord",
+        "chr",
+        "int",
+        "float",
+        "bool",
+        "str",
+        "round",
+        "isinstance",
+        "hash",
+        "divmod",
+        "pow",
+        "range",
+        "len",
+    }
+)
+
+#: Statement forms rejected outright, with their diagnostic messages.
+_DISALLOWED_STMTS: dict[type, str] = {
+    ast.Import: "import statements are not allowed in checks",
+    ast.ImportFrom: "import statements are not allowed in checks",
+    ast.Global: "global declarations are not allowed in checks",
+    ast.Nonlocal: "nonlocal declarations are not allowed in checks",
+    ast.Delete: "del statements are not allowed in checks",
+    ast.With: "with blocks are not allowed in checks",
+    ast.Try: "try blocks are not allowed in checks",
+    ast.ClassDef: "nested class definitions are not allowed in checks",
+    ast.FunctionDef: "nested function definitions are not allowed in checks",
+    ast.AsyncFunctionDef: "async functions are not allowed in checks",
+    ast.Match: "match statements are not allowed in checks",
+}
+
+
+@dataclass
+class CheckAnalysis:
+    """Results of analyzing one check function."""
+
+    name: str
+    #: Object field names read by the check (monitored-field optimization).
+    fields_read: set[str] = field(default_factory=set)
+    #: Whether the check indexes into arrays / reads lengths.
+    reads_indices: bool = False
+    reads_len: bool = False
+    #: Names invoked via plain calls (check callees and helpers).
+    called_names: set[str] = field(default_factory=set)
+    #: Global names read (documented as assumed-constant bindings).
+    globals_read: set[str] = field(default_factory=set)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def analyze_check(func: "CheckFunction") -> CheckAnalysis:
+    """Analyze ``func``; raises :class:`CheckRestrictionError` on violations."""
+    tree = func.tree()
+    analysis = CheckAnalysis(name=func.name)
+    _check_signature(tree, analysis)
+    visitor = _Visitor(func, analysis)
+    # Fixpoint over the taint set (taint can flow around loop back-edges);
+    # violations are reported only on the final, stable pass.
+    previous: set[str] = set()
+    for _ in range(len(visitor.locals_hint) + 2):
+        visitor.begin_pass(report=False)
+        for stmt in tree.body:
+            visitor.visit(stmt)
+        if visitor.tainted == previous:
+            break
+        previous = set(visitor.tainted)
+    visitor.begin_pass(report=True)
+    for stmt in tree.body:
+        visitor.visit(stmt)
+    if analysis.violations:
+        raise CheckRestrictionError(func.name, analysis.violations)
+    return analysis
+
+
+def _check_signature(tree: ast.FunctionDef, analysis: CheckAnalysis) -> None:
+    args = tree.args
+    problems = []
+    if args.vararg or args.kwarg:
+        problems.append("*args/**kwargs parameters are not supported")
+    if args.kwonlyargs:
+        problems.append("keyword-only parameters are not supported")
+    if args.defaults or args.kw_defaults:
+        problems.append("parameter defaults are not supported")
+    if args.posonlyargs:
+        problems.append("positional-only markers are not supported")
+    analysis.violations.extend(problems)
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-function walker computing taint, reads, and violations."""
+
+    def __init__(self, func: "CheckFunction", analysis: CheckAnalysis):
+        self.func = func
+        self.analysis = analysis
+        self.tree = func.tree()
+        self.params = {a.arg for a in self.tree.args.args}
+        self.locals_hint = {
+            n.id
+            for n in ast.walk(self.tree)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store)
+        }
+        self.tainted: set[str] = set()
+        self.report = False
+        self.guard_depth = 0  # nesting inside taint-guarded control flow
+
+    def begin_pass(self, report: bool) -> None:
+        self.report = report
+        self.guard_depth = 0
+
+    # Helpers. ----------------------------------------------------------------
+
+    def _violation(self, node: ast.AST, message: str) -> None:
+        if self.report:
+            line = getattr(node, "lineno", "?")
+            self.analysis.violations.append(f"line {line}: {message}")
+
+    def _is_check_call(self, node: ast.Call) -> bool:
+        from .registry import CheckFunction
+
+        if isinstance(node.func, ast.Name):
+            target = self.func.lookup_name(node.func.id)
+            return isinstance(target, CheckFunction)
+        return False
+
+    def _expr_tainted(self, node: ast.AST) -> bool:
+        """True if evaluating ``node`` can observe a callee return value."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                if sub.id in self.tainted:
+                    return True
+            elif isinstance(sub, ast.Call) and self._is_check_call(sub):
+                return True
+        return False
+
+    @staticmethod
+    def _contains_call(node: ast.AST) -> bool:
+        return any(isinstance(sub, ast.Call) for sub in ast.walk(node))
+
+    def _visit_guarded(self, stmts: list[ast.stmt], guarded: bool) -> None:
+        if guarded:
+            self.guard_depth += 1
+        for stmt in stmts:
+            self.visit(stmt)
+        if guarded:
+            self.guard_depth -= 1
+
+    # Statements. ---------------------------------------------------------------
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for klass, message in _DISALLOWED_STMTS.items():
+            if isinstance(node, klass):
+                self._violation(node, message)
+                return
+        super().generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        value_tainted = self._expr_tainted(node.value)
+        for target in node.targets:
+            self._assign_target(target, value_tainted)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+            self._assign_target(target=node.target,
+                                tainted=self._expr_tainted(node.value))
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        if not isinstance(node.target, ast.Name):
+            self._violation(
+                node, "augmented assignment to a heap location (side effect)"
+            )
+            return
+        if self._expr_tainted(node.value):
+            self.tainted.add(node.target.id)
+
+    def _assign_target(self, target: ast.AST, tainted: bool) -> None:
+        if isinstance(target, ast.Name):
+            if tainted or self.guard_depth > 0:
+                self.tainted.add(target.id)
+            elif target.id in self.tainted:
+                # Re-assignment with a clean value launders the taint only
+                # outside taint-guarded control flow.
+                self.tainted.discard(target.id)
+        elif isinstance(target, ast.Tuple):
+            for elt in target.elts:
+                self._assign_target(elt, tainted)
+        else:
+            self._violation(
+                target, "assignment to a heap location (side effect)"
+            )
+
+    def visit_If(self, node: ast.If) -> None:
+        self.visit(node.test)
+        guarded = self._expr_tainted(node.test)
+        # Path-insensitive join: taint after the statement is the union of
+        # the branch taints (a clean assignment in one branch must not
+        # launder taint acquired in the other).
+        before = set(self.tainted)
+        self._visit_guarded(node.body, guarded)
+        after_body = self.tainted
+        self.tainted = set(before)
+        self._visit_guarded(node.orelse, guarded)
+        self.tainted |= after_body
+
+    def visit_While(self, node: ast.While) -> None:
+        if self._expr_tainted(node.test) or self.guard_depth > 0:
+            self._violation(
+                node,
+                "loop conditional depends on a callee return value "
+                "(forbidden by the optimistic-memoization restriction)",
+            )
+        self.visit(node.test)
+        # The body repeats under the loop test; treat it as guarded when the
+        # test is tainted (already a violation) — visit normally otherwise.
+        # The body may run zero times, so taint surviving from before the
+        # loop is unioned back in (no laundering through loop bodies).
+        before = set(self.tainted)
+        self._visit_guarded(node.body, guarded=False)
+        self._visit_guarded(node.orelse, guarded=False)
+        self.tainted |= before
+
+    def visit_For(self, node: ast.For) -> None:
+        iter_ok = (
+            isinstance(node.iter, ast.Call)
+            and isinstance(node.iter.func, ast.Name)
+            and node.iter.func.id == "range"
+        )
+        if not iter_ok:
+            self._violation(
+                node,
+                "for-loops may only iterate over range(...); iterate "
+                "recursively over data structures instead",
+            )
+        if self._expr_tainted(node.iter) or self.guard_depth > 0:
+            self._violation(
+                node,
+                "loop bounds depend on a callee return value "
+                "(forbidden by the optimistic-memoization restriction)",
+            )
+        for arg in getattr(node.iter, "args", []):
+            self.visit(arg)
+        if isinstance(node.target, ast.Name):
+            self.tainted.discard(node.target.id)
+        else:
+            self._violation(node.target, "for-loop target must be a name")
+        before = set(self.tainted)
+        self._visit_guarded(node.body, guarded=False)
+        self._visit_guarded(node.orelse, guarded=False)
+        self.tainted |= before  # the body may run zero times
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+
+    # Expressions. ---------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if node.keywords:
+            self._violation(node, "keyword arguments are not supported")
+        if any(isinstance(a, ast.Starred) for a in node.args):
+            self._violation(node, "starred arguments are not supported")
+        if self.guard_depth > 0:
+            self._violation(
+                node,
+                "call is control-dependent on a callee return value "
+                "(forbidden by the optimistic-memoization restriction)",
+            )
+        for arg in node.args:
+            if self._expr_tainted(arg):
+                self._violation(
+                    node,
+                    "call argument depends on a callee return value "
+                    "(forbidden by the optimistic-memoization restriction)",
+                )
+                break
+        if isinstance(node.func, ast.Name):
+            self.analysis.called_names.add(node.func.id)
+            if node.func.id == "len":
+                self.analysis.reads_len = True
+        elif isinstance(node.func, ast.Attribute):
+            # Method call: the receiver expression is visited (its reads
+            # count); the method attribute itself is not a field read.
+            self.visit(node.func.value)
+            for arg in node.args:
+                self.visit(arg)
+            return
+        else:
+            self._violation(node, "unsupported call target")
+        for arg in node.args:
+            self.visit(arg)
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        earlier_tainted = False
+        for operand in node.values:
+            if earlier_tainted and self._contains_call(operand):
+                self._violation(
+                    operand,
+                    "short-circuit operand containing a call is guarded by "
+                    "a callee return value; compute both operands first "
+                    "(e.g. b1 = f(...); b2 = g(...); return b1 and b2)",
+                )
+            self._visit_guarded_expr(operand, earlier_tainted)
+            if self._expr_tainted(operand):
+                earlier_tainted = True
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self.visit(node.test)
+        guarded = self._expr_tainted(node.test)
+        self._visit_guarded_expr(node.body, guarded)
+        self._visit_guarded_expr(node.orelse, guarded)
+
+    def _visit_guarded_expr(self, node: ast.AST, guarded: bool) -> None:
+        if guarded:
+            self.guard_depth += 1
+        self.visit(node)
+        if guarded:
+            self.guard_depth -= 1
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        for op in node.ops:
+            if isinstance(op, (ast.In, ast.NotIn)):
+                self._violation(
+                    node,
+                    "membership tests read an unbounded set of locations; "
+                    "write a recursive search instead",
+                )
+        self.visit(node.left)
+        for comp in node.comparators:
+            self.visit(comp)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Store):
+            self._violation(node, "store to an object field (side effect)")
+        elif isinstance(node.ctx, ast.Del):
+            self._violation(node, "deletion of an object field (side effect)")
+        else:
+            self.analysis.fields_read.add(node.attr)
+        self.visit(node.value)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.ctx, ast.Store):
+            self._violation(node, "store to a container slot (side effect)")
+        elif isinstance(node.ctx, ast.Del):
+            self._violation(node, "deletion of a container slot (side effect)")
+        else:
+            self.analysis.reads_indices = True
+        if isinstance(node.slice, ast.Slice):
+            self._violation(node, "slicing is not supported in checks")
+        self.visit(node.value)
+        self.visit(node.slice)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            if (
+                node.id not in self.params
+                and node.id not in self.locals_hint
+                and node.id not in PURE_BUILTINS
+            ):
+                self.analysis.globals_read.add(node.id)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._violation(node, "lambdas are not allowed in checks")
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._violation(node, "comprehensions are not allowed in checks")
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._violation(node, "comprehensions are not allowed in checks")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._violation(node, "comprehensions are not allowed in checks")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._violation(node, "generator expressions are not allowed in checks")
+
+    def visit_List(self, node: ast.List) -> None:
+        self._violation(
+            node, "list allocation in a check (mutable value could escape)"
+        )
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self._violation(
+            node, "dict allocation in a check (mutable value could escape)"
+        )
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._violation(
+            node, "set allocation in a check (mutable value could escape)"
+        )
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self._violation(node, "generators are not allowed in checks")
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self._violation(node, "generators are not allowed in checks")
+
+    def visit_Await(self, node: ast.Await) -> None:
+        self._violation(node, "await is not allowed in checks")
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        self.visit(node.value)
+        if self._expr_tainted(node.value) or self.guard_depth > 0:
+            self.tainted.add(node.target.id)

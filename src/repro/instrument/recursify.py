@@ -1,0 +1,359 @@
+"""Automatic conversion of iterative checks into recursive ones.
+
+DITTO "memoizes the computation at the level of function invocations, so
+recursive checks are more efficient than iterative ones.  Most iterative
+invariant checks can be rewritten without loss of clarity into recursive
+checks" (paper §2).  This module mechanizes that rewriting for the two
+canonical loop shapes iterative checks take:
+
+**Predicate loops** — scan with early exit, constant fall-through::
+
+    def all_positive(h):
+        for i in range(len(h.items)):
+            if h.items[i] is not None and h.items[i] <= 0:
+                return False
+        return True
+
+becomes::
+
+    def all_positive(h):
+        return __loop_all_positive(h, 0)
+
+    def __loop_all_positive(h, i):
+        if i >= len(h.items):
+            return True
+        if h.items[i] is not None and h.items[i] <= 0:
+            return False
+        return __loop_all_positive(h, i + 1)
+
+**Accumulator loops** — fold without early exit::
+
+    def count_filled(h):
+        total = 0
+        for i in range(len(h.items)):
+            if h.items[i] is not None:
+                total = total + 1
+        return total
+
+becomes a helper threading ``total`` as an explicit argument and returning
+the final accumulator, with the original return expression evaluated on the
+result.
+
+Both rewrites yield plain ``@check``-compatible functions: one memo-table
+node per loop iteration, so a mutation re-runs only the iterations whose
+slots changed instead of the whole loop.
+
+Supported input shape (checked, with precise errors otherwise):
+
+* zero or more simple initial assignments (``name = expr``);
+* exactly one ``for <name> in range(stop)`` / ``range(start, stop)`` loop
+  (step 1); the ``stop`` expression is re-evaluated each iteration, so
+  container length changes behave exactly like a hand-written recursive
+  check reading ``len`` per invocation;
+* a single trailing ``return`` statement;
+* predicate form: the loop body may ``return`` or ``continue``, and must
+  not assign anything used after the loop;
+* accumulator form: the body assigns accumulator variables but contains no
+  ``return``;
+* no ``break``, ``while``, or nested loops.
+
+Use :func:`recursify` to transform a plain function and get back a
+registered :class:`~repro.instrument.registry.CheckFunction` entry point
+(the helper is registered automatically).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import itertools
+import linecache
+import textwrap
+from typing import Callable
+
+_module_counter = itertools.count(1)
+
+from ..core.errors import InstrumentationError
+from .registry import CheckFunction, check
+
+
+class RecursifyError(InstrumentationError):
+    """The function does not match the supported iterative-check shape."""
+
+
+def _parse(func: Callable) -> ast.FunctionDef:
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+    except (OSError, TypeError) as exc:
+        raise RecursifyError(
+            f"cannot read source of {func.__name__!r}: {exc}"
+        ) from exc
+    tree = ast.parse(source).body[0]
+    if not isinstance(tree, ast.FunctionDef):
+        raise RecursifyError("recursify expects a plain function")
+    tree.decorator_list = []
+    return tree
+
+
+def _split_body(
+    tree: ast.FunctionDef,
+) -> tuple[list[ast.Assign], ast.For, ast.Return]:
+    """Split the body into (initial assignments, the loop, the return)."""
+    inits: list[ast.Assign] = []
+    body = list(tree.body)
+    # Drop a leading docstring.
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    while body and isinstance(body[0], ast.Assign):
+        stmt = body[0]
+        if len(stmt.targets) != 1 or not isinstance(
+            stmt.targets[0], ast.Name
+        ):
+            raise RecursifyError(
+                "initial assignments must bind a single name"
+            )
+        inits.append(stmt)
+        body = body[1:]
+    if not body or not isinstance(body[0], ast.For):
+        raise RecursifyError(
+            "expected exactly one for-loop after the initial assignments"
+        )
+    loop = body[0]
+    rest = body[1:]
+    if len(rest) != 1 or not isinstance(rest[0], ast.Return):
+        raise RecursifyError(
+            "expected a single return statement after the loop"
+        )
+    if loop.orelse:
+        raise RecursifyError("for/else is not supported")
+    return inits, loop, rest[0]
+
+
+def _range_bounds(loop: ast.For) -> tuple[ast.expr, ast.expr]:
+    """Return (start, stop) expressions of a step-1 range loop."""
+    if not isinstance(loop.target, ast.Name):
+        raise RecursifyError("loop target must be a single name")
+    call = loop.iter
+    if not (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Name)
+        and call.func.id == "range"
+        and not call.keywords
+    ):
+        raise RecursifyError("loop must iterate over range(...)")
+    if len(call.args) == 1:
+        return ast.Constant(0), call.args[0]
+    if len(call.args) == 2:
+        return call.args[0], call.args[1]
+    raise RecursifyError("range step is not supported")
+
+
+def _names_assigned(stmts: list[ast.stmt]) -> set[str]:
+    names: set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                names.add(node.target.id)
+    return names
+
+
+def _contains(stmts: list[ast.stmt], kinds: tuple[type, ...]) -> bool:
+    return any(
+        isinstance(node, kinds)
+        for stmt in stmts
+        for node in ast.walk(stmt)
+    )
+
+
+class _ContinueRewriter(ast.NodeTransformer):
+    """Replace ``continue`` with the recursive tail call."""
+
+    def __init__(self, tail: Callable[[], ast.Return]):
+        self.make_tail = tail
+
+    def visit_Continue(self, node: ast.Continue) -> ast.AST:
+        return ast.copy_location(self.make_tail(), node)
+
+    # Don't descend into nested loops (rejected earlier anyway).
+    def visit_For(self, node: ast.For) -> ast.AST:  # pragma: no cover
+        return node
+
+
+def recursify(func: Callable, name: str | None = None) -> CheckFunction:
+    """Transform an iterative check into recursive ``@check`` functions and
+    return the registered entry point."""
+    tree = _parse(func)
+    fname = name or tree.name
+    inits, loop, trailing_return = _split_body(tree)
+    start, stop = _range_bounds(loop)
+    loop_var = loop.target.id  # type: ignore[union-attr]
+    params = [a.arg for a in tree.args.args]
+    if tree.args.vararg or tree.args.kwarg or tree.args.defaults:
+        raise RecursifyError("only plain positional parameters supported")
+    if _contains(loop.body, (ast.For, ast.While)):
+        raise RecursifyError("nested loops are not supported")
+    if _contains(loop.body, (ast.Break,)):
+        raise RecursifyError("break is not supported; use return")
+
+    has_return = _contains(loop.body, (ast.Return,))
+    accumulators = sorted(
+        _names_assigned(loop.body) - {loop_var}
+    )
+    helper_name = f"__loop_{fname}"
+
+    if has_return and accumulators:
+        raise RecursifyError(
+            "loops mixing early returns with accumulator updates are not "
+            "supported; split the check"
+        )
+
+    if has_return:
+        module_source = _predicate_form(
+            fname, helper_name, params, loop_var, start, stop,
+            inits, loop.body, trailing_return,
+        )
+    else:
+        module_source = _accumulator_form(
+            fname, helper_name, params, loop_var, start, stop,
+            inits, loop.body, trailing_return, accumulators,
+        )
+
+    namespace: dict = dict(getattr(func, "__globals__", {}))
+    # Register the generated module in linecache so inspect.getsource (used
+    # by the instrumentation pipeline) can read the new functions.
+    filename = f"<recursify:{fname}:{next(_module_counter)}>"
+    linecache.cache[filename] = (
+        len(module_source),
+        None,
+        module_source.splitlines(keepends=True),
+        filename,
+    )
+    code = compile(ast.parse(module_source), filename=filename, mode="exec")
+    exec(code, namespace)
+    helper = check(namespace[helper_name])
+    namespace[helper_name] = helper
+    entry = check(namespace[fname])
+    # The entry's compiled body resolves the helper through this namespace.
+    entry.original.__globals__[helper_name] = helper
+    return entry
+
+
+def _tail_call(helper_name: str, params: list[str], loop_var: str,
+               accumulators: list[str]) -> str:
+    args = ", ".join(params + [f"{loop_var} + 1"] + accumulators)
+    return f"return {helper_name}({args})"
+
+
+def _predicate_form(
+    fname: str,
+    helper_name: str,
+    params: list[str],
+    loop_var: str,
+    start: ast.expr,
+    stop: ast.expr,
+    inits: list[ast.Assign],
+    body: list[ast.stmt],
+    trailing_return: ast.Return,
+) -> str:
+    if inits:
+        raise RecursifyError(
+            "predicate-form loops must not have initial assignments"
+        )
+    if trailing_return.value is None or not isinstance(
+        trailing_return.value, ast.Constant
+    ):
+        raise RecursifyError(
+            "predicate-form fall-through return must be a constant"
+        )
+    fall_through = ast.unparse(trailing_return.value)
+
+    def make_tail() -> ast.Return:
+        call = ast.parse(
+            f"{helper_name}({', '.join(params + [f'{loop_var} + 1'])})"
+        ).body[0].value  # type: ignore[attr-defined]
+        return ast.Return(value=call)
+
+    rewritten = [
+        _ContinueRewriter(make_tail).visit(stmt) for stmt in body
+    ]
+    body_src = "\n".join(
+        textwrap.indent(ast.unparse(stmt), "    ") for stmt in rewritten
+    )
+    head_args = ", ".join(params)
+    helper_args = ", ".join(params + [loop_var])
+    return (
+        f"def {fname}({head_args}):\n"
+        f"    return {helper_name}({', '.join(params)}, "
+        f"{ast.unparse(start)})\n"
+        f"\n"
+        f"def {helper_name}({helper_args}):\n"
+        f"    if {loop_var} >= {ast.unparse(stop)}:\n"
+        f"        return {fall_through}\n"
+        f"{body_src}\n"
+        f"    return {helper_name}({', '.join(params)}, {loop_var} + 1)\n"
+    )
+
+
+def _accumulator_form(
+    fname: str,
+    helper_name: str,
+    params: list[str],
+    loop_var: str,
+    start: ast.expr,
+    stop: ast.expr,
+    inits: list[ast.Assign],
+    body: list[ast.stmt],
+    trailing_return: ast.Return,
+    accumulators: list[str],
+) -> str:
+    if not accumulators:
+        raise RecursifyError(
+            "accumulator-form loop assigns no variables; nothing to fold"
+        )
+    init_names = [stmt.targets[0].id for stmt in inits]  # type: ignore
+    missing = [a for a in accumulators if a not in init_names]
+    if missing:
+        raise RecursifyError(
+            f"accumulators {missing} are not initialized before the loop"
+        )
+    if trailing_return.value is None:
+        raise RecursifyError("the trailing return must return a value")
+
+    body_src = "\n".join(
+        textwrap.indent(ast.unparse(stmt), "    ") for stmt in body
+    )
+    init_src = "\n".join(
+        textwrap.indent(ast.unparse(stmt), "    ") for stmt in inits
+    )
+    acc_tuple = ", ".join(accumulators)
+    if len(accumulators) > 1:
+        unpack = f"({acc_tuple})"
+        result_expr = f"({acc_tuple})"
+    else:
+        unpack = acc_tuple
+        result_expr = acc_tuple
+    head_args = ", ".join(params)
+    helper_args = ", ".join(params + [loop_var] + accumulators)
+    tail = _tail_call(helper_name, params, loop_var, accumulators)
+    return (
+        f"def {fname}({head_args}):\n"
+        f"{init_src}\n"
+        f"    {unpack} = {helper_name}({', '.join(params)}, "
+        f"{ast.unparse(start)}, {acc_tuple})\n"
+        f"    return {ast.unparse(trailing_return.value)}\n"
+        f"\n"
+        f"def {helper_name}({helper_args}):\n"
+        f"    if {loop_var} >= {ast.unparse(stop)}:\n"
+        f"        return {result_expr}\n"
+        f"{body_src}\n"
+        f"    {tail}\n"
+    )

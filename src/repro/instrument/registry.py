@@ -1,0 +1,162 @@
+"""Check-function registry and the :func:`check` decorator.
+
+A *data structure invariant check* (Definition 2) is a set of potentially
+recursive, side-effect-free functions.  Programmers mark each function with
+``@check``::
+
+    @check
+    def is_ordered(e):
+        if e is None:
+            return True
+        ...
+        return is_ordered(e.next)
+
+``@check`` returns a :class:`CheckFunction` wrapper that
+
+* still behaves like the original function when called directly (so the
+  un-incrementalized check remains runnable — that is the paper's "standard
+  invariant checks" baseline), and
+* carries everything the instrumentation pipeline needs: the source AST,
+  a stable uid, the static-analysis results (computed lazily), and a cache
+  of compiled instrumented code per engine configuration.
+
+Check functions must be plain module-level functions with positional
+parameters only; the supported language subset is enforced by
+:mod:`repro.instrument.analysis`.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import itertools
+import textwrap
+from typing import Any, Callable, Optional
+
+from ..core.errors import InstrumentationError
+
+_uid_counter = itertools.count(1)
+
+
+class CheckFunction:
+    """Wrapper for one function participating in an invariant check."""
+
+    def __init__(self, func: Callable):
+        if not inspect.isfunction(func):
+            raise InstrumentationError(
+                f"@check requires a plain function, got {func!r}"
+            )
+        self.original = func
+        self.name = func.__name__
+        self.qualname = func.__qualname__
+        self.uid = next(_uid_counter)
+        self._tree: Optional[ast.FunctionDef] = None
+        self._analysis: Any = None  # CheckAnalysis, set lazily
+        self.__wrapped__ = func
+        self.__name__ = func.__name__
+        self.__doc__ = func.__doc__
+
+    # Direct (un-incrementalized) invocation. --------------------------------
+
+    def __call__(self, *args: Any) -> Any:
+        return self.original(*args)
+
+    # Introspection for the instrumentation pipeline. -------------------------
+
+    @property
+    def globals(self) -> dict[str, Any]:
+        return self.original.__globals__
+
+    def closure_vars(self) -> dict[str, Any]:
+        """Free variables captured by the function (checks defined in local
+        scopes — tests, factories — reference their callees through closure
+        cells rather than module globals)."""
+        closure = self.original.__closure__
+        if not closure:
+            return {}
+        names = self.original.__code__.co_freevars
+        out: dict[str, Any] = {}
+        for name, cell in zip(names, closure):
+            try:
+                out[name] = cell.cell_contents
+            except ValueError:  # cell not yet filled
+                continue
+        return out
+
+    def lookup_name(self, name: str) -> Any:
+        """Resolve ``name`` the way the function body would: closure cell
+        first, then module globals (builtins are left to the runtime)."""
+        cells = self.closure_vars()
+        if name in cells:
+            return cells[name]
+        return self.globals.get(name)
+
+    @property
+    def params(self) -> list[str]:
+        return [p for p in inspect.signature(self.original).parameters]
+
+    def tree(self) -> ast.FunctionDef:
+        """Parse (once) and return the function's def as an AST node, with
+        decorators stripped."""
+        if self._tree is None:
+            try:
+                source = inspect.getsource(self.original)
+            except (OSError, TypeError) as exc:
+                raise InstrumentationError(
+                    f"cannot retrieve source of check {self.name!r}: {exc}"
+                ) from exc
+            source = textwrap.dedent(source)
+            module = ast.parse(source)
+            if not module.body or not isinstance(
+                module.body[0], ast.FunctionDef
+            ):
+                raise InstrumentationError(
+                    f"check {self.name!r} is not a plain function definition"
+                )
+            tree = module.body[0]
+            tree.decorator_list = []
+            self._tree = tree
+        return self._tree
+
+    def analysis(self) -> Any:
+        """Return the (cached) static analysis of this check function."""
+        if self._analysis is None:
+            from .analysis import analyze_check
+
+            self._analysis = analyze_check(self)
+        return self._analysis
+
+    def resolve_callees(self) -> dict[str, "CheckFunction"]:
+        """Map names called by this function to the :class:`CheckFunction`
+        objects they resolve to in the function's global namespace."""
+        callees: dict[str, CheckFunction] = {}
+        for name in self.analysis().called_names:
+            target = self.lookup_name(name)
+            if isinstance(target, CheckFunction):
+                callees[name] = target
+        return callees
+
+    def __repr__(self) -> str:
+        return f"<check {self.qualname} uid={self.uid}>"
+
+
+def check(func: Callable) -> CheckFunction:
+    """Decorator registering ``func`` as a DITTO check function."""
+    if isinstance(func, CheckFunction):
+        return func
+    return CheckFunction(func)
+
+
+def closure_of(entry: CheckFunction) -> dict[int, CheckFunction]:
+    """All check functions reachable from ``entry`` through check-to-check
+    calls (the paper identifies a multi-function check by its entry point).
+    Keys are uids."""
+    seen: dict[int, CheckFunction] = {entry.uid: entry}
+    frontier = [entry]
+    while frontier:
+        fn = frontier.pop()
+        for callee in fn.resolve_callees().values():
+            if callee.uid not in seen:
+                seen[callee.uid] = callee
+                frontier.append(callee)
+    return seen

@@ -1,0 +1,189 @@
+"""Source-to-source instrumentation of check functions (paper Figure 3).
+
+The original DITTO rewrites Java bytecode with Javassist; this reproduction
+rewrites the check function's AST and recompiles it.  The transformation
+diverts every operation the incrementalizer cares about through the engine's
+runtime object (bound as ``__ditto_rt__`` in the compiled namespace):
+
+====================================  =========================================
+original check code                   instrumented code
+====================================  =========================================
+``e.next``            (field read)    ``__ditto_rt__.get_attr(e, 'next')``
+``buckets[i]``        (element read)  ``__ditto_rt__.get_item(buckets, i)``
+``len(buckets)``      (length read)   ``__ditto_rt__.get_len(buckets)``
+``is_ordered(e.next)`` (check call)   ``__ditto_rt__.call(<uid>, ...)``
+``key.hash_code()``   (method call)   ``__ditto_rt__.method(key, 'hash_code', ...)``
+``helper(x)``         (other call)    ``__ditto_rt__.helper(helper, x)``
+====================================  =========================================
+
+``get_attr``/``get_item``/``get_len`` record the read location as an
+implicit argument of the executing node; ``call`` is the memoization entry
+point (``getMemoEntry`` + recursion in Figure 3); ``helper``/``method``
+enforce purity of non-check calls at runtime.  Calls to pure builtins
+(``abs``, ``min`` …) are left untouched.  The paper's try/catch for
+optimistic mispredictions lives in the engine's ``exec`` wrapper rather than
+in the rewritten body — same semantics, one catch site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..core.errors import InstrumentationError
+from .analysis import PURE_BUILTINS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .registry import CheckFunction
+
+_RT = "__ditto_rt__"
+
+#: Callables registered as pure helpers usable inside checks.
+_PURE_HELPERS: set[Any] = set()
+#: (type, method name) pairs registered as pure methods.
+_PURE_METHODS: set[tuple[type, str]] = set()
+#: Receiver types whose methods are always pure (immutable values).
+IMMUTABLE_RECEIVERS = (str, int, float, bool, bytes, tuple, frozenset, complex)
+
+
+def register_pure_helper(func: Callable) -> Callable:
+    """Mark ``func`` (a side-effect-free, terminating function) as callable
+    from inside checks.  Usable as a decorator."""
+    _PURE_HELPERS.add(func)
+    return func
+
+
+def register_pure_method(cls: type, method_name: str) -> None:
+    """Allow checks to invoke ``cls.method_name`` as a pure method."""
+    _PURE_METHODS.add((cls, method_name))
+
+
+def is_pure_helper(func: Any) -> bool:
+    if func in _PURE_HELPERS:
+        return True
+    name = getattr(func, "__name__", None)
+    import builtins
+
+    return name in PURE_BUILTINS and getattr(builtins, name, None) is func
+
+
+def is_pure_method(receiver: Any, method_name: str) -> bool:
+    if isinstance(receiver, IMMUTABLE_RECEIVERS):
+        return True
+    for cls in type(receiver).__mro__:
+        if (cls, method_name) in _PURE_METHODS:
+            return True
+    return False
+
+
+class _InstrumentTransformer(ast.NodeTransformer):
+    """Rewrites one check function body."""
+
+    def __init__(self, func: "CheckFunction", uid_of_callee: dict[str, int]):
+        self.func = func
+        self.uid_of_callee = uid_of_callee
+
+    def _rt_call(self, method: str, args: list[ast.expr]) -> ast.Call:
+        return ast.Call(
+            func=ast.Attribute(
+                value=ast.Name(id=_RT, ctx=ast.Load()),
+                attr=method,
+                ctx=ast.Load(),
+            ),
+            args=args,
+            keywords=[],
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> ast.AST:
+        if not isinstance(node.ctx, ast.Load):
+            raise InstrumentationError(
+                f"{self.func.name}: attribute store survived static checks"
+            )
+        value = self.visit(node.value)
+        return ast.copy_location(
+            self._rt_call("get_attr", [value, ast.Constant(node.attr)]), node
+        )
+
+    def visit_Subscript(self, node: ast.Subscript) -> ast.AST:
+        if not isinstance(node.ctx, ast.Load):
+            raise InstrumentationError(
+                f"{self.func.name}: subscript store survived static checks"
+            )
+        value = self.visit(node.value)
+        index = self.visit(node.slice)
+        return ast.copy_location(
+            self._rt_call("get_item", [value, index]), node
+        )
+
+    def visit_Call(self, node: ast.Call) -> ast.AST:
+        args = [self.visit(a) for a in node.args]
+        func_node = node.func
+        if isinstance(func_node, ast.Name):
+            name = func_node.id
+            if name in self.uid_of_callee:
+                return ast.copy_location(
+                    self._rt_call(
+                        "call", [ast.Constant(self.uid_of_callee[name])] + args
+                    ),
+                    node,
+                )
+            if name == "len" and len(args) == 1:
+                return ast.copy_location(
+                    self._rt_call("get_len", args), node
+                )
+            if name in PURE_BUILTINS or name == "range":
+                new = ast.Call(func=func_node, args=args, keywords=[])
+                return ast.copy_location(new, node)
+            return ast.copy_location(
+                self._rt_call("helper", [func_node] + args), node
+            )
+        if isinstance(func_node, ast.Attribute):
+            receiver = self.visit(func_node.value)
+            return ast.copy_location(
+                self._rt_call(
+                    "method", [receiver, ast.Constant(func_node.attr)] + args
+                ),
+                node,
+            )
+        raise InstrumentationError(
+            f"{self.func.name}: unsupported call target at line "
+            f"{node.lineno}"
+        )
+
+
+def instrument(
+    func: "CheckFunction", uid_of_callee: dict[str, int], rt: Any
+) -> Callable:
+    """Compile and return the instrumented version of ``func``, with the
+    runtime object ``rt`` bound as ``__ditto_rt__``."""
+    tree = func.tree()
+    # Work on a private copy so multiple engines can instrument one check.
+    tree = ast.parse(ast.unparse(tree)).body[0]
+    assert isinstance(tree, ast.FunctionDef)
+    transformer = _InstrumentTransformer(func, uid_of_callee)
+    new_body = [transformer.visit(stmt) for stmt in tree.body]
+    tree.body = new_body
+    tree.name = f"__ditto_{func.name}__"
+    module = ast.Module(body=[tree], type_ignores=[])
+    ast.fix_missing_locations(module)
+    code = compile(module, filename=f"<ditto:{func.qualname}>", mode="exec")
+    namespace: dict[str, Any] = dict(func.globals)
+    namespace.update(func.closure_vars())
+    namespace[_RT] = rt
+    exec(code, namespace)
+    compiled = namespace[tree.name]
+    compiled.__ditto_source__ = ast.unparse(tree)
+    return compiled
+
+
+def instrumented_source(
+    func: "CheckFunction", uid_of_callee: dict[str, int]
+) -> str:
+    """Return the instrumented source text (for documentation/debugging;
+    the Figure 3 view of a check)."""
+    tree = ast.parse(ast.unparse(func.tree())).body[0]
+    assert isinstance(tree, ast.FunctionDef)
+    transformer = _InstrumentTransformer(func, uid_of_callee)
+    tree.body = [transformer.visit(stmt) for stmt in tree.body]
+    ast.fix_missing_locations(tree)
+    return ast.unparse(tree)

@@ -1,0 +1,208 @@
+"""AVL tree with height/balance invariants (an extension benchmark).
+
+Not in the paper's evaluation, but exactly in its scope: a self-balancing
+tree whose invariants — stored heights are correct, every node is
+height-balanced, and the tree is a BST — are natural recursive,
+side-effect-free checks.  Rotations relocate whole subtrees, stressing the
+incrementalizer's pruning and explicit-argument rekeying the same way the
+red-black "acid test" does.
+
+:func:`check_avl_height` returns the height of the subtree, or -1 if any
+stored height is wrong or any node is unbalanced, mirroring the paper's
+``checkBlackDepth`` error-value style.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from ..core.tracked import TrackedObject
+from ..instrument.registry import check
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+class AVLNode(TrackedObject):
+    """A node: key, cached subtree height, left/right children."""
+
+    def __init__(self, key: Any):
+        self.key = key
+        self.height = 1
+        self.left: Optional["AVLNode"] = None
+        self.right: Optional["AVLNode"] = None
+
+    def __repr__(self) -> str:
+        return f"AVLNode({self.key!r}, h={self.height})"
+
+
+@check
+def check_avl_height(n):
+    """Recomputed height of ``n``'s subtree, or -1 on a violation (wrong
+    cached height or balance factor outside [-1, 1])."""
+    if n is None:
+        return 0
+    hl = check_avl_height(n.left)
+    hr = check_avl_height(n.right)
+    if hl == -1 or hr == -1:
+        return -1
+    diff = hl - hr
+    if diff < -1 or diff > 1:
+        return -1
+    h = hl
+    if hr > h:
+        h = hr
+    h = h + 1
+    if h != n.height:
+        return -1
+    return h
+
+
+@check
+def avl_is_ordered(n, lower, upper):
+    """BST ordering with exclusive bounds."""
+    if n is None:
+        return True
+    if n.key <= lower or n.key >= upper:
+        return False
+    b1 = avl_is_ordered(n.left, lower, n.key)
+    b2 = avl_is_ordered(n.right, n.key, upper)
+    return b1 and b2
+
+
+@check
+def avl_invariant(tree):
+    """Entry point: heights/balance are consistent and the tree is a BST."""
+    b1 = check_avl_height(tree.root)
+    b2 = avl_is_ordered(tree.root, NEG_INF, POS_INF)
+    return b1 != -1 and b2
+
+
+class AVLTree(TrackedObject):
+    """A sorted set of keys with AVL rebalancing."""
+
+    def __init__(self) -> None:
+        self.root: Optional[AVLNode] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        n = self.root
+        while n is not None:
+            if key == n.key:
+                return True
+            n = n.left if key < n.key else n.right
+        return False
+
+    def keys(self) -> Iterator[Any]:
+        stack: list[AVLNode] = []
+        n = self.root
+        while stack or n is not None:
+            while n is not None:
+                stack.append(n)
+                n = n.left
+            n = stack.pop()
+            yield n.key
+            n = n.right
+
+    @staticmethod
+    def _height(n: Optional[AVLNode]) -> int:
+        return 0 if n is None else n.height
+
+    def _update_height(self, n: AVLNode) -> None:
+        n.height = 1 + max(self._height(n.left), self._height(n.right))
+
+    def _balance_factor(self, n: AVLNode) -> int:
+        return self._height(n.left) - self._height(n.right)
+
+    def _rotate_right(self, y: AVLNode) -> AVLNode:
+        x = y.left
+        assert x is not None
+        y.left = x.right
+        x.right = y
+        self._update_height(y)
+        self._update_height(x)
+        return x
+
+    def _rotate_left(self, x: AVLNode) -> AVLNode:
+        y = x.right
+        assert y is not None
+        x.right = y.left
+        y.left = x
+        self._update_height(x)
+        self._update_height(y)
+        return y
+
+    def _rebalance(self, n: AVLNode) -> AVLNode:
+        self._update_height(n)
+        balance = self._balance_factor(n)
+        if balance > 1:
+            assert n.left is not None
+            if self._balance_factor(n.left) < 0:
+                n.left = self._rotate_left(n.left)
+            return self._rotate_right(n)
+        if balance < -1:
+            assert n.right is not None
+            if self._balance_factor(n.right) > 0:
+                n.right = self._rotate_right(n.right)
+            return self._rotate_left(n)
+        return n
+
+    def insert(self, key: Any) -> None:
+        """Insert ``key`` (no-op if already present)."""
+        self.root = self._insert(self.root, key)
+
+    def _insert(self, n: Optional[AVLNode], key: Any) -> AVLNode:
+        if n is None:
+            self._size += 1
+            return AVLNode(key)
+        if key == n.key:
+            return n
+        if key < n.key:
+            n.left = self._insert(n.left, key)
+        else:
+            n.right = self._insert(n.right, key)
+        return self._rebalance(n)
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; True if it was present."""
+        self.root, removed = self._delete(self.root, key)
+        if removed:
+            self._size -= 1
+        return removed
+
+    def _delete(
+        self, n: Optional[AVLNode], key: Any
+    ) -> tuple[Optional[AVLNode], bool]:
+        if n is None:
+            return None, False
+        if key < n.key:
+            n.left, removed = self._delete(n.left, key)
+        elif key > n.key:
+            n.right, removed = self._delete(n.right, key)
+        else:
+            removed = True
+            if n.left is None:
+                return n.right, True
+            if n.right is None:
+                return n.left, True
+            successor = n.right
+            while successor.left is not None:
+                successor = successor.left
+            n.key = successor.key
+            n.right, _ = self._delete(n.right, successor.key)
+        return self._rebalance(n), removed
+
+    # Fault injection. -----------------------------------------------------------
+
+    def corrupt_height(self, key: Any, height: int) -> bool:
+        """Overwrite a node's cached height."""
+        n = self.root
+        while n is not None:
+            if key == n.key:
+                n.height = height
+                return True
+            n = n.left if key < n.key else n.right
+        return False

@@ -1,0 +1,432 @@
+"""B-tree (CLRS-style, minimum degree ``t``) with its four invariants.
+
+An extension benchmark in the paper's spirit: the structure databases use
+for on-disk indexes, with invariants that combine object fields and array
+slots —
+
+* :func:`check_btree_keys_sorted` — keys within every node are strictly
+  increasing, and unused key slots are ``None``;
+* :func:`check_btree_counts` — every node's key count is within
+  ``[t-1, 2t-1]`` (the root may hold as few as 1), and an internal node has
+  exactly ``n + 1`` children;
+* :func:`check_btree_bounds` — all keys under child ``c_i`` lie strictly
+  between the separating keys (threaded as explicit ``lower``/``upper``
+  arguments, like the red-black tree's ordering check);
+* :func:`check_btree_depth` — every leaf sits at the same depth (returned
+  as a count, ``-1`` on violation — the ``checkBlackDepth`` pattern).
+
+Nodes store keys and children in fixed-capacity
+:class:`~repro.core.tracked.TrackedArray`s, so a split or merge mutates a
+bounded set of slots and the incremental check stays local.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..core.tracked import TrackedArray, TrackedObject
+from ..instrument.registry import check
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+class BTreeNode(TrackedObject):
+    """One node: ``n`` live keys in ``keys[0:n]``; leaves have no
+    children, internal nodes have ``n + 1`` in ``children[0:n+1]``."""
+
+    def __init__(self, t: int, leaf: bool):
+        self.n = 0
+        self.leaf = leaf
+        self.keys = TrackedArray(2 * t - 1)
+        self.children = TrackedArray(2 * t)
+
+    def __repr__(self) -> str:
+        live = [self.keys[i] for i in range(self.n)]
+        kind = "leaf" if self.leaf else "internal"
+        return f"BTreeNode({kind}, keys={live})"
+
+
+@check
+def check_btree_keys_sorted(node, i):
+    """Keys ``i …`` of ``node`` strictly increase; spare slots are None."""
+    keys = node.keys
+    if i >= len(keys):
+        return True
+    if i >= node.n:
+        ok = keys[i] is None
+    elif i + 1 < node.n:
+        k = keys[i]
+        nxt = keys[i + 1]
+        ok = k is not None and nxt is not None and k < nxt
+    else:
+        ok = keys[i] is not None
+    b = check_btree_keys_sorted(node, i + 1)
+    return ok and b
+
+
+@check
+def check_btree_counts(tree, node, is_root):
+    """Key-count and child-count discipline for ``node``'s subtree."""
+    t = tree.t
+    n = node.n
+    if is_root:
+        ok = 0 <= n <= 2 * t - 1
+    else:
+        ok = t - 1 <= n <= 2 * t - 1
+    b1 = check_btree_keys_sorted(node, 0)
+    if node.leaf:
+        return ok and b1
+    b2 = check_btree_children_counts(tree, node, 0)
+    return ok and b1 and b2
+
+
+@check
+def check_btree_children_counts(tree, node, i):
+    """Recurse :func:`check_btree_counts` into children ``i … n`` and make
+    sure spare child slots are empty."""
+    children = node.children
+    if i >= len(children):
+        return True
+    child = children[i]
+    if i <= node.n:
+        ok = child is not None
+        b = True
+        if child is not None:
+            b = check_btree_counts(tree, child, 0)
+    else:
+        ok = child is None
+        b = True
+    b2 = check_btree_children_counts(tree, node, i + 1)
+    return ok and b and b2
+
+
+@check
+def check_btree_bounds(node, lower, upper):
+    """All keys in ``node``'s subtree lie strictly in (lower, upper)."""
+    if node is None:
+        return True
+    ok = check_btree_bounds_keys(node, 0, lower, upper)
+    if node.leaf:
+        return ok
+    b = check_btree_bounds_children(node, 0, lower, upper)
+    return ok and b
+
+
+@check
+def check_btree_bounds_keys(node, i, lower, upper):
+    if i >= node.n:
+        return True
+    k = node.keys[i]
+    ok = k is not None and lower < k and k < upper
+    b = check_btree_bounds_keys(node, i + 1, lower, upper)
+    return ok and b
+
+
+@check
+def check_btree_bounds_children(node, i, lower, upper):
+    """Child ``i`` sits between separator keys ``i-1`` and ``i``."""
+    if i > node.n:
+        return True
+    if i == 0:
+        lo = lower
+    else:
+        lo = node.keys[i - 1]
+    if i == node.n:
+        hi = upper
+    else:
+        hi = node.keys[i]
+    ok = True
+    if lo is not None and hi is not None:
+        ok = check_btree_bounds(node.children[i], lo, hi)
+    b = check_btree_bounds_children(node, i + 1, lower, upper)
+    return ok and b
+
+
+@check
+def check_btree_depth(node):
+    """Depth of the uniform leaf level below ``node``, or -1."""
+    if node is None:
+        return -1
+    if node.leaf:
+        return 1
+    return check_btree_depth_children(node, 0)
+
+
+@check
+def check_btree_depth_children(node, i):
+    """All children of ``node`` from ``i`` on report the same depth;
+    returns that depth + 1, or -1."""
+    child_depth = check_btree_depth(node.children[i])
+    if i >= node.n:
+        if child_depth == -1:
+            return -1
+        return child_depth + 1
+    rest = check_btree_depth_children(node, i + 1)
+    if child_depth == -1 or rest == -1:
+        return -1
+    if child_depth + 1 != rest:
+        return -1
+    return rest
+
+
+@check
+def btree_invariant(tree):
+    """Entry point combining all four B-tree invariants."""
+    root = tree.root
+    b1 = check_btree_counts(tree, root, 1)
+    b2 = check_btree_bounds(root, NEG_INF, POS_INF)
+    if root.leaf:
+        b3 = 1
+    else:
+        b3 = check_btree_depth(root)
+    return b1 and b2 and b3 != -1
+
+
+class BTree(TrackedObject):
+    """A sorted set of keys with CLRS B-tree insertion and deletion."""
+
+    def __init__(self, t: int = 3):
+        if t < 2:
+            raise ValueError("minimum degree t must be >= 2")
+        self.t = t
+        self.root = BTreeNode(t, leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        node = self.root
+        while True:
+            i = 0
+            while i < node.n and key > node.keys[i]:
+                i += 1
+            if i < node.n and node.keys[i] == key:
+                return True
+            if node.leaf:
+                return False
+            node = node.children[i]
+
+    def keys(self) -> Iterator[Any]:
+        yield from self._iter(self.root)
+
+    def _iter(self, node: BTreeNode) -> Iterator[Any]:
+        for i in range(node.n):
+            if not node.leaf:
+                yield from self._iter(node.children[i])
+            yield node.keys[i]
+        if not node.leaf:
+            yield from self._iter(node.children[node.n])
+
+    # Insertion. -------------------------------------------------------------
+
+    def insert(self, key: Any) -> bool:
+        """Insert ``key``; False if it was already present."""
+        if key in self:
+            return False
+        root = self.root
+        if root.n == 2 * self.t - 1:
+            new_root = BTreeNode(self.t, leaf=False)
+            new_root.children[0] = root
+            self.root = new_root
+            self._split_child(new_root, 0)
+            root = new_root
+        self._insert_nonfull(root, key)
+        self._size += 1
+        return True
+
+    def _split_child(self, parent: BTreeNode, index: int) -> None:
+        t = self.t
+        full = parent.children[index]
+        sibling = BTreeNode(t, leaf=full.leaf)
+        sibling.n = t - 1
+        for j in range(t - 1):
+            sibling.keys[j] = full.keys[j + t]
+            full.keys[j + t] = None
+        if not full.leaf:
+            for j in range(t):
+                sibling.children[j] = full.children[j + t]
+                full.children[j + t] = None
+        median = full.keys[t - 1]
+        full.keys[t - 1] = None
+        full.n = t - 1
+        for j in range(parent.n, index, -1):
+            parent.children[j + 1] = parent.children[j]
+        parent.children[index + 1] = sibling
+        for j in range(parent.n - 1, index - 1, -1):
+            parent.keys[j + 1] = parent.keys[j]
+        parent.keys[index] = median
+        parent.n += 1
+
+    def _insert_nonfull(self, node: BTreeNode, key: Any) -> None:
+        i = node.n - 1
+        if node.leaf:
+            while i >= 0 and key < node.keys[i]:
+                node.keys[i + 1] = node.keys[i]
+                i -= 1
+            node.keys[i + 1] = key
+            node.n += 1
+            return
+        while i >= 0 and key < node.keys[i]:
+            i -= 1
+        i += 1
+        if node.children[i].n == 2 * self.t - 1:
+            self._split_child(node, i)
+            if key > node.keys[i]:
+                i += 1
+        self._insert_nonfull(node.children[i], key)
+
+    # Deletion (CLRS full algorithm). -------------------------------------------
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; True if it was present."""
+        if key not in self:
+            return False
+        self._delete_from(self.root, key)
+        if self.root.n == 0 and not self.root.leaf:
+            self.root = self.root.children[0]
+        self._size -= 1
+        return True
+
+    def _find_index(self, node: BTreeNode, key: Any) -> int:
+        i = 0
+        while i < node.n and key > node.keys[i]:
+            i += 1
+        return i
+
+    def _delete_from(self, node: BTreeNode, key: Any) -> None:
+        t = self.t
+        i = self._find_index(node, key)
+        if i < node.n and node.keys[i] == key:
+            if node.leaf:
+                for j in range(i, node.n - 1):
+                    node.keys[j] = node.keys[j + 1]
+                node.keys[node.n - 1] = None
+                node.n -= 1
+                return
+            left = node.children[i]
+            right = node.children[i + 1]
+            if left.n >= t:
+                predecessor = self._max_key(left)
+                node.keys[i] = predecessor
+                self._delete_from(left, predecessor)
+            elif right.n >= t:
+                successor = self._min_key(right)
+                node.keys[i] = successor
+                self._delete_from(right, successor)
+            else:
+                self._merge_children(node, i)
+                self._delete_from(left, key)
+            return
+        assert not node.leaf, "key vanished during descent"
+        child = node.children[i]
+        if child.n == t - 1:
+            # Grow the descent child first; a merge may shift the index.
+            i = self._fill_child(node, i)
+            child = node.children[i]
+        self._delete_from(child, key)
+
+    def _max_key(self, node: BTreeNode) -> Any:
+        while not node.leaf:
+            node = node.children[node.n]
+        return node.keys[node.n - 1]
+
+    def _min_key(self, node: BTreeNode) -> Any:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def _fill_child(self, node: BTreeNode, i: int) -> int:
+        """Grow child ``i`` to >= t keys by borrowing or merging; returns
+        the (possibly shifted) child index to continue the descent in."""
+        t = self.t
+        if i > 0 and node.children[i - 1].n >= t:
+            self._borrow_from_left(node, i)
+            return i
+        if i < node.n and node.children[i + 1].n >= t:
+            self._borrow_from_right(node, i)
+            return i
+        if i < node.n:
+            self._merge_children(node, i)
+            return i
+        self._merge_children(node, i - 1)
+        return i - 1
+
+    def _borrow_from_left(self, node: BTreeNode, i: int) -> None:
+        child = node.children[i]
+        left = node.children[i - 1]
+        for j in range(child.n - 1, -1, -1):
+            child.keys[j + 1] = child.keys[j]
+        if not child.leaf:
+            for j in range(child.n, -1, -1):
+                child.children[j + 1] = child.children[j]
+        child.keys[0] = node.keys[i - 1]
+        if not child.leaf:
+            child.children[0] = left.children[left.n]
+            left.children[left.n] = None
+        node.keys[i - 1] = left.keys[left.n - 1]
+        left.keys[left.n - 1] = None
+        child.n += 1
+        left.n -= 1
+
+    def _borrow_from_right(self, node: BTreeNode, i: int) -> None:
+        child = node.children[i]
+        right = node.children[i + 1]
+        child.keys[child.n] = node.keys[i]
+        if not child.leaf:
+            child.children[child.n + 1] = right.children[0]
+        node.keys[i] = right.keys[0]
+        for j in range(right.n - 1):
+            right.keys[j] = right.keys[j + 1]
+        right.keys[right.n - 1] = None
+        if not right.leaf:
+            for j in range(right.n):
+                right.children[j] = right.children[j + 1]
+            right.children[right.n] = None
+        child.n += 1
+        right.n -= 1
+
+    def _merge_children(self, node: BTreeNode, i: int) -> None:
+        """Merge child ``i``, separator key ``i``, and child ``i+1``."""
+        t = self.t
+        child = node.children[i]
+        sibling = node.children[i + 1]
+        child.keys[t - 1] = node.keys[i]
+        for j in range(sibling.n):
+            child.keys[j + t] = sibling.keys[j]
+        if not child.leaf:
+            for j in range(sibling.n + 1):
+                child.children[j + t] = sibling.children[j]
+        for j in range(i, node.n - 1):
+            node.keys[j] = node.keys[j + 1]
+        node.keys[node.n - 1] = None
+        for j in range(i + 1, node.n):
+            node.children[j] = node.children[j + 1]
+        node.children[node.n] = None
+        child.n += sibling.n + 1
+        node.n -= 1
+
+    # Fault injection. --------------------------------------------------------------
+
+    def corrupt_key(self, key: Any, new_key: Any) -> bool:
+        """Overwrite ``key`` in place (usually breaks ordering/bounds).
+        Scans exhaustively, so it also *restores* keys the ordered search
+        could no longer locate."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for i in range(node.n):
+                if node.keys[i] == key:
+                    node.keys[i] = new_key
+                    return True
+            if not node.leaf:
+                for i in range(node.n + 1):
+                    child = node.children[i]
+                    if child is not None:
+                        stack.append(child)
+        return False
+
+    def corrupt_count(self, delta: int = 1) -> None:
+        """Skew the root's key count."""
+        self.root.n = max(0, self.root.n + delta)

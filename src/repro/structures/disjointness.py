@@ -1,0 +1,103 @@
+"""Cross-structure invariant: two priority queues share no element.
+
+The paper's introduction lists "no elements in this priority queue can be
+in that priority queue" among the high-level invariants dynamic checks can
+express.  This module implements it over two :class:`~repro.structures.
+binary_heap.BinaryHeap` instances — a pattern from schedulers that move
+tasks between a *ready* queue and a *waiting* queue and must never hold a
+task in both.
+
+The check is quadratic when run from scratch (every element of one heap is
+searched in the other), which is exactly where incrementalization shines:
+moving one element re-executes O(m) invocations instead of O(n·m).
+
+`DisjointHeapPair` packages the two heaps with `move`-style operations and
+fault injection for tests and demos.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.tracked import TrackedObject
+from ..instrument.registry import check
+from .binary_heap import BinaryHeap
+
+
+@check
+def value_in_heap(h, x, i):
+    """``x`` occurs in heap ``h`` at slot >= ``i`` (occupied slots are a
+    contiguous prefix, so the scan stops at the first empty slot)."""
+    arr = h.items
+    if i >= len(arr):
+        return False
+    v = arr[i]
+    if v is None:
+        return False
+    found = v == x
+    b = value_in_heap(h, x, i + 1)
+    return found or b
+
+
+@check
+def check_disjoint_from(a, b, i):
+    """No element of heap ``a`` at slot >= ``i`` occurs in heap ``b``."""
+    arr = a.items
+    if i >= len(arr):
+        return True
+    x = arr[i]
+    ok = True
+    if x is not None:
+        ok = not value_in_heap(b, x, 0)
+    b1 = check_disjoint_from(a, b, i + 1)
+    return ok and b1
+
+
+@check
+def heaps_disjoint(pair):
+    """Entry point: the pair's two heaps have no element in common."""
+    return check_disjoint_from(pair.ready, pair.waiting, 0)
+
+
+class DisjointHeapPair(TrackedObject):
+    """A ready/waiting queue pair whose element sets must stay disjoint."""
+
+    def __init__(self, capacity: int = 64):
+        self.ready = BinaryHeap(capacity)
+        self.waiting = BinaryHeap(capacity)
+
+    def submit(self, value: Any) -> None:
+        """New work enters the waiting queue."""
+        self.waiting.push(value)
+
+    def activate(self) -> Optional[Any]:
+        """Move the most urgent waiting element to the ready queue."""
+        if len(self.waiting) == 0:
+            return None
+        value = self.waiting.pop()
+        self.ready.push(value)
+        return value
+
+    def complete(self) -> Optional[Any]:
+        """Retire the most urgent ready element."""
+        if len(self.ready) == 0:
+            return None
+        return self.ready.pop()
+
+    def suspend(self) -> Optional[Any]:
+        """Move the most urgent ready element back to waiting."""
+        if len(self.ready) == 0:
+            return None
+        value = self.ready.pop()
+        self.waiting.push(value)
+        return value
+
+    # Fault injection: the double-queuing bug the invariant catches.
+    def corrupt_duplicate(self) -> Optional[Any]:
+        """'Activate' an element while forgetting to remove it from the
+        waiting queue, so it now lives in both heaps."""
+        if len(self.waiting) == 0:
+            return None
+        value = self.waiting.peek()
+        self.ready.push(value)
+        return value

@@ -1,0 +1,157 @@
+"""Doubly-linked list with next/prev coherence invariant (extension).
+
+The invariant is the classic "my neighbour points back at me" property the
+paper's intro motivates (pointer-surgery bugs): for every node, ``n.next is
+None`` iff ``n`` is the tail and otherwise ``n.next.prev is n``; and
+symmetrically for ``prev``/head.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from ..core.tracked import TrackedObject
+from ..instrument.registry import check
+
+
+class DLLNode(TrackedObject):
+    """A node: value, prev, next."""
+
+    def __init__(self, value: Any):
+        self.value = value
+        self.prev: Optional["DLLNode"] = None
+        self.next: Optional["DLLNode"] = None
+
+    def __repr__(self) -> str:
+        return f"DLLNode({self.value!r})"
+
+
+@check
+def check_dll_links(lst, n):
+    """From ``n`` to the tail, every link is mutually consistent."""
+    if n is None:
+        return True
+    nxt = n.next
+    if nxt is None:
+        ok1 = lst.tail is n
+    else:
+        ok1 = nxt.prev is n
+    prv = n.prev
+    if prv is None:
+        ok2 = lst.head is n
+    else:
+        ok2 = prv.next is n
+    b = check_dll_links(lst, nxt)
+    return ok1 and ok2 and b
+
+
+@check
+def dll_invariant(lst):
+    """Entry point: the whole list's prev/next pointers are coherent, and
+    an empty list has no tail."""
+    if lst.head is None:
+        return lst.tail is None
+    return check_dll_links(lst, lst.head)
+
+
+class DoublyLinkedList(TrackedObject):
+    """A deque-style doubly-linked list."""
+
+    def __init__(self) -> None:
+        self.head: Optional[DLLNode] = None
+        self.tail: Optional[DLLNode] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Any]:
+        n = self.head
+        while n is not None:
+            yield n.value
+            n = n.next
+
+    def push_front(self, value: Any) -> DLLNode:
+        node = DLLNode(value)
+        node.next = self.head
+        if self.head is not None:
+            self.head.prev = node
+        self.head = node
+        if self.tail is None:
+            self.tail = node
+        self._size += 1
+        return node
+
+    def push_back(self, value: Any) -> DLLNode:
+        node = DLLNode(value)
+        node.prev = self.tail
+        if self.tail is not None:
+            self.tail.next = node
+        self.tail = node
+        if self.head is None:
+            self.head = node
+        self._size += 1
+        return node
+
+    def pop_front(self) -> Any:
+        if self.head is None:
+            raise IndexError("pop from an empty list")
+        node = self.head
+        self.head = node.next
+        if self.head is not None:
+            self.head.prev = None
+        else:
+            self.tail = None
+        self._size -= 1
+        return node.value
+
+    def pop_back(self) -> Any:
+        if self.tail is None:
+            raise IndexError("pop from an empty list")
+        node = self.tail
+        self.tail = node.prev
+        if self.tail is not None:
+            self.tail.next = None
+        else:
+            self.head = None
+        self._size -= 1
+        return node.value
+
+    def remove(self, node: DLLNode) -> None:
+        """Unlink ``node`` (must belong to this list)."""
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self.head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self.tail = node.prev
+        self._size -= 1
+        node.prev = node.next = None
+
+    def insert_after(self, node: DLLNode, value: Any) -> DLLNode:
+        """Insert ``value`` right after ``node``."""
+        new = DLLNode(value)
+        new.prev = node
+        new.next = node.next
+        if node.next is not None:
+            node.next.prev = new
+        else:
+            self.tail = new
+        node.next = new
+        self._size += 1
+        return new
+
+    # Fault injection. --------------------------------------------------------------
+
+    def corrupt_back_pointer(self, index: int) -> None:
+        """Break the ``prev`` pointer of the node at ``index``."""
+        n = self.head
+        for _ in range(index):
+            if n is None:
+                raise IndexError(index)
+            n = n.next
+        if n is None:
+            raise IndexError(index)
+        n.prev = n.next  # now inconsistent unless the list is tiny

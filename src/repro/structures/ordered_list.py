@@ -1,0 +1,111 @@
+"""The ordered integer list of paper §2 (Figure 1) and its invariant.
+
+``OrderedIntList`` is a singly-linked list that keeps its elements sorted;
+``is_ordered`` is the invariant check, written exactly as in Figure 1::
+
+    Boolean isOrdered(IntListElem e) {
+        if (e == null || e.next == null) return true;
+        if (e.value > e.next.value) return false;
+        return isOrdered(e.next);
+    }
+
+The list's mutators perform ordinary imperative pointer surgery; the write
+barriers inherited from :class:`~repro.core.tracked.TrackedObject` make the
+mutations visible to any engine incrementalizing ``is_ordered``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..core.tracked import TrackedObject
+from ..instrument.registry import check
+
+
+class IntListElem(TrackedObject):
+    """One cell of the list: an integer ``value`` and a ``next`` pointer."""
+
+    def __init__(self, value: int, next: Optional["IntListElem"] = None):
+        self.value = value
+        self.next = next
+
+    def __repr__(self) -> str:
+        return f"IntListElem({self.value})"
+
+
+@check
+def is_ordered(e):
+    """Every element is <= its successor (Figure 1)."""
+    if e is None or e.next is None:
+        return True
+    if e.value > e.next.value:
+        return False
+    return is_ordered(e.next)
+
+
+class OrderedIntList(TrackedObject):
+    """A sorted singly-linked integer list with insert/delete operations."""
+
+    def __init__(self) -> None:
+        self.head: Optional[IntListElem] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[int]:
+        e = self.head
+        while e is not None:
+            yield e.value
+            e = e.next
+
+    def insert(self, value: int) -> None:
+        """Insert ``value`` at its sorted position (duplicates allowed)."""
+        self._size += 1
+        if self.head is None or value <= self.head.value:
+            self.head = IntListElem(value, self.head)
+            return
+        prev = self.head
+        while prev.next is not None and prev.next.value < value:
+            prev = prev.next
+        prev.next = IntListElem(value, prev.next)
+
+    def delete(self, value: int) -> bool:
+        """Remove the first occurrence of ``value``; True if found."""
+        e = self.head
+        prev: Optional[IntListElem] = None
+        while e is not None:
+            if e.value == value:
+                if prev is None:
+                    self.head = e.next
+                else:
+                    prev.next = e.next
+                self._size -= 1
+                return True
+            prev, e = e, e.next
+        return False
+
+    def delete_first(self) -> Optional[int]:
+        """Remove and return the smallest element (queue-style pop)."""
+        if self.head is None:
+            return None
+        value = self.head.value
+        self.head = self.head.next
+        self._size -= 1
+        return value
+
+    def to_list(self) -> list[int]:
+        return list(self)
+
+    # Fault injection for tests and demos: corrupt the order invariant by
+    # swapping a cell's value without going through insert/delete.
+    def corrupt(self, index: int, value: int) -> None:
+        """Overwrite the value at position ``index`` (may break sortedness)."""
+        e = self.head
+        for _ in range(index):
+            if e is None:
+                raise IndexError(index)
+            e = e.next
+        if e is None:
+            raise IndexError(index)
+        e.value = value

@@ -1,0 +1,369 @@
+"""Red-black tree and its three invariants (paper Figure 10).
+
+The paper calls the red-black tree "an acid test for the feasibility of
+DITTO": a single insert or delete can recolor and rotate large parts of the
+tree, and two of the three invariants (black depth, ordering with bounds)
+are global properties assembled from local computations.
+
+The tree itself follows the classic sentinel formulation (CLRS-style, the
+same shape as the GNU Classpath ``TreeMap`` the paper instruments): a
+single always-black ``NIL`` sentinel terminates every path, every node
+carries a ``parent`` pointer, and insert/delete restore the red-black
+properties with recoloring and rotations.
+
+The three checks, combined by the entry point :func:`rbt_invariant`:
+
+* :func:`rbt_is_ordered` — binary-search-tree ordering, with (lower, upper)
+  bounds threaded as explicit arguments;
+* :func:`is_red_black` — local color/parent properties (colors are legal,
+  children point back to their parent, no red node has a red child);
+* :func:`check_black_depth` — every root-to-leaf path has the same number
+  of black nodes (returns that count, or -1 on violation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..core.tracked import TrackedObject
+from ..instrument.registry import check
+
+RED = 0
+BLACK = 1
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+class RBNode(TrackedObject):
+    """A tree node: key, value, color, left/right/parent pointers."""
+
+    def __init__(self, key: Any, value: Any = None):
+        self.key = key
+        self.value = value
+        self.color = RED
+        self.left: "RBNode" = NIL
+        self.right: "RBNode" = NIL
+        self.parent: "RBNode" = NIL
+
+    def __repr__(self) -> str:
+        color = "R" if self.color == RED else "B"
+        return f"RBNode({self.key!r}:{color})"
+
+
+class _NilNode(RBNode):
+    """The shared always-black sentinel ("nil is a special dummy node in
+    the implementation that is always black")."""
+
+    def __init__(self) -> None:
+        # Bypass RBNode.__init__: NIL's children are itself.
+        self.key = None
+        self.value = None
+        self.color = BLACK
+        self.left = self
+        self.right = self
+        self.parent = self
+
+    def __repr__(self) -> str:
+        return "NIL"
+
+
+NIL = _NilNode()
+
+
+@check
+def rbt_is_ordered(n, lower, upper):
+    """BST ordering with exclusive (lower, upper) bounds (Figure 10)."""
+    if n is NIL:
+        return True
+    if n.key <= lower or n.key >= upper:
+        return False
+    b1 = rbt_is_ordered(n.left, lower, n.key)
+    b2 = rbt_is_ordered(n.right, n.key, upper)
+    return b1 and b2
+
+
+@check
+def is_red_black(n):
+    """Local red-black properties: legal colors, parent back-pointers,
+    red nodes have black children (Figure 10)."""
+    if n is NIL:
+        return True
+    l = n.left
+    r = n.right
+    if n.color != BLACK and n.color != RED:
+        return False
+    if (l is not NIL and l.parent is not n) or (
+        r is not NIL and r.parent is not n
+    ):
+        return False
+    if n.color == RED and (l.color != BLACK or r.color != BLACK):
+        return False
+    b1 = is_red_black(l)
+    b2 = is_red_black(r)
+    return b1 and b2
+
+
+@check
+def check_black_depth(n):
+    """Number of black nodes on every path below ``n``, or -1 if paths
+    disagree (Figure 10)."""
+    if n is NIL:
+        return 1
+    left = check_black_depth(n.left)
+    right = check_black_depth(n.right)
+    if left != right or left == -1:
+        return -1
+    if n.color == BLACK:
+        return left + 1
+    return left
+
+
+@check
+def rbt_invariant(tree):
+    """Entry point combining all three red-black invariants, as in the
+    paper's ``invariants()`` method."""
+    b1 = is_red_black(tree.root)
+    b2 = check_black_depth(tree.root)
+    b3 = rbt_is_ordered(tree.root, NEG_INF, POS_INF)
+    return b1 and b2 != -1 and b3
+
+
+class RedBlackTree(TrackedObject):
+    """A key → value map backed by a red-black tree."""
+
+    def __init__(self) -> None:
+        self.root: RBNode = NIL
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(key) is not NIL
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._find(key)
+        return default if node is NIL else node.value
+
+    def _find(self, key: Any) -> RBNode:
+        n = self.root
+        while n is not NIL:
+            if key == n.key:
+                return n
+            n = n.left if key < n.key else n.right
+        return NIL
+
+    def keys(self) -> Iterator[Any]:
+        """In-order key iteration."""
+        stack: list[RBNode] = []
+        n = self.root
+        while stack or n is not NIL:
+            while n is not NIL:
+                stack.append(n)
+                n = n.left
+            n = stack.pop()
+            yield n.key
+            n = n.right
+
+    # Rotations. -----------------------------------------------------------------
+
+    def _rotate_left(self, x: RBNode) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not NIL:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is NIL:
+            self.root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: RBNode) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not NIL:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is NIL:
+            self.root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    # Insertion. ------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any = None) -> None:
+        """Insert ``key`` (updating the value if already present)."""
+        parent = NIL
+        n = self.root
+        while n is not NIL:
+            parent = n
+            if key == n.key:
+                n.value = value
+                return
+            n = n.left if key < n.key else n.right
+        node = RBNode(key, value)
+        node.parent = parent
+        if parent is NIL:
+            self.root = node
+        elif key < parent.key:
+            parent.left = node
+        else:
+            parent.right = node
+        self._size += 1
+        self._insert_fixup(node)
+
+    def _insert_fixup(self, z: RBNode) -> None:
+        while z.parent.color == RED:
+            if z.parent is z.parent.parent.left:
+                y = z.parent.parent.right
+                if y.color == RED:
+                    z.parent.color = BLACK
+                    y.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                y = z.parent.parent.left
+                if y.color == RED:
+                    z.parent.color = BLACK
+                    y.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_left(z.parent.parent)
+        self.root.color = BLACK
+
+    # Deletion. -------------------------------------------------------------------
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; True if it was present."""
+        z = self._find(key)
+        if z is NIL:
+            return False
+        self._delete_node(z)
+        self._size -= 1
+        return True
+
+    def _transplant(self, u: RBNode, v: RBNode) -> None:
+        if u.parent is NIL:
+            self.root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _minimum(self, n: RBNode) -> RBNode:
+        while n.left is not NIL:
+            n = n.left
+        return n
+
+    def _delete_node(self, z: RBNode) -> None:
+        y = z
+        y_original_color = y.color
+        if z.left is NIL:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is NIL:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_original_color == BLACK:
+            self._delete_fixup(x)
+
+    def _delete_fixup(self, x: RBNode) -> None:
+        while x is not self.root and x.color == BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color == RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color == BLACK and w.right.color == BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color == BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._rotate_left(x.parent)
+                    x = self.root
+            else:
+                w = x.parent.left
+                if w.color == RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color == BLACK and w.left.color == BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color == BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._rotate_right(x.parent)
+                    x = self.root
+        x.color = BLACK
+
+    # Fault injection. ----------------------------------------------------------------
+
+    def corrupt_color(self, key: Any) -> bool:
+        """Flip a node's color (usually breaks a red-black property)."""
+        node = self._find(key)
+        if node is NIL:
+            return False
+        node.color = RED if node.color == BLACK else BLACK
+        return True
+
+    def corrupt_key(self, key: Any, new_key: Any) -> bool:
+        """Overwrite a node's key in place (usually breaks BST order)."""
+        node = self._find(key)
+        if node is NIL:
+            return False
+        node.key = new_key
+        return True

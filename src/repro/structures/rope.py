@@ -1,0 +1,219 @@
+"""Rope (binary text buffer) with cached-weight invariants (extension).
+
+A rope stores a string as a binary tree: leaves hold text fragments,
+internal nodes cache the length of their left subtree (``weight``) so
+indexing is O(depth).  The cached weights are classic redundancy — exactly
+the kind of derived data that silently rots when an edit path forgets to
+update them, and that a dynamic invariant check keeps honest:
+
+* :func:`check_rope_weights` — every concat node's ``weight`` equals the
+  recomputed length of its left subtree (returns the subtree length, or
+  ``-1`` on a violation — the paper's ``checkBlackDepth`` error-code
+  style);
+* :func:`check_rope_leaves` — every leaf holds non-empty text (empty
+  leaves are legal nowhere except the empty rope), so the structure stays
+  canonical.
+
+Edits are implemented functionally at the node level (split/concat build
+new nodes and share untouched subtrees) with one tracked ``root`` field
+write per edit — the memoized invocations for shared subtrees survive
+edits and the incremental check re-examines only the new spine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+from ..core.tracked import TrackedObject
+from ..instrument.registry import check
+
+#: Leaves longer than this are split on construction.
+MAX_LEAF = 32
+
+
+class RopeLeaf(TrackedObject):
+    """A leaf: an immutable text fragment."""
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"RopeLeaf({self.text!r})"
+
+
+class RopeConcat(TrackedObject):
+    """An internal node: left/right subtrees and the cached left length."""
+
+    def __init__(self, left: "RopeNode", right: "RopeNode", weight: int):
+        self.left = left
+        self.right = right
+        self.weight = weight
+
+    def __repr__(self) -> str:
+        return f"RopeConcat(weight={self.weight})"
+
+
+RopeNode = Union[RopeLeaf, RopeConcat]
+
+
+@check
+def check_rope_weights(n):
+    """Recomputed length of the subtree under ``n``, or -1 if any cached
+    ``weight`` disagrees with its left subtree's true length."""
+    if n is None:
+        return 0
+    if isinstance(n, RopeLeaf):
+        return len(n.text)
+    left = check_rope_weights(n.left)
+    right = check_rope_weights(n.right)
+    if left == -1 or right == -1:
+        return -1
+    if n.weight != left:
+        return -1
+    return left + right
+
+
+@check
+def check_rope_leaves(n):
+    """No empty leaf fragments anywhere under ``n``."""
+    if n is None:
+        return True
+    if isinstance(n, RopeLeaf):
+        return len(n.text) > 0
+    b1 = check_rope_leaves(n.left)
+    b2 = check_rope_leaves(n.right)
+    return b1 and b2
+
+
+@check
+def rope_invariant(rope):
+    """Entry point: weights are consistent and leaves are canonical."""
+    w = check_rope_weights(rope.root)
+    b = check_rope_leaves(rope.root)
+    return w != -1 and b
+
+
+def _length(node: Optional[RopeNode]) -> int:
+    if node is None:
+        return 0
+    if isinstance(node, RopeLeaf):
+        return len(node.text)
+    return node.weight + _length(node.right)
+
+
+def _build(text: str) -> Optional[RopeNode]:
+    if not text:
+        return None
+    if len(text) <= MAX_LEAF:
+        return RopeLeaf(text)
+    mid = len(text) // 2
+    left = _build(text[:mid])
+    right = _build(text[mid:])
+    assert left is not None and right is not None
+    return RopeConcat(left, right, mid)
+
+
+def _concat(
+    left: Optional[RopeNode], right: Optional[RopeNode]
+) -> Optional[RopeNode]:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return RopeConcat(left, right, _length(left))
+
+
+def _split(
+    node: Optional[RopeNode], index: int
+) -> tuple[Optional[RopeNode], Optional[RopeNode]]:
+    """Split into (first ``index`` chars, the rest), sharing whole
+    subtrees wherever the cut does not pass through them."""
+    if node is None:
+        return None, None
+    if isinstance(node, RopeLeaf):
+        if index <= 0:
+            return None, node
+        if index >= len(node.text):
+            return node, None
+        return (
+            RopeLeaf(node.text[:index]),
+            RopeLeaf(node.text[index:]),
+        )
+    if index < node.weight:
+        left_a, left_b = _split(node.left, index)
+        return left_a, _concat(left_b, node.right)
+    if index == node.weight:
+        return node.left, node.right
+    right_a, right_b = _split(node.right, index - node.weight)
+    return _concat(node.left, right_a), right_b
+
+
+class Rope(TrackedObject):
+    """A mutable text buffer backed by a rope."""
+
+    def __init__(self, text: str = ""):
+        self.root: Optional[RopeNode] = _build(text)
+
+    def __len__(self) -> int:
+        return _length(self.root)
+
+    def __str__(self) -> str:
+        return "".join(self._fragments(self.root))
+
+    def _fragments(self, node: Optional[RopeNode]) -> Iterator[str]:
+        if node is None:
+            return
+        if isinstance(node, RopeLeaf):
+            yield node.text
+            return
+        yield from self._fragments(node.left)
+        yield from self._fragments(node.right)
+
+    def __getitem__(self, index: int) -> str:
+        if index < 0:
+            index += len(self)
+        node = self.root
+        while node is not None:
+            if isinstance(node, RopeLeaf):
+                return node.text[index]
+            if index < node.weight:
+                node = node.left
+            else:
+                index -= node.weight
+                node = node.right
+        raise IndexError(index)
+
+    def insert(self, index: int, text: str) -> None:
+        """Insert ``text`` before position ``index``."""
+        if not text:
+            return
+        if not 0 <= index <= len(self):
+            raise IndexError(index)
+        left, right = _split(self.root, index)
+        self.root = _concat(_concat(left, _build(text)), right)
+
+    def append(self, text: str) -> None:
+        self.insert(len(self), text)
+
+    def delete(self, start: int, stop: int) -> None:
+        """Delete characters in ``[start, stop)``."""
+        n = len(self)
+        if not 0 <= start <= stop <= n:
+            raise IndexError((start, stop))
+        if start == stop:
+            return
+        left, rest = _split(self.root, start)
+        _, right = _split(rest, stop - start)
+        self.root = _concat(left, right)
+
+    # Fault injection. -----------------------------------------------------------
+
+    def corrupt_weight(self, delta: int = 1) -> bool:
+        """Skew the cached weight of some concat node (pre-order first)."""
+        stack: list[Optional[RopeNode]] = [self.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, RopeConcat):
+                node.weight += delta
+                return True
+        return False

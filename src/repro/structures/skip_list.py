@@ -1,0 +1,173 @@
+"""Skip list with per-level ordering/coherence invariants (extension).
+
+A skip list keeps multiple sorted linked levels; level 0 holds every
+element and higher levels skip ahead.  Each node owns a fixed
+:class:`~repro.core.tracked.TrackedArray` of forward pointers, so an insert
+or delete mutates O(level) array slots and the incremental check re-runs
+only the invocations reading those slots.
+
+Invariants (entry point :func:`skip_list_invariant`):
+
+* along every level, values strictly increase
+  (:func:`skip_level_sorted`);
+* every node reachable at level ``l`` actually has ``> l`` forward slots
+  (level coherence — enforced inside :func:`skip_level_sorted`);
+* the head sentinel spans all levels.
+
+Determinism: node levels come from a small linear-congruential generator
+seeded per list, so test and benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..core.tracked import TrackedArray, TrackedObject
+from ..instrument.registry import check
+
+MAX_LEVEL = 16
+NEG_INF = float("-inf")
+
+
+class SkipNode(TrackedObject):
+    """One element: a value and ``level`` forward pointers."""
+
+    def __init__(self, value: Any, level: int):
+        self.value = value
+        self.forward = TrackedArray(level)
+
+    def __repr__(self) -> str:
+        return f"SkipNode({self.value!r}, levels={len(self.forward)})"
+
+
+@check
+def skip_level_sorted(n, level):
+    """From node ``n`` onward, level-``level`` links are strictly
+    increasing and every node on the chain owns that level."""
+    if n is None:
+        return True
+    arr = n.forward
+    if level >= len(arr):
+        return False
+    nxt = arr[level]
+    if nxt is None:
+        return True
+    ok = nxt.value > n.value
+    b = skip_level_sorted(nxt, level)
+    return ok and b
+
+
+@check
+def check_skip_levels(sl, level):
+    """Fold :func:`skip_level_sorted` over levels ``level`` … 0."""
+    if level < 0:
+        return True
+    b1 = skip_level_sorted(sl.head, level)
+    b2 = check_skip_levels(sl, level - 1)
+    return b1 and b2
+
+
+@check
+def skip_list_invariant(sl):
+    """Entry point: every level of the skip list is sorted and coherent."""
+    return check_skip_levels(sl, sl.level - 1)
+
+
+class SkipList(TrackedObject):
+    """A sorted set of values with O(log n) expected operations."""
+
+    def __init__(self, seed: int = 0x5EED):
+        self.head = SkipNode(NEG_INF, MAX_LEVEL)
+        self.level = 1  # number of levels currently in use
+        self._size = 0
+        self._rng_state = seed & 0x7FFFFFFF
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Any]:
+        n = self.head.forward[0]
+        while n is not None:
+            yield n.value
+            n = n.forward[0]
+
+    def __contains__(self, value: Any) -> bool:
+        n = self.head
+        for level in range(self.level - 1, -1, -1):
+            while (
+                n.forward[level] is not None
+                and n.forward[level].value < value
+            ):
+                n = n.forward[level]
+        n = n.forward[0]
+        return n is not None and n.value == value
+
+    def _random_level(self) -> int:
+        # Deterministic LCG: p = 1/2 per extra level, capped at MAX_LEVEL.
+        level = 1
+        while level < MAX_LEVEL:
+            self._rng_state = (self._rng_state * 1103515245 + 12345) & 0x7FFFFFFF
+            if self._rng_state & 1:
+                break
+            level += 1
+        return level
+
+    def insert(self, value: Any) -> bool:
+        """Insert ``value``; False if already present."""
+        update: list[SkipNode] = [self.head] * MAX_LEVEL
+        n = self.head
+        for level in range(self.level - 1, -1, -1):
+            while (
+                n.forward[level] is not None
+                and n.forward[level].value < value
+            ):
+                n = n.forward[level]
+            update[level] = n
+        nxt = n.forward[0]
+        if nxt is not None and nxt.value == value:
+            return False
+        node_level = self._random_level()
+        if node_level > self.level:
+            self.level = node_level
+        node = SkipNode(value, node_level)
+        for level in range(node_level):
+            node.forward[level] = update[level].forward[level]
+            update[level].forward[level] = node
+        self._size += 1
+        return True
+
+    def delete(self, value: Any) -> bool:
+        """Remove ``value``; True if it was present."""
+        update: list[SkipNode] = [self.head] * MAX_LEVEL
+        n = self.head
+        for level in range(self.level - 1, -1, -1):
+            while (
+                n.forward[level] is not None
+                and n.forward[level].value < value
+            ):
+                n = n.forward[level]
+            update[level] = n
+        target = n.forward[0]
+        if target is None or target.value != value:
+            return False
+        for level in range(len(target.forward)):
+            if update[level].forward[level] is target:
+                update[level].forward[level] = target.forward[level]
+        while (
+            self.level > 1 and self.head.forward[self.level - 1] is None
+        ):
+            self.level -= 1
+        self._size -= 1
+        return True
+
+    # Fault injection. -------------------------------------------------------------
+
+    def corrupt_value(self, value: Any, new_value: Any) -> bool:
+        """Overwrite a node's value in place (usually breaks sortedness)."""
+        n = self.head.forward[0]
+        while n is not None:
+            if n.value == value:
+                n.value = new_value
+                return True
+            n = n.forward[0]
+        return False

@@ -1,0 +1,43 @@
+"""Shared test fixtures.
+
+Every test runs against a clean global tracking state (write log, monitored
+fields); engines created inside tests are closed automatically via the
+``engine_factory`` fixture.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro import DittoEngine, reset_tracking
+
+# Recursive checks on sizeable structures need stack headroom.
+sys.setrecursionlimit(200_000)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracking():
+    reset_tracking()
+    yield
+    reset_tracking()
+
+
+@pytest.fixture
+def engine_factory():
+    """Create engines that are closed at test teardown."""
+    engines: list[DittoEngine] = []
+
+    def make(entry, **kwargs) -> DittoEngine:
+        # The test session already runs with a raised recursion limit, and
+        # engine-managed limits interact poorly with hypothesis's stack
+        # bookkeeping — disable unless a test opts in.
+        kwargs.setdefault("recursion_limit", None)
+        engine = DittoEngine(entry, **kwargs)
+        engines.append(engine)
+        return engine
+
+    yield make
+    for engine in engines:
+        engine.close()

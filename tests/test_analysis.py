@@ -1,0 +1,378 @@
+"""Static analysis of check functions: the side-effect rules of
+Definition 2, the callee-return-value restriction of §3.5, and field
+collection for the write-barrier optimization of §4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CheckRestrictionError, check
+from repro.instrument.analysis import analyze_check
+
+
+def _violations(func) -> str:
+    """Analyze a @check and return the joined violation text."""
+    with pytest.raises(CheckRestrictionError) as exc_info:
+        analyze_check(func)
+    return "\n".join(exc_info.value.violations)
+
+
+# --- Admissible checks -------------------------------------------------------
+
+@check
+def ok_recursive(e):
+    if e is None or e.next is None:
+        return True
+    if e.value > e.next.value:
+        return False
+    return ok_recursive(e.next)
+
+
+@check
+def ok_two_results(n):
+    if n is None:
+        return True
+    b1 = ok_two_results(n.left)
+    b2 = ok_two_results(n.right)
+    return b1 and b2
+
+
+@check
+def ok_tainted_in_return_if(n):
+    if n is None:
+        return 0
+    left = ok_tainted_in_return_if(n.left)
+    right = ok_tainted_in_return_if(n.right)
+    if left != right or left == -1:
+        return -1
+    return left + 1
+
+
+@check
+def ok_untainted_guarded_call(e, i):
+    if e is None:
+        return True
+    return e.value == i and ok_untainted_guarded_call(e.next, i)
+
+
+@check
+def ok_for_range(a, n):
+    total = 0
+    for i in range(n):
+        total = total + a.base
+    return total == 0
+
+
+@check
+def ok_while_untainted(n):
+    i = 0
+    while i < 3:
+        i = i + 1
+    return i == 3
+
+
+class TestAdmissible:
+    @pytest.mark.parametrize(
+        "func",
+        [ok_recursive, ok_two_results, ok_tainted_in_return_if,
+         ok_untainted_guarded_call, ok_for_range, ok_while_untainted],
+    )
+    def test_passes(self, func):
+        assert analyze_check(func).ok
+
+
+class TestFieldCollection:
+    def test_fields_read(self):
+        analysis = analyze_check(ok_recursive)
+        assert analysis.fields_read == {"next", "value"}
+
+    def test_called_names(self):
+        analysis = analyze_check(ok_recursive)
+        assert "ok_recursive" in analysis.called_names
+
+    def test_index_and_len_flags(self):
+        @check
+        def reads_array(a, i):
+            if i >= len(a):
+                return True
+            return a[i] is None
+
+        analysis = analyze_check(reads_array)
+        assert analysis.reads_indices
+        assert analysis.reads_len
+
+    def test_globals_read(self):
+        @check
+        def reads_global(n):
+            return n is SOME_GLOBAL  # noqa: F821
+
+        analysis = analyze_check(reads_global)
+        assert "SOME_GLOBAL" in analysis.globals_read
+
+
+# --- Side-effect violations ---------------------------------------------------
+
+class TestSideEffects:
+    def test_attribute_store(self):
+        @check
+        def writes_heap(e):
+            e.value = 1
+            return True
+
+        assert "side effect" in _violations(writes_heap)
+
+    def test_subscript_store(self):
+        @check
+        def writes_slot(a):
+            a[0] = 1
+            return True
+
+        assert "side effect" in _violations(writes_slot)
+
+    def test_augassign_to_heap(self):
+        @check
+        def augments(e):
+            e.value += 1
+            return True
+
+        assert "side effect" in _violations(augments)
+
+    def test_global_statement(self):
+        @check
+        def declares_global(e):
+            global SOMETHING
+            return True
+
+        assert "global" in _violations(declares_global)
+
+    def test_delete(self):
+        @check
+        def deletes(e):
+            x = 1
+            del x
+            return True
+
+        assert "del" in _violations(deletes)
+
+    def test_list_allocation(self):
+        @check
+        def allocates(e):
+            xs = [1, 2]
+            return True
+
+        assert "mutable" in _violations(allocates)
+
+    def test_dict_allocation(self):
+        @check
+        def allocates(e):
+            xs = {"a": 1}
+            return True
+
+        assert "mutable" in _violations(allocates)
+
+    def test_comprehension(self):
+        @check
+        def comprehends(e):
+            return all(x for x in range(3))
+
+        assert "not allowed" in _violations(comprehends)
+
+    def test_lambda(self):
+        @check
+        def lambdas(e):
+            f = lambda x: x  # noqa: E731
+            return f(1) == 1
+
+        assert "lambda" in _violations(lambdas)
+
+    def test_nested_def(self):
+        @check
+        def nests(e):
+            def inner():
+                return 1
+
+            return inner() == 1
+
+        assert "nested" in _violations(nests)
+
+    def test_try_block(self):
+        @check
+        def tries(e):
+            try:
+                return True
+            except Exception:
+                return False
+
+        assert "try" in _violations(tries)
+
+    def test_import(self):
+        @check
+        def imports(e):
+            import os
+
+            return True
+
+        assert "import" in _violations(imports)
+
+    def test_membership_test(self):
+        @check
+        def membership(e, xs):
+            return e in xs
+
+        assert "membership" in _violations(membership)
+
+    def test_yield(self):
+        @check
+        def generator(e):
+            yield True
+
+        assert "generator" in _violations(generator)
+
+
+# --- §3.5 restriction violations ----------------------------------------------
+
+class TestOptimisticRestriction:
+    def test_while_test_tainted(self):
+        @check
+        def bad_loop(n):
+            flag = bad_loop(n)
+            while flag:
+                flag = False
+            return True
+
+        assert "loop conditional" in _violations(bad_loop)
+
+    def test_for_bound_tainted(self):
+        @check
+        def bad_for(n):
+            count = bad_for(n)
+            total = 0
+            for i in range(count):
+                total = total + 1
+            return total
+
+        assert "loop bounds" in _violations(bad_for)
+
+    def test_call_arg_tainted(self):
+        @check
+        def bad_arg(n):
+            if n is None:
+                return 0
+            d = bad_arg(n.next)
+            return bad_arg_helper(d)
+
+        assert "call argument depends" in _violations(bad_arg)
+
+    def test_call_arg_directly_nested(self):
+        @check
+        def bad_nested(n):
+            if n is None:
+                return 0
+            return bad_nested(bad_nested(n.next))
+
+        assert "call argument depends" in _violations(bad_nested)
+
+    def test_short_circuit_call_after_check_call(self):
+        @check
+        def bad_and(n):
+            if n is None:
+                return True
+            return bad_and(n.left) and bad_and(n.right)
+
+        assert "short-circuit" in _violations(bad_and)
+
+    def test_call_under_tainted_if(self):
+        @check
+        def bad_guarded(n):
+            if n is None:
+                return True
+            ok = bad_guarded(n.next)
+            if ok:
+                return bad_guarded(None)
+            return False
+
+        assert "control-dependent" in _violations(bad_guarded)
+
+    def test_call_in_tainted_ifexp(self):
+        @check
+        def bad_ifexp(n):
+            if n is None:
+                return True
+            ok = bad_ifexp(n.next)
+            return bad_ifexp(None) if ok else False
+
+        assert "control-dependent" in _violations(bad_ifexp)
+
+    def test_taint_flows_through_assignment(self):
+        @check
+        def bad_flow(n):
+            if n is None:
+                return 0
+            a = bad_flow(n.next)
+            b = a + 1
+            c = b * 2
+            while c > 0:
+                c = 0
+            return 1
+
+        assert "loop conditional" in _violations(bad_flow)
+
+    def test_taint_laundered_by_reassignment(self):
+        @check
+        def ok_relaundered(n):
+            if n is None:
+                return 0
+            a = ok_relaundered(n.next)
+            a = 0  # clean re-assignment kills the taint
+            while a > 0:
+                a = 0
+            return 1
+
+        assert analyze_check(ok_relaundered).ok
+
+    def test_taint_in_guarded_assignment(self):
+        @check
+        def bad_guarded_assign(n):
+            if n is None:
+                return 0
+            t = bad_guarded_assign(n.next)
+            x = 0
+            if t > 0:
+                x = 1  # control-dependent on taint
+            while x > 0:
+                x = 0
+            return 1
+
+        assert "loop conditional" in _violations(bad_guarded_assign)
+
+
+# --- Signature restrictions -----------------------------------------------------
+
+class TestSignature:
+    def test_default_args_rejected(self):
+        @check
+        def defaulted(e, k=1):
+            return True
+
+        assert "defaults" in _violations(defaulted)
+
+    def test_varargs_rejected(self):
+        @check
+        def star(*args):
+            return True
+
+        assert "args" in _violations(star)
+
+    def test_kwonly_rejected(self):
+        @check
+        def kw(e, *, k):
+            return True
+
+        assert "keyword-only" in _violations(kw)
+
+    def test_keyword_call_rejected(self):
+        @check
+        def calls_kw(e):
+            return helperish(x=1)  # noqa: F821
+
+        assert "keyword arguments" in _violations(calls_kw)

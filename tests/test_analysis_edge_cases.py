@@ -1,0 +1,157 @@
+"""Additional static-analysis edge cases beyond the core rule tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CheckRestrictionError, check
+from repro.instrument.analysis import analyze_check
+
+
+def _violations(func) -> str:
+    with pytest.raises(CheckRestrictionError) as exc_info:
+        analyze_check(func)
+    return "\n".join(exc_info.value.violations)
+
+
+class TestControlDependenceDepth:
+    def test_while_under_tainted_if(self):
+        @check
+        def bad(n):
+            if n is None:
+                return 0
+            t = bad(n.next)
+            if t > 0:
+                i = 0
+                while i < 3:
+                    i = i + 1
+            return 1
+
+        assert "loop" in _violations(bad)
+
+    def test_for_under_tainted_if(self):
+        @check
+        def bad2(n):
+            if n is None:
+                return 0
+            t = bad2(n.next)
+            total = 0
+            if t > 0:
+                for i in range(3):
+                    total = total + 1
+            return total
+
+        assert "loop bounds" in _violations(bad2)
+
+    def test_nested_untainted_guards_ok(self):
+        @check
+        def fine(n):
+            if n is None:
+                return True
+            if n.value > 0:
+                if n.flag:
+                    return fine(n.next)
+            return True
+
+        assert analyze_check(fine).ok
+
+    def test_walrus_taint(self):
+        @check
+        def walrus(n):
+            if n is None:
+                return 0
+            if (t := walrus(n.next)) > 0:
+                return t
+            return 0
+
+        # The walrus taints t, which only flows into returns: fine.
+        assert analyze_check(walrus).ok
+
+    def test_walrus_taint_reaching_call(self):
+        @check
+        def walrus_bad(n):
+            if n is None:
+                return 0
+            t = (walrus_bad(n.next) + 1)
+            return walrus_bad_helper(t)  # noqa: F821
+
+        assert "call argument depends" in _violations(walrus_bad)
+
+
+class TestTaintThroughBranches:
+    def test_taint_union_of_branches(self):
+        @check
+        def branchy(n):
+            if n is None:
+                return 0
+            if n.value > 0:
+                t = branchy(n.next)
+            else:
+                t = 0
+            while t > 0:  # t may hold a callee value on one path
+                t = 0
+            return 1
+
+        assert "loop conditional" in _violations(branchy)
+
+    def test_boolop_all_clean_ok(self):
+        @check
+        def cleanly(n):
+            if n is None:
+                return True
+            b1 = cleanly(n.next)
+            b2 = cleanly(None)
+            return b1 and b2 and n.value > 0
+
+        assert analyze_check(cleanly).ok
+
+    def test_or_short_circuit_flagged(self):
+        @check
+        def bad_or(n):
+            if n is None:
+                return False
+            found = bad_or(n.next)
+            return found or bad_or(None)
+
+        assert "short-circuit" in _violations(bad_or)
+
+
+class TestDocstringsAndTrivia:
+    def test_docstring_allowed(self):
+        @check
+        def documented(n):
+            """This docstring must not confuse the analysis."""
+            return n is None
+
+        analysis = analyze_check(documented)
+        assert analysis.ok
+
+    def test_pass_and_assert_allowed(self):
+        @check
+        def asserts(n):
+            assert n is None or n is not None
+            if n is None:
+                pass
+            return True
+
+        assert analyze_check(asserts).ok
+
+    def test_raise_allowed(self):
+        @check
+        def raises(n):
+            if n is None:
+                raise ValueError("empty")
+            return True
+
+        assert analyze_check(raises).ok
+
+    def test_fstring_allowed(self):
+        @check
+        def fstrings(n):
+            if n is None:
+                return ""
+            return f"value={n.value}"
+
+        analysis = analyze_check(fstrings)
+        assert analysis.ok
+        assert "value" in analysis.fields_read

@@ -1,0 +1,216 @@
+"""JSO (paper §5.2): the JavaScript tokenizer, the renaming obfuscator,
+and the Figure 13 invariant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    JList,
+    JsObfuscator,
+    TokenKind,
+    generate_program,
+    good_mapping,
+    jso_invariant,
+    tokenize,
+)
+from repro.apps.jso import RESERVED_WORDS, TokenizeError
+
+
+class TestTokenizer:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("function foo(bar) { return bar; }")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert (TokenKind.KEYWORD, "function") in kinds
+        assert (TokenKind.IDENT, "foo") in kinds
+        assert (TokenKind.IDENT, "bar") in kinds
+        assert (TokenKind.KEYWORD, "return") in kinds
+
+    def test_numbers(self):
+        tokens = tokenize("x = 42 + 3.14 + 0xFF + 1e-3;")
+        numbers = [t.text for t in tokens if t.kind is TokenKind.NUMBER]
+        assert numbers == ["42", "3.14", "0xFF", "1e-3"]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize(r'var s = "he said \"hi\"" + \'x\';'.replace("\\'", "'"))
+        strings = [t for t in tokens if t.kind is TokenKind.STRING]
+        assert strings[0].text == r'"he said \"hi\""'
+
+    def test_template_literal_multiline(self):
+        tokens = tokenize("var t = `a\nb`;")
+        templates = [t for t in tokens if t.kind is TokenKind.TEMPLATE]
+        assert templates[0].text == "`a\nb`"
+
+    def test_comments_dropped_by_default(self):
+        tokens = tokenize("x = 1; // trailing\n/* block */ y = 2;")
+        assert all(t.kind is not TokenKind.COMMENT for t in tokens)
+
+    def test_trivia_kept_on_request(self):
+        tokens = tokenize("x = 1; // c\n", keep_trivia=True)
+        assert any(t.kind is TokenKind.COMMENT for t in tokens)
+        assert any(t.kind is TokenKind.WHITESPACE for t in tokens)
+        assert "".join(t.text for t in tokens) == "x = 1; // c\n"
+
+    def test_multi_char_punctuation(self):
+        tokens = tokenize("a === b && c => d ?? e;")
+        punct = [t.text for t in tokens if t.kind is TokenKind.PUNCT]
+        assert "===" in punct and "&&" in punct and "=>" in punct
+        assert "??" in punct
+
+    def test_positions(self):
+        tokens = tokenize("a;\n  b;")
+        b = next(t for t in tokens if t.is_ident("b"))
+        assert b.line == 2 and b.column == 3
+
+    def test_unterminated_string(self):
+        with pytest.raises(TokenizeError):
+            tokenize('x = "oops')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(TokenizeError):
+            tokenize("/* never closed")
+
+    def test_unexpected_character(self):
+        with pytest.raises(TokenizeError):
+            tokenize("x = 1 @ 2")
+
+    def test_roundtrip_with_trivia(self):
+        src = "function f(a) {\n  // note\n  return a * 2;\n}\n"
+        tokens = tokenize(src, keep_trivia=True)
+        assert "".join(t.text for t in tokens) == src
+
+
+class TestObfuscator:
+    def test_renames_function_declaration_and_calls(self):
+        jso = JsObfuscator()
+        out = jso.feed("function greet(x) { return x; }\ngreet(1);\n")
+        assert "greet" not in out
+        assert "function" in out
+        new_name = jso.mapping["greet"]
+        assert out.count(new_name) == 2
+
+    def test_reserved_names_not_renamed(self):
+        jso = JsObfuscator()
+        # `eval` is on the reserved list even as a declaration target.
+        out = jso.feed("function eval(x) { return x; }")
+        assert "eval" in out
+        assert "eval" not in jso.mapping
+
+    def test_uppercase_and_digit_initial_protected(self):
+        jso = JsObfuscator()
+        out = jso.feed("function Widget(x) { return x; }")
+        assert "Widget" in out
+        assert jso.mapping == {}
+
+    def test_consistent_across_chunks(self):
+        jso = JsObfuscator()
+        jso.feed("function alpha(x) { return x; }")
+        out2 = jso.feed("alpha(5); beta(6);")
+        assert jso.mapping["alpha"] in out2
+        assert "beta" in out2  # unknown identifier untouched
+
+    def test_fresh_names_unique(self):
+        jso = JsObfuscator()
+        for i in range(60):
+            jso.feed(f"function fn_{i}(x) {{ return x; }}")
+        new_names = list(jso.mapping.values())
+        assert len(set(new_names)) == len(new_names)
+
+    def test_names_list_mirrors_mapping(self):
+        jso = JsObfuscator()
+        jso.feed("function one(x) { return x; }")
+        jso.feed("function two(x) { return x; }")
+        names = []
+        node = jso.names
+        while node is not None:
+            names.append(node.value)
+            node = node.next
+        assert sorted(names) == ["one", "two"]
+
+    def test_drop_name(self):
+        jso = JsObfuscator()
+        jso.feed("function gone(x) { return x; }")
+        assert jso.drop_name("gone") is True
+        assert jso.drop_name("gone") is False
+        assert jso.names is None
+        assert "gone" not in jso.mapping
+
+    def test_output_still_tokenizes(self):
+        jso = JsObfuscator()
+        chunks = [jso.feed(c) for c in generate_program(30, seed=5)]
+        tokenize("".join(chunks))  # must not raise
+
+
+class TestFigure13Invariant:
+    def test_good_mapping_accepts_valid_names(self):
+        jso = JsObfuscator()
+        jso.feed("function fine_name(x) { return x; }")
+        assert jso_invariant(jso) is True
+
+    def test_reserved_key_detected(self):
+        jso = JsObfuscator()
+        jso.corrupt_add("while")
+        assert jso_invariant(jso) is False
+
+    def test_uppercase_key_detected(self):
+        jso = JsObfuscator()
+        jso.corrupt_add("Widget")
+        assert jso_invariant(jso) is False
+
+    def test_digit_key_detected(self):
+        jso = JsObfuscator()
+        jso.names = JList("9lives", jso.names)
+        assert jso_invariant(jso) is False
+
+    def test_good_mapping_direct(self):
+        jso = JsObfuscator()
+        assert good_mapping(jso, None) is True
+        assert good_mapping(jso, JList("ok_name")) is True
+        assert good_mapping(jso, JList("ok", JList("for"))) is False
+
+    def test_incremental_agrees_over_a_run(self, engine_factory):
+        engine = engine_factory(jso_invariant)
+        jso = JsObfuscator()
+        assert engine.run(jso) is True
+        for chunk in generate_program(80, seed=9):
+            jso.feed(chunk)
+            assert engine.run(jso) == jso_invariant(jso) is True
+
+    def test_incremental_detects_protected_name(self, engine_factory):
+        engine = engine_factory(jso_invariant)
+        jso = JsObfuscator()
+        for chunk in generate_program(20, seed=10):
+            jso.feed(chunk)
+        assert engine.run(jso) is True
+        jso.corrupt_add("typeof")
+        assert engine.run(jso) == jso_invariant(jso) is False
+        jso.drop_name("typeof")
+        assert engine.run(jso) is True
+
+    def test_per_event_work_bounded(self, engine_factory):
+        engine = engine_factory(jso_invariant)
+        jso = JsObfuscator()
+        chunks = list(generate_program(120, seed=12))
+        for chunk in chunks[:-1]:
+            jso.feed(chunk)
+        engine.run(jso)
+        jso.feed(chunks[-1])
+        report = engine.run_with_report(jso)
+        assert report.result is True
+        # One new name costs O(reserved list), not O(names * reserved).
+        assert report.delta["execs"] <= len(RESERVED_WORDS) + 5
+
+
+class TestGenerateProgram:
+    def test_deterministic(self):
+        a = list(generate_program(10, seed=3))
+        b = list(generate_program(10, seed=3))
+        assert a == b
+
+    def test_size_scales(self):
+        assert len(list(generate_program(25))) == 25
+
+    def test_chunks_are_valid_js(self):
+        for chunk in generate_program(15, seed=4):
+            tokens = tokenize(chunk)
+            assert tokens[0].text == "function"

@@ -1,0 +1,149 @@
+"""Netcols (paper §5.2): game mechanics and the Figure 12 invariant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import NetcolsBot, NetcolsGame, netcols_invariant
+from repro.apps.netcols import COLORS, MATCH_LEN, PIECE_SIZE
+
+
+class TestGameMechanics:
+    def test_initial_board_empty(self):
+        g = NetcolsGame(6, 10)
+        assert all(g.column_height(c) == 0 for c in range(6))
+        assert netcols_invariant(g) is True
+
+    def test_drop_lands_on_stack(self):
+        g = NetcolsGame(6, 10)
+        g.drop_piece(2, (1, 2, 1))
+        assert g.column_height(2) == 3
+        assert g.cell(2, 0) == 1
+        assert g.cell(2, 1) == 2
+        assert g.cell(2, 2) == 1
+        assert g.cell(2, 3) is None
+        assert netcols_invariant(g) is True
+
+    def test_vertical_match_clears(self):
+        g = NetcolsGame(6, 10)
+        cleared = g.drop_piece(0, (4, 4, 4))
+        assert cleared == 3
+        assert g.column_height(0) == 0
+        assert g.score == 3
+        assert netcols_invariant(g) is True
+
+    def test_horizontal_match_with_gravity_cascade(self):
+        g = NetcolsGame(6, 10)
+        # Build three columns whose bottom rows complete a horizontal run.
+        g.drop_piece(0, (5, 1, 2))
+        g.drop_piece(1, (5, 2, 1))
+        assert g.score == 0
+        cleared = g.drop_piece(2, (5, 3, 3))
+        assert cleared >= 3  # at least the bottom 5-run clears
+        assert netcols_invariant(g) is True
+
+    def test_column_overflow_sets_game_over(self):
+        g = NetcolsGame(2, PIECE_SIZE)
+        g.drop_piece(0, (1, 2, 1))  # fills column 0 exactly
+        assert g.drop_piece(0, (1, 2, 1)) == 0
+        assert g.game_over is True
+        with pytest.raises(ValueError):
+            g.drop_piece(0, (1, 2, 1))
+
+    def test_bad_column_rejected(self):
+        g = NetcolsGame(4, 10)
+        with pytest.raises(ValueError):
+            g.drop_piece(9, (1, 1, 2))
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            NetcolsGame(0, 10)
+        with pytest.raises(ValueError):
+            NetcolsGame(4, PIECE_SIZE - 1)
+
+    def test_render(self):
+        g = NetcolsGame(3, 4)
+        g.drop_piece(1, (1, 2, 3))
+        art = g.render()
+        lines = art.splitlines()
+        assert lines[-1] == "---"
+        assert lines[-2] == ".1."  # bottom row
+
+    def test_no_floating_after_many_frames(self):
+        g = NetcolsGame(8, 16)
+        bot = NetcolsBot(g, seed=1)
+        for _ in range(400):
+            bot.step()
+            assert netcols_invariant(g) is True
+
+    def test_bot_restarts_when_board_full(self):
+        g = NetcolsGame(4, PIECE_SIZE)  # tiny: fills in 4 drops
+        bot = NetcolsBot(g, seed=2)
+        for _ in range(30):
+            bot.step()
+        assert bot.games_played > 1
+        assert netcols_invariant(g) is True
+
+    def test_bot_determinism(self):
+        g1, g2 = NetcolsGame(8, 16), NetcolsGame(8, 16)
+        b1, b2 = NetcolsBot(g1, seed=7), NetcolsBot(g2, seed=7)
+        for _ in range(100):
+            b1.step()
+            b2.step()
+        assert g1.score == g2.score
+        assert [g1.column_height(c) for c in range(8)] == [
+            g2.column_height(c) for c in range(8)
+        ]
+
+
+class TestFigure12Invariant:
+    def test_floating_jewel_detected(self):
+        g = NetcolsGame(6, 10)
+        g.drop_piece(0, (1, 2, 1))
+        assert g.corrupt_float(0) is True
+        assert netcols_invariant(g) is False
+
+    def test_skewed_top_detected(self):
+        g = NetcolsGame(6, 10)
+        g.drop_piece(3, (1, 2, 1))
+        g.corrupt_top(3, +1)  # claims an empty cell is filled
+        assert netcols_invariant(g) is False
+        g.corrupt_top(3, -1)
+        assert netcols_invariant(g) is True
+        g.corrupt_top(3, -1)  # claims a filled cell is empty
+        assert netcols_invariant(g) is False
+
+    def test_incremental_agrees_over_a_game(self, engine_factory):
+        engine = engine_factory(netcols_invariant)
+        g = NetcolsGame(8, 16)
+        bot = NetcolsBot(g, seed=11)
+        assert engine.run(g) is True
+        for _ in range(200):
+            bot.step()
+            assert engine.run(g) == netcols_invariant(g) is True
+
+    def test_incremental_detects_corruption(self, engine_factory):
+        engine = engine_factory(netcols_invariant)
+        g = NetcolsGame(8, 16)
+        bot = NetcolsBot(g, seed=13)
+        for _ in range(40):
+            bot.step()
+        assert engine.run(g) is True
+        col = next(c for c in range(8) if g.corrupt_float(c))
+        assert engine.run(g) is False
+        g.grid[col][g.top[col] + 1] = None  # repair
+        assert engine.run(g) is True
+
+    def test_frame_work_is_localized(self, engine_factory):
+        engine = engine_factory(netcols_invariant)
+        g = NetcolsGame(32, 20)
+        bot = NetcolsBot(g, seed=17)
+        for _ in range(60):
+            bot.step()
+        engine.run(g)
+        graph = engine.graph_size
+        bot.step()
+        report = engine.run_with_report(g)
+        assert report.result is True
+        # One frame touches a handful of columns; most of the graph reused.
+        assert report.delta["execs"] < graph * 0.25

@@ -1,0 +1,92 @@
+"""Memo-key semantics (paper §4 "Hashing of objects"): semantic equality
+for primitives, pointer identity for heap objects."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import ArgsKey, TrackedObject
+from repro.core.argkeys import is_primitive
+
+
+class Box(TrackedObject):
+    def __init__(self, value):
+        self.value = value
+
+
+class TestIsPrimitive:
+    @pytest.mark.parametrize(
+        "value",
+        [0, 1, -5, 3.25, True, False, None, "abc", b"xy", 1 + 2j,
+         frozenset({1}), (), (1, "a", None), ((1, 2), (3,))],
+    )
+    def test_primitives(self, value):
+        assert is_primitive(value)
+
+    @pytest.mark.parametrize(
+        "value", [[], {}, set(), object(), Box(1), ([1],), (1, [2])]
+    )
+    def test_non_primitives(self, value):
+        assert not is_primitive(value)
+
+
+class TestArgsKeyEquality:
+    def test_equal_primitive_tuples(self):
+        assert ArgsKey((1, "a")) == ArgsKey((1, "a"))
+        assert hash(ArgsKey((1, "a"))) == hash(ArgsKey((1, "a")))
+
+    def test_semantically_equal_objects_differ(self):
+        a, b = Box(1), Box(1)
+        assert ArgsKey((a,)) != ArgsKey((b,))
+
+    def test_same_object_identity(self):
+        a = Box(1)
+        assert ArgsKey((a,)) == ArgsKey((a,))
+        assert hash(ArgsKey((a,))) == hash(ArgsKey((a,)))
+
+    def test_type_distinctions(self):
+        # 1, 1.0 and True are == in Python but must not share a node.
+        assert ArgsKey((1,)) != ArgsKey((1.0,))
+        assert ArgsKey((1,)) != ArgsKey((True,))
+        assert ArgsKey((0,)) != ArgsKey((False,))
+
+    def test_arity_distinguishes(self):
+        assert ArgsKey((1,)) != ArgsKey((1, 1))
+
+    def test_mixed_object_and_primitive(self):
+        a = Box(1)
+        assert ArgsKey((a, 3)) == ArgsKey((a, 3))
+        assert ArgsKey((a, 3)) != ArgsKey((a, 4))
+
+    def test_none_is_semantic(self):
+        assert ArgsKey((None,)) == ArgsKey((None,))
+
+    def test_not_equal_to_other_types(self):
+        assert ArgsKey((1,)) != (1,)
+        assert (ArgsKey((1,)) == (1,)) is False
+
+    def test_repr(self):
+        assert "ArgsKey" in repr(ArgsKey((1,)))
+
+
+class TestArgsKeyHypothesis:
+    @given(st.tuples(st.integers(), st.text(), st.booleans()))
+    def test_reflexive(self, args):
+        assert ArgsKey(args) == ArgsKey(args)
+        assert hash(ArgsKey(args)) == hash(ArgsKey(args))
+
+    @given(
+        st.lists(st.one_of(st.integers(), st.text(), st.none()), max_size=4),
+        st.lists(st.one_of(st.integers(), st.text(), st.none()), max_size=4),
+    )
+    def test_eq_implies_hash_eq(self, a, b):
+        ka, kb = ArgsKey(tuple(a)), ArgsKey(tuple(b))
+        if ka == kb:
+            assert hash(ka) == hash(kb)
+            assert tuple(a) == tuple(b)
+
+    @given(st.integers())
+    def test_usable_as_dict_key(self, n):
+        table = {ArgsKey((n,)): "x"}
+        assert table[ArgsKey((n,))] == "x"

@@ -1,0 +1,280 @@
+"""Optimistic mispredictions (paper §3.5): the three failure modes of a
+wrongly-reused callee value, and the step-limit fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TrackedObject, check
+
+
+class Cell(TrackedObject):
+    def __init__(self, value):
+        self.value = value
+
+
+class Holder(TrackedObject):
+    def __init__(self, cell, flag=4, bias=1):
+        self.cell = cell
+        self.flag = flag
+        self.bias = bias
+
+
+@check
+def bottom(c):
+    return c.value
+
+
+@check
+def middle(h):
+    v = bottom(h.cell)
+    return v
+
+
+@check
+def top_divides(h):
+    v = middle(h)
+    return h.flag // (v - h.bias)
+
+
+class TestWrongValueScenario:
+    """§3.5 case 1: the re-executed caller finishes with a wrong result;
+    return-value propagation repairs it."""
+
+    def test_stale_value_corrected_by_propagation(self, engine_factory):
+        @check
+        def bot2(c):
+            return c.value
+
+        @check
+        def mid2(h):
+            return bot2(h.cell)
+
+        @check
+        def top2(h):
+            v = mid2(h)
+            return h.flag + v
+
+        cell = Cell(10)
+        h = Holder(cell, flag=1)
+        engine = engine_factory(top2)
+        assert engine.run(h) == 11
+        # Change both the deep value and the root's own implicit input.
+        cell.value = 20
+        h.flag = 2
+        report = engine.run_with_report(h)
+        # top2 re-ran first with the stale mid2 value (optimism), then the
+        # propagation pass re-ran it with the corrected value.
+        assert report.result == 22
+        assert report.delta["propagation_execs"] >= 1
+        # And the graph is fully consistent with a from-scratch run.
+        assert engine.graph_snapshot()[("top2", (h,))] == 22
+        assert engine.graph_snapshot()[("mid2", (h,))] == 20
+
+
+class TestExceptionScenario:
+    """§3.5 case 2: the stale value makes the caller throw; the exception
+    is caught, and the caller is re-executed after propagation."""
+
+    def test_stale_value_exception_recovered(self, engine_factory):
+        cell = Cell(2)
+        h = Holder(cell, flag=4, bias=1)
+        engine = engine_factory(top_divides)
+        assert engine.run(h) == 4  # 4 // (2 - 1)
+        # One run later: bias=2 (fresh implicit) with stale v=2 divides by
+        # zero inside top_divides; the true v=3 is fine.
+        cell.value = 3
+        h.bias = 2
+        report = engine.run_with_report(h)
+        assert report.result == 4  # 4 // (3 - 2)
+        assert report.delta["mispredictions"] >= 1
+        # From-scratch agreement.
+        assert top_divides(h) == 4
+
+    def test_genuine_exception_forwarded(self, engine_factory):
+        """If the exception persists with correct inputs, it reaches the
+        main program (as the uninstrumented check would)."""
+        cell = Cell(2)
+        h = Holder(cell, flag=4, bias=1)
+        engine = engine_factory(top_divides)
+        assert engine.run(h) == 4
+        h.bias = 2  # true v is still 2 -> genuine division by zero
+        with pytest.raises(ZeroDivisionError):
+            engine.run(h)
+        # The uninstrumented check crashes identically.
+        with pytest.raises(ZeroDivisionError):
+            top_divides(h)
+        # The engine recovered to a clean state: fix and re-run.
+        h.bias = 1
+        assert engine.run(h) == 4
+
+    def test_exception_caused_by_propagated_value(self, engine_factory):
+        """A crash first observed while propagating a changed return value
+        is also genuine (the from-scratch check crashes too) and must be
+        forwarded."""
+        cell = Cell(0)
+        h = Holder(cell, flag=4, bias=1)
+        engine = engine_factory(top_divides)
+        assert engine.run(h) == -4  # 4 // (0 - 1)
+        cell.value = 1  # only the deep cell changes; top is not dirty
+        with pytest.raises(ZeroDivisionError):
+            engine.run(h)  # propagation re-runs top with v=1, bias=1
+        with pytest.raises(ZeroDivisionError):
+            top_divides(h)
+
+
+class TestStepLimitFallback:
+    """§3.5's alternative remedy: a step budget that falls back to a
+    from-scratch run when an incremental execution runs too long."""
+
+    class Elem(TrackedObject):
+        def __init__(self, value, next=None):
+            self.value = value
+            self.next = next
+
+    def _build_chain(self, length):
+        head = None
+        for v in range(length, 0, -1):
+            head = self.Elem(v, head)
+        return head
+
+    def test_fallback_produces_correct_result(self, engine_factory):
+        @check
+        def count(e):
+            if e is None:
+                return 0
+            return 1 + count(e.next)
+
+        head = self._build_chain(60)
+        engine = engine_factory(count, step_limit=20)
+        assert engine.run(head) == 60  # first run: no limit applies
+        # Splice in a long fresh chain: the incremental run must create 50
+        # new nodes, far over the 20-step budget.
+        head.next = self._build_chain(50)
+        assert engine.run(head) == 51
+        assert engine.stats.scratch_fallbacks == 1
+        # The rebuilt graph is fully usable afterwards.
+        head.value = 7
+        assert engine.run(head) == 51
+
+    def test_generous_limit_never_trips(self, engine_factory):
+        @check
+        def count2(e):
+            if e is None:
+                return 0
+            return 1 + count2(e.next)
+
+        head = self._build_chain(30)
+        engine = engine_factory(count2, step_limit=1_000_000)
+        engine.run(head)
+        head.value = 5
+        assert engine.run(head) == 30
+        assert engine.stats.scratch_fallbacks == 0
+
+
+class TestExceptionSemanticsFuzz:
+    """Randomized agreement on exception *semantics*: for a check that can
+    genuinely divide by zero, the incremental engine must either return the
+    same value as the from-scratch check or raise the same exception type —
+    across interleaved mutations, crashes, and repairs."""
+
+    class FussyCell(TrackedObject):
+        def __init__(self, value, divisor, next=None):
+            self.value = value
+            self.divisor = divisor
+            self.next = next
+
+    def test_agreement_including_crashes(self, engine_factory):
+        import random
+
+        FussyCell = self.FussyCell
+
+        @check
+        def fussy_sum(c):
+            if c is None:
+                return 0
+            rest = fussy_sum(c.next)
+            return c.value // c.divisor + rest
+
+        for seed in range(25):
+            engine = engine_factory(fussy_sum)
+            rng = random.Random(seed)
+            cells = [
+                FussyCell(rng.randrange(100), rng.randrange(1, 5))
+                for _ in range(10)
+            ]
+            for a, b in zip(cells, cells[1:]):
+                a.next = b
+            head = cells[0]
+            for _ in range(30):
+                roll = rng.random()
+                victim = rng.choice(cells)
+                if roll < 0.4:
+                    victim.value = rng.randrange(100)
+                elif roll < 0.8:
+                    victim.divisor = rng.randrange(0, 4)  # 0 => crash
+                else:
+                    index = rng.randrange(len(cells))
+                    cells[index].next = (
+                        cells[index + 1] if index + 1 < len(cells) else None
+                    )
+                try:
+                    expected = ("ok", fussy_sum(head))
+                except ZeroDivisionError:
+                    expected = ("zde", None)
+                try:
+                    got = ("ok", engine.run(head))
+                except ZeroDivisionError:
+                    got = ("zde", None)
+                assert got == expected
+                if got[0] == "ok":
+                    engine.validate()
+                if rng.random() < 0.7:
+                    for cell in cells:
+                        if cell.divisor == 0:
+                            cell.divisor = 1
+            engine.close()
+
+
+class TestFigure8PresenceCheck:
+    """Figure 8(c): a presence check for a special object; moving the
+    object flips False/True results that propagate until an ancestor's new
+    result matches its old one."""
+
+    def test_moving_special_node(self, engine_factory):
+        class TNode(TrackedObject):
+            def __init__(self, key, left=None, right=None):
+                self.key = key
+                self.left = left
+                self.right = right
+
+        @check
+        def contains_special(n):
+            if n is None:
+                return False
+            if n.key == 999:
+                return True
+            b1 = contains_special(n.left)
+            b2 = contains_special(n.right)
+            return b1 or b2
+
+        special = TNode(999)
+        ll = TNode(1, special, None)
+        lr = TNode(2)
+        rl = TNode(3)
+        rr = TNode(4)
+        left = TNode(5, ll, lr)
+        right = TNode(6, rl, rr)
+        root = TNode(7, left, right)
+        engine = engine_factory(contains_special)
+        assert engine.run(root) is True
+        # Move the special node from the left branch to the right branch.
+        ll.left = None
+        rl.left = special
+        report = engine.run_with_report(root)
+        assert report.result is True
+        # The overall result is unchanged: propagation stopped at the root
+        # (or earlier), not by exhausting the graph.
+        assert engine.graph_snapshot()[("contains_special", (root,))] is True
+        assert engine.graph_snapshot()[("contains_special", (left,))] is False
+        assert engine.graph_snapshot()[("contains_special", (right,))] is True

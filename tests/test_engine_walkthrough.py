@@ -1,0 +1,105 @@
+"""The paper's §2 walkthrough, re-enacted and asserted step by step:
+an element inserted into the middle of the list and another deleted further
+down, checked in one incremental run."""
+
+from __future__ import annotations
+
+from repro import TrackedObject, check
+
+
+class Elem(TrackedObject):
+    def __init__(self, value, next=None):
+        self.value = value
+        self.next = next
+
+    def __repr__(self):
+        return f"Elem({self.value})"
+
+
+@check
+def walkthrough_ordered(e):
+    if e is None or e.next is None:
+        return True
+    if e.value > e.next.value:
+        return False
+    return walkthrough_ordered(e.next)
+
+
+def chain(*values):
+    head = None
+    elems = {}
+    for v in reversed(values):
+        head = Elem(v, head)
+        elems[v] = head
+    return head, elems
+
+
+class TestSection2Walkthrough:
+    def test_insert_and_delete_one_incremental_run(self, engine_factory):
+        # List A -> C -> D -> E -> F (paper Figure 2, letters as values).
+        head, elems = chain(1, 3, 4, 5, 6)  # A=1, C=3, D=4, E=5, F=6
+        engine = engine_factory(walkthrough_ordered)
+        assert engine.run(head) is True
+        assert engine.graph_size == 5
+
+        # Insert B(2) after A, delete E(5) — both before the next check.
+        a, c, d, e, f = (elems[v] for v in (1, 3, 4, 5, 6))
+        b = Elem(2, c)
+        a.next = b          # modifies implicit input of isOrdered(A)
+        d.next = f          # modifies implicit input of isOrdered(D)
+
+        report = engine.run_with_report(head)
+        assert report.result is True
+        # Exactly the two invocations with changed implicit inputs re-ran,
+        # plus the brand-new isOrdered(B).
+        assert report.delta["dirty_execs"] == 2
+        assert report.delta["execs"] == 3
+        assert report.delta["nodes_created"] == 1
+        # isOrdered(C) and isOrdered(F) were optimistically reused.
+        assert report.delta["reuses"] == 2
+        # isOrdered(E) fell out of the computation and was pruned.
+        assert report.delta["nodes_pruned"] == 1
+        assert engine.graph_size == 5
+
+        snapshot = engine.graph_snapshot()
+        assert ("walkthrough_ordered", (b,)) in snapshot
+        assert ("walkthrough_ordered", (e,)) not in snapshot
+
+    def test_no_propagation_when_values_unchanged(self, engine_factory):
+        head, elems = chain(1, 3, 4, 5, 6)
+        engine = engine_factory(walkthrough_ordered)
+        engine.run(head)
+        elems[1].next = Elem(2, elems[1].next)
+        report = engine.run_with_report(head)
+        # All re-executed invocations returned True as before: the
+        # recomputation ends without propagating to ancestors.
+        assert report.delta["propagation_execs"] == 0
+
+    def test_changed_value_propagates_to_root(self, engine_factory):
+        head, elems = chain(1, 3, 4, 5, 6)
+        engine = engine_factory(walkthrough_ordered)
+        engine.run(head)
+        # Break ordering at the tail: isOrdered(E) flips to False and the
+        # new value must climb the caller chain all the way to the root.
+        elems[5].value = 0  # 4 > 0
+        report = engine.run_with_report(head)
+        assert report.result is False
+        # isOrdered(D) flipped; the new value climbs through isOrdered(C)
+        # and isOrdered(A) — the full caller chain up to the root.
+        assert report.delta["propagation_execs"] == 2
+        assert engine.graph_snapshot()[("walkthrough_ordered", (head,))] is False
+
+    def test_propagation_stops_at_agreeing_ancestor(self, engine_factory):
+        # 1,3,4,5,6 but already broken at the head (1 > 0 impossible —
+        # instead break at position 2), then break deeper: ancestors above
+        # the first break already return False and propagation stops early.
+        head, elems = chain(1, 30, 4, 5, 6)  # 30 > 4 breaks at C
+        engine = engine_factory(walkthrough_ordered)
+        assert engine.run(head) is False
+        before = engine.stats.snapshot()
+        elems[5].value = 0  # second break deeper: 4 > 0
+        report = engine.run_with_report(head)
+        assert report.result is False
+        # isOrdered(D) flips to False, but its caller isOrdered(C=30)
+        # still returns False -> propagation stops below the root.
+        assert report.delta["propagation_execs"] <= 2

@@ -1,0 +1,183 @@
+"""InvariantGuard / @guarded: the paper's method-entry/exit checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    InvariantGuard,
+    InvariantViolation,
+    TrackedObject,
+    check,
+    guarded,
+)
+
+
+class Elem(TrackedObject):
+    def __init__(self, value, next=None):
+        self.value = value
+        self.next = next
+
+
+@check
+def guard_ordered(e):
+    if e is None or e.next is None:
+        return True
+    if e.value > e.next.value:
+        return False
+    return guard_ordered(e.next)
+
+
+@check
+def guard_depth(e):
+    """Integer check with -1 as the failure code (checkBlackDepth style)."""
+    if e is None:
+        return 0
+    if e.value < 0:
+        return -1
+    d = guard_depth(e.next)
+    if d == -1:
+        return -1
+    return d + 1
+
+
+def build(*values):
+    head = None
+    for v in reversed(values):
+        head = Elem(v, head)
+    return head
+
+
+class TestInvariantGuard:
+    def test_check_passes(self):
+        with InvariantGuard(guard_ordered) as guard:
+            head = build(1, 2, 3)
+            assert guard.check(head) is True
+            assert guard.checks_run == 1
+
+    def test_check_raises_on_violation(self):
+        with InvariantGuard(guard_ordered) as guard:
+            head = build(3, 1)
+            with pytest.raises(InvariantViolation) as exc_info:
+                guard.check(head)
+            assert exc_info.value.check_name == "guard_ordered"
+            assert exc_info.value.result is False
+
+    def test_record_mode_collects(self):
+        with InvariantGuard(guard_ordered, on_violation="record") as guard:
+            head = build(3, 1)
+            assert guard.check(head) is False
+            assert len(guard.violations) == 1
+
+    def test_minus_one_is_failure(self):
+        with InvariantGuard(guard_depth) as guard:
+            assert guard.check(build(1, 2)) == 2
+            with pytest.raises(InvariantViolation):
+                guard.check(build(1, -5))
+
+    def test_custom_failure_predicate(self):
+        with InvariantGuard(
+            guard_depth, failed=lambda r: r != 2
+        ) as guard:
+            assert guard.check(build(1, 2)) == 2
+            with pytest.raises(InvariantViolation):
+                guard.check(build(1, 2, 3))
+
+    def test_guarding_block_checks_entry_and_exit(self):
+        with InvariantGuard(guard_ordered) as guard:
+            head = build(1, 2, 3)
+            with guard.guarding(head):
+                head.next.value = 2  # stays ordered
+            assert guard.checks_run == 2
+
+    def test_guarding_block_catches_exit_violation(self):
+        with InvariantGuard(guard_ordered) as guard:
+            head = build(1, 2, 3)
+            with pytest.raises(InvariantViolation) as exc_info:
+                with guard.guarding(head):
+                    head.next.value = 0  # 1 > 0: broken at exit
+            assert "exit" in exc_info.value.moment
+
+    def test_guarding_block_catches_entry_violation(self):
+        with InvariantGuard(guard_ordered) as guard:
+            head = build(1, 2)
+            head.value = 9  # broken from outside, before the block
+            with pytest.raises(InvariantViolation) as exc_info:
+                with guard.guarding(head):
+                    pass
+            assert "entry" in exc_info.value.moment
+
+    def test_body_exception_not_masked(self):
+        with InvariantGuard(guard_ordered) as guard:
+            head = build(1, 2)
+            with pytest.raises(RuntimeError):
+                with guard.guarding(head):
+                    raise RuntimeError("body bug")
+
+    def test_rejects_bad_on_violation(self):
+        with pytest.raises(ValueError):
+            InvariantGuard(guard_ordered, on_violation="explode")
+
+    def test_guard_is_incremental(self):
+        with InvariantGuard(guard_ordered) as guard:
+            head = build(*range(100))
+            guard.check(head)
+            before = guard.engine.stats.execs
+            head.next.value = 1  # tiny local change
+            guard.check(head)
+            assert guard.engine.stats.execs - before <= 3
+
+
+class TestGuardedDecorator:
+    def test_methods_checked_both_ends(self):
+        @check
+        def positive_values(e):
+            if e is None:
+                return True
+            if e.value <= 0:
+                return False
+            return positive_values(e.next)
+
+        class Stack(TrackedObject):
+            def __init__(self):
+                self.head = None
+
+            @guarded(positive_values, args=lambda self: (self.head,))
+            def push(self, value):
+                self.head = Elem(value, self.head)
+
+            @guarded(positive_values, args=lambda self: (self.head,))
+            def push_buggy(self, value):
+                self.head = Elem(-value, self.head)  # forgets to validate
+
+        s = Stack()
+        s.push(1)
+        s.push(2)
+        with pytest.raises(InvariantViolation) as exc_info:
+            s.push_buggy(3)
+        assert "exit of push_buggy" in exc_info.value.moment
+        # The guard is shared per class, graph warm across calls.
+        guard = type(s)._ditto_guard_positive_values
+        assert guard.checks_run >= 5
+        guard.close()
+
+    def test_outside_modification_caught_at_entry(self):
+        @check
+        def never_empty(s):
+            return s.head is not None
+
+        class Box(TrackedObject):
+            def __init__(self):
+                self.head = Elem(1)
+
+            @guarded(never_empty)
+            def touch(self):
+                pass
+
+        b = Box()
+        b.touch()
+        b.head = None  # an outsider breaks the invariant
+        with pytest.raises(InvariantViolation) as exc_info:
+            b.touch()
+        assert "entry of touch" in exc_info.value.moment
+        type(b)._ditto_guard_never_empty.close()

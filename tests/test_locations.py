@@ -1,0 +1,79 @@
+"""Heap-location identity, hashing, and reads."""
+
+from __future__ import annotations
+
+from repro import TrackedArray, TrackedObject
+from repro.core.locations import (
+    FieldLocation,
+    IndexLocation,
+    LengthLocation,
+)
+
+
+class Node(TrackedObject):
+    def __init__(self, value):
+        self.value = value
+
+
+class TestFieldLocation:
+    def test_same_object_same_field(self):
+        n = Node(1)
+        assert FieldLocation(n, "value") == FieldLocation(n, "value")
+        assert hash(FieldLocation(n, "value")) == hash(
+            FieldLocation(n, "value")
+        )
+
+    def test_different_fields(self):
+        n = Node(1)
+        assert FieldLocation(n, "value") != FieldLocation(n, "next")
+
+    def test_different_objects(self):
+        assert FieldLocation(Node(1), "value") != FieldLocation(
+            Node(1), "value"
+        )
+
+    def test_read(self):
+        n = Node(42)
+        assert FieldLocation(n, "value").read() == 42
+        n.value = 43
+        assert FieldLocation(n, "value").read() == 43
+
+    def test_usable_in_sets(self):
+        n = Node(1)
+        locations = {FieldLocation(n, "value"), FieldLocation(n, "value")}
+        assert len(locations) == 1
+
+    def test_repr_mentions_field(self):
+        n = Node(1)
+        assert "value" in repr(FieldLocation(n, "value"))
+
+
+class TestIndexLocation:
+    def test_identity(self):
+        a = TrackedArray(4)
+        assert IndexLocation(a, 2) == IndexLocation(a, 2)
+        assert IndexLocation(a, 2) != IndexLocation(a, 3)
+        assert IndexLocation(a, 2) != IndexLocation(TrackedArray(4), 2)
+
+    def test_read(self):
+        a = TrackedArray([10, 20, 30])
+        assert IndexLocation(a, 1).read() == 20
+
+    def test_not_equal_to_field_location(self):
+        a = TrackedArray(2)
+        n = Node(1)
+        assert IndexLocation(a, 0) != FieldLocation(n, "value")
+
+
+class TestLengthLocation:
+    def test_identity(self):
+        a = TrackedArray(4)
+        assert LengthLocation(a) == LengthLocation(a)
+        assert LengthLocation(a) != LengthLocation(TrackedArray(4))
+
+    def test_read(self):
+        assert LengthLocation(TrackedArray(7)).read() == 7
+
+    def test_distinct_from_index(self):
+        a = TrackedArray(4)
+        assert LengthLocation(a) != IndexLocation(a, 0)

@@ -1,0 +1,186 @@
+"""MemoTable: entry lookup, reverse map, refcounts, edges, pruning."""
+
+from __future__ import annotations
+
+from repro import ArgsKey, TrackedObject, check
+from repro.core import MemoTable
+from repro.core.locations import FieldLocation
+
+
+class Node(TrackedObject):
+    def __init__(self, value=0):
+        self.value = value
+
+
+@check
+def some_check(n):
+    return True
+
+
+@check
+def other_check(n):
+    return True
+
+
+def _node(table, func, *args):
+    node, _ = table.get_or_create(func, ArgsKey(args))
+    return node
+
+
+class TestLookup:
+    def test_get_or_create_roundtrip(self):
+        table = MemoTable()
+        n = Node()
+        node, created = table.get_or_create(some_check, ArgsKey((n,)))
+        assert created
+        again, created2 = table.get_or_create(some_check, ArgsKey((n,)))
+        assert again is node and not created2
+        assert table.lookup(some_check, ArgsKey((n,))) is node
+        assert len(table) == 1
+
+    def test_functions_disambiguate(self):
+        table = MemoTable()
+        n = Node()
+        a = _node(table, some_check, n)
+        b = _node(table, other_check, n)
+        assert a is not b
+        assert len(table) == 2
+
+    def test_lookup_missing(self):
+        table = MemoTable()
+        assert table.lookup(some_check, ArgsKey((1,))) is None
+
+
+class TestImplicits:
+    def test_record_updates_reverse_map_and_refcount(self):
+        table = MemoTable()
+        heap = Node()
+        node = _node(table, some_check, 1)
+        loc = FieldLocation(heap, "value")
+        table.record_implicit(node, loc)
+        assert heap._ditto_refcount == 1
+        assert table.nodes_reading(loc) == {node}
+        # Recording the same location twice is idempotent.
+        table.record_implicit(node, loc)
+        assert heap._ditto_refcount == 1
+
+    def test_clear_implicits_releases(self):
+        table = MemoTable()
+        heap = Node()
+        node = _node(table, some_check, 1)
+        loc = FieldLocation(heap, "value")
+        table.record_implicit(node, loc)
+        table.clear_implicits(node)
+        assert heap._ditto_refcount == 0
+        assert table.nodes_reading(loc) == set()
+        assert table.reverse_map_size() == 0
+
+    def test_two_nodes_one_location(self):
+        table = MemoTable()
+        heap = Node()
+        a = _node(table, some_check, 1)
+        b = _node(table, some_check, 2)
+        loc = FieldLocation(heap, "value")
+        table.record_implicit(a, loc)
+        table.record_implicit(b, loc)
+        assert heap._ditto_refcount == 2
+        assert table.nodes_reading(loc) == {a, b}
+        table.clear_implicits(a)
+        assert table.nodes_reading(loc) == {b}
+        assert heap._ditto_refcount == 1
+
+    def test_map_locations_to_nodes(self):
+        table = MemoTable()
+        h1, h2 = Node(), Node()
+        a = _node(table, some_check, 1)
+        b = _node(table, some_check, 2)
+        l1 = FieldLocation(h1, "value")
+        l2 = FieldLocation(h2, "value")
+        table.record_implicit(a, l1)
+        table.record_implicit(b, l2)
+        assert table.map_locations_to_nodes([l1]) == {a}
+        assert table.map_locations_to_nodes([l1, l2]) == {a, b}
+        assert table.map_locations_to_nodes([FieldLocation(h1, "other")]) == set()
+
+
+class TestEdges:
+    def test_add_remove_edge_counts(self):
+        table = MemoTable()
+        parent = _node(table, some_check, 1)
+        child = _node(table, some_check, 2)
+        table.add_edge(parent, child)
+        table.add_edge(parent, child)
+        assert child.caller_count() == 2
+        assert parent.calls == [child, child]
+        table.remove_edge(parent, child)
+        assert child.caller_count() == 1
+        table.remove_edge(parent, child)
+        assert child.caller_count() == 0
+        assert parent not in child.callers
+
+    def test_depth_propagates_min(self):
+        table = MemoTable()
+        a = _node(table, some_check, 1)
+        b = _node(table, some_check, 2)
+        c = _node(table, some_check, 3)
+        a.depth = 1
+        table.add_edge(a, b)
+        assert b.depth == 2
+        b.depth = 5
+        table.add_edge(a, c)
+        table.add_edge(c, b)  # c at depth 2, so b min-updates to 3
+        assert b.depth == 3
+
+
+class TestPrune:
+    def _chain(self, table, length):
+        nodes = [_node(table, some_check, i) for i in range(length)]
+        for parent, child in zip(nodes, nodes[1:]):
+            table.add_edge(parent, child)
+        return nodes
+
+    def test_prune_chain(self):
+        table = MemoTable()
+        heap = Node()
+        nodes = self._chain(table, 4)
+        table.record_implicit(nodes[-1], FieldLocation(heap, "value"))
+        removed = table.prune(nodes[0])
+        assert set(removed) == set(nodes)
+        assert len(table) == 0
+        assert heap._ditto_refcount == 0
+        assert table.reverse_map_size() == 0
+
+    def test_prune_stops_at_shared_child(self):
+        table = MemoTable()
+        nodes = self._chain(table, 3)
+        keeper = _node(table, other_check, 0)
+        table.add_edge(keeper, nodes[2])
+        removed = table.prune(nodes[0])
+        assert nodes[2] not in removed
+        assert table.contains(nodes[2])
+        assert len(table) == 2  # keeper + shared child
+
+    def test_prune_idempotent(self):
+        table = MemoTable()
+        node = _node(table, some_check, 1)
+        table.prune(node)
+        assert table.prune(node) == []
+
+    def test_clear_releases_everything(self):
+        table = MemoTable()
+        heap = Node()
+        nodes = self._chain(table, 3)
+        table.record_implicit(nodes[1], FieldLocation(heap, "value"))
+        removed = table.clear()
+        assert set(removed) == set(nodes)
+        assert heap._ditto_refcount == 0
+        assert len(table) == 0
+
+
+class TestSnapshot:
+    def test_snapshot_maps_names_to_values(self):
+        table = MemoTable()
+        node = _node(table, some_check, 7)
+        node.return_val = True
+        snap = table.snapshot()
+        assert snap == {("some_check", (7,)): True}

@@ -1,0 +1,329 @@
+"""Stateful property machines for the extension structures and the two
+applications — the same master invariant (incremental == from-scratch, plus
+engine self-validation) over AVL trees, heaps, skip lists, deques, the
+disjoint heap pair, Netcols, and JSO."""
+
+from __future__ import annotations
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import DittoEngine, reset_tracking
+from repro.apps import (
+    JsObfuscator,
+    NetcolsGame,
+    generate_program,
+    jso_invariant,
+    netcols_invariant,
+)
+from repro.structures import (
+    AVLTree,
+    BinaryHeap,
+    BTree,
+    DisjointHeapPair,
+    DoublyLinkedList,
+    Rope,
+    SkipList,
+    avl_invariant,
+    btree_invariant,
+    dll_invariant,
+    heap_invariant,
+    heaps_disjoint,
+    rope_invariant,
+    skip_list_invariant,
+)
+
+_MACHINE_SETTINGS = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)
+
+
+class _SingleEngineMachine(RuleBasedStateMachine):
+    entry = None
+
+    def _setup(self):
+        reset_tracking()
+        self.engine = DittoEngine(self.entry, recursion_limit=None)
+
+    def teardown(self):
+        self.engine.close()
+        reset_tracking()
+
+    def check_args(self):
+        raise NotImplementedError
+
+    @invariant()
+    def incremental_equals_scratch(self):
+        args = self.check_args()
+        expected = self.entry(*args)
+        assert self.engine.run(*args) == expected
+        self.engine.validate()
+
+
+class AVLMachine(_SingleEngineMachine):
+    entry = avl_invariant
+
+    @initialize()
+    def setup(self):
+        self._setup()
+        self.tree = AVLTree()
+        self.keys: set[int] = set()
+
+    def check_args(self):
+        return (self.tree,)
+
+    @rule(key=st.integers(0, 60))
+    def insert(self, key):
+        self.tree.insert(key)
+        self.keys.add(key)
+
+    @precondition(lambda self: self.keys)
+    @rule(data=st.data())
+    def delete(self, data):
+        key = data.draw(st.sampled_from(sorted(self.keys)))
+        self.tree.delete(key)
+        self.keys.discard(key)
+
+    @precondition(lambda self: self.keys)
+    @rule(data=st.data(), height=st.integers(0, 5))
+    def corrupt_and_restore(self, data, height):
+        key = data.draw(st.sampled_from(sorted(self.keys)))
+        # Snapshot, corrupt, verify detection parity, restore.
+        node = self.tree.root
+        while node is not None and node.key != key:
+            node = node.left if key < node.key else node.right
+        assert node is not None
+        original = node.height
+        node.height = height
+        expected = avl_invariant(self.tree)
+        assert self.engine.run(self.tree) == expected
+        node.height = original
+
+
+class HeapMachine(_SingleEngineMachine):
+    entry = heap_invariant
+
+    @initialize()
+    def setup(self):
+        self._setup()
+        self.heap = BinaryHeap(capacity=8)
+
+    def check_args(self):
+        return (self.heap,)
+
+    @rule(value=st.integers(-50, 50))
+    def push(self, value):
+        self.heap.push(value)
+
+    @precondition(lambda self: len(self.heap) > 0)
+    @rule()
+    def pop(self):
+        self.heap.pop()
+
+
+class SkipListMachine(_SingleEngineMachine):
+    entry = skip_list_invariant
+
+    @initialize()
+    def setup(self):
+        self._setup()
+        self.sl = SkipList(seed=1337)
+        self.values: set[int] = set()
+
+    def check_args(self):
+        return (self.sl,)
+
+    @rule(value=st.integers(0, 60))
+    def insert(self, value):
+        self.sl.insert(value)
+        self.values.add(value)
+
+    @precondition(lambda self: self.values)
+    @rule(data=st.data())
+    def delete(self, data):
+        value = data.draw(st.sampled_from(sorted(self.values)))
+        self.sl.delete(value)
+        self.values.discard(value)
+
+
+class DequeMachine(_SingleEngineMachine):
+    entry = dll_invariant
+
+    @initialize()
+    def setup(self):
+        self._setup()
+        self.lst = DoublyLinkedList()
+        self.counter = 0
+
+    def check_args(self):
+        return (self.lst,)
+
+    @rule()
+    def push_front(self):
+        self.lst.push_front(self.counter)
+        self.counter += 1
+
+    @rule()
+    def push_back(self):
+        self.lst.push_back(self.counter)
+        self.counter += 1
+
+    @precondition(lambda self: len(self.lst) > 0)
+    @rule()
+    def pop_front(self):
+        self.lst.pop_front()
+
+    @precondition(lambda self: len(self.lst) > 0)
+    @rule()
+    def pop_back(self):
+        self.lst.pop_back()
+
+
+class BTreeMachine(_SingleEngineMachine):
+    entry = btree_invariant
+
+    @initialize()
+    def setup(self):
+        self._setup()
+        self.tree = BTree(t=2)
+        self.keys: set[int] = set()
+
+    def check_args(self):
+        return (self.tree,)
+
+    @rule(key=st.integers(0, 60))
+    def insert(self, key):
+        self.tree.insert(key)
+        self.keys.add(key)
+
+    @precondition(lambda self: self.keys)
+    @rule(data=st.data())
+    def delete(self, data):
+        key = data.draw(st.sampled_from(sorted(self.keys)))
+        self.tree.delete(key)
+        self.keys.discard(key)
+
+    @invariant()
+    def model_agrees(self):
+        assert list(self.tree.keys()) == sorted(self.keys)
+
+
+class DisjointPairMachine(_SingleEngineMachine):
+    entry = heaps_disjoint
+
+    @initialize()
+    def setup(self):
+        self._setup()
+        self.pair = DisjointHeapPair(capacity=32)
+        self.counter = 0
+
+    def check_args(self):
+        return (self.pair,)
+
+    @rule()
+    def submit(self):
+        self.pair.submit(self.counter)
+        self.counter += 1
+
+    @rule()
+    def activate(self):
+        self.pair.activate()
+
+    @rule()
+    def complete(self):
+        self.pair.complete()
+
+    @rule()
+    def suspend(self):
+        self.pair.suspend()
+
+
+class RopeMachine(_SingleEngineMachine):
+    entry = rope_invariant
+
+    @initialize()
+    def setup(self):
+        self._setup()
+        self.rope = Rope("initial text")
+        self.model = "initial text"
+
+    def check_args(self):
+        return (self.rope,)
+
+    @rule(position=st.integers(0, 1000),
+          text=st.text(alphabet="abcxyz", min_size=1, max_size=6))
+    def insert(self, position, text):
+        index = position % (len(self.model) + 1)
+        self.rope.insert(index, text)
+        self.model = self.model[:index] + text + self.model[index:]
+
+    @precondition(lambda self: len(self.model) > 2)
+    @rule(position=st.integers(0, 1000), span=st.integers(1, 5))
+    def delete(self, position, span):
+        start = position % len(self.model)
+        stop = min(len(self.model), start + span)
+        self.rope.delete(start, stop)
+        self.model = self.model[:start] + self.model[stop:]
+
+    @invariant()
+    def text_matches_model(self):
+        assert str(self.rope) == self.model
+
+
+class NetcolsMachine(_SingleEngineMachine):
+    entry = netcols_invariant
+
+    @initialize()
+    def setup(self):
+        self._setup()
+        self.game = NetcolsGame(6, 12)
+
+    def check_args(self):
+        return (self.game,)
+
+    @rule(col=st.integers(0, 5), colors=st.tuples(
+        st.integers(1, 6), st.integers(1, 6), st.integers(1, 6)))
+    def drop(self, col, colors):
+        if self.game.column_free(col) >= 3 and not self.game.game_over:
+            self.game.drop_piece(col, colors)
+
+
+class JsoMachine(_SingleEngineMachine):
+    entry = jso_invariant
+
+    @initialize()
+    def setup(self):
+        self._setup()
+        self.jso = JsObfuscator()
+        self.chunks = iter(generate_program(500, seed=77))
+        self.fed: list[str] = []
+
+    def check_args(self):
+        return (self.jso,)
+
+    @rule()
+    def feed_declaration(self):
+        self.jso.feed(next(self.chunks))
+
+    @precondition(lambda self: self.jso.names is not None)
+    @rule()
+    def drop_newest(self):
+        assert self.jso.names is not None
+        self.jso.drop_name(self.jso.names.value)
+
+
+for machine in (
+    AVLMachine, HeapMachine, SkipListMachine, DequeMachine,
+    BTreeMachine, DisjointPairMachine, RopeMachine, NetcolsMachine,
+    JsoMachine,
+):
+    case = machine.TestCase
+    case.settings = _MACHINE_SETTINGS
+    globals()[f"Test{machine.__name__}"] = case
+del case

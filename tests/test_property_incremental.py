@@ -1,0 +1,197 @@
+"""The master correctness property, checked with hypothesis stateful
+machines: after ANY mutation sequence, an incremental run returns exactly
+what a from-scratch run returns ("The incrementally updated graph is
+equivalent to re-running the invariant check from scratch on the current
+program state", §3.1) — and the resulting computation graph is isomorphic
+to the graph a fresh engine builds.
+
+Three machines cover the paper's three §5.1 structures; each drives the
+optimistic engine, the naive engine, and the original check in lock-step,
+including fault-injection steps so False results and repair transitions are
+exercised, not just the happy path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import DittoEngine, reset_tracking
+from repro.structures import (
+    HashTable,
+    OrderedIntList,
+    RedBlackTree,
+    hash_table_invariant,
+    is_ordered,
+    rbt_invariant,
+)
+
+_MACHINE_SETTINGS = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+
+class _BaseMachine(RuleBasedStateMachine):
+    """Common scaffolding: engines in both modes + scratch comparison."""
+
+    entry = None  # set by subclasses
+
+    def _setup_engines(self):
+        reset_tracking()
+        self.ditto = DittoEngine(self.entry, mode="ditto", recursion_limit=None)
+        self.naive = DittoEngine(self.entry, mode="naive", recursion_limit=None)
+
+    def teardown(self):
+        self.ditto.close()
+        self.naive.close()
+        reset_tracking()
+
+    def check_args(self):
+        raise NotImplementedError
+
+    @invariant()
+    def incremental_equals_scratch(self):
+        args = self.check_args()
+        expected = self.entry(*args)
+        got_ditto = self.ditto.run(*args)
+        got_naive = self.naive.run(*args)
+        assert got_ditto == expected, (got_ditto, expected)
+        assert got_naive == expected, (got_naive, expected)
+        # The engines' internal bookkeeping is consistent after every run.
+        self.ditto.validate()
+        self.naive.validate()
+        # Graph isomorphism: a fresh engine run from scratch on the current
+        # state produces the same (function, args) -> value mapping.
+        with DittoEngine(self.entry, recursion_limit=None) as fresh:
+            fresh.run(*args)
+            assert self.ditto.graph_snapshot() == fresh.graph_snapshot()
+
+
+class OrderedListMachine(_BaseMachine):
+    entry = is_ordered
+
+    @initialize()
+    def setup(self):
+        self._setup_engines()
+        self.lst = OrderedIntList()
+        self.mirror: list[int] = []
+
+    def check_args(self):
+        return (self.lst.head,)
+
+    @rule(value=st.integers(0, 50))
+    def insert(self, value):
+        self.lst.insert(value)
+        self.mirror.append(value)
+
+    @precondition(lambda self: self.mirror)
+    @rule(data=st.data())
+    def delete_random(self, data):
+        value = data.draw(st.sampled_from(self.mirror))
+        self.lst.delete(value)
+        self.mirror.remove(value)
+
+    @precondition(lambda self: self.mirror)
+    @rule()
+    def delete_first(self):
+        self.lst.delete_first()
+        self.mirror.remove(min(self.mirror))
+
+    @precondition(lambda self: len(self.mirror) >= 2)
+    @rule(index=st.integers(0, 100), value=st.integers(-10, 60))
+    def corrupt(self, index, value):
+        self.lst.corrupt(index % len(self.mirror), value)
+        # The mirror is now out of sync with sortedness on purpose; record
+        # the actual contents so later deletes stay meaningful.
+        self.mirror = self.lst.to_list()
+
+
+class HashTableMachine(_BaseMachine):
+    entry = hash_table_invariant
+
+    @initialize()
+    def setup(self):
+        self._setup_engines()
+        self.table = HashTable(capacity=4)
+        self.keys: set[int] = set()
+
+    def check_args(self):
+        return (self.table,)
+
+    @rule(key=st.integers(0, 40))
+    def put(self, key):
+        self.table.put(key, key)
+        self.keys.add(key)
+
+    @precondition(lambda self: self.keys)
+    @rule(data=st.data())
+    def remove(self, data):
+        key = data.draw(st.sampled_from(sorted(self.keys)))
+        self.table.remove(key)
+        self.keys.discard(key)
+
+    @precondition(lambda self: self.keys)
+    @rule(data=st.data())
+    def corrupt_then_repair(self, data):
+        key = data.draw(st.sampled_from(sorted(self.keys)))
+        if self.table.corrupt(key):
+            # Invariant must read False in every mode...
+            args = self.check_args()
+            expected = self.entry(*args)
+            assert expected is False
+            assert self.ditto.run(*args) is False
+            assert self.naive.run(*args) is False
+            # ...and repair must restore True (checked by the class-level
+            # invariant right after this rule).
+            self.table.purge(key)
+            self.keys.discard(key)
+
+
+class RedBlackTreeMachine(_BaseMachine):
+    entry = rbt_invariant
+
+    @initialize()
+    def setup(self):
+        self._setup_engines()
+        self.tree = RedBlackTree()
+        self.keys: set[int] = set()
+
+    def check_args(self):
+        return (self.tree,)
+
+    @rule(key=st.integers(0, 80))
+    def insert(self, key):
+        self.tree.insert(key)
+        self.keys.add(key)
+
+    @precondition(lambda self: self.keys)
+    @rule(data=st.data())
+    def delete(self, data):
+        key = data.draw(st.sampled_from(sorted(self.keys)))
+        self.tree.delete(key)
+        self.keys.discard(key)
+
+    @precondition(lambda self: self.keys)
+    @rule(data=st.data())
+    def corrupt_color_and_back(self, data):
+        key = data.draw(st.sampled_from(sorted(self.keys)))
+        self.tree.corrupt_color(key)
+        args = self.check_args()
+        expected = self.entry(*args)
+        assert self.ditto.run(*args) == expected
+        assert self.naive.run(*args) == expected
+        self.tree.corrupt_color(key)  # flip back
+
+
+TestOrderedListMachine = OrderedListMachine.TestCase
+TestOrderedListMachine.settings = _MACHINE_SETTINGS
+TestHashTableMachine = HashTableMachine.TestCase
+TestHashTableMachine.settings = _MACHINE_SETTINGS
+TestRedBlackTreeMachine = RedBlackTreeMachine.TestCase
+TestRedBlackTreeMachine.settings = _MACHINE_SETTINGS

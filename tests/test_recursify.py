@@ -1,0 +1,295 @@
+"""Automatic iterative-to-recursive conversion of checks (paper §2:
+"Most iterative invariant checks can be rewritten without loss of clarity
+into recursive checks")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CheckFunction, DittoEngine, TrackedArray, TrackedObject
+from repro.instrument.recursify import RecursifyError, recursify
+
+
+class Holder(TrackedObject):
+    def __init__(self, values):
+        self.items = TrackedArray(values)
+
+
+def _holder(*values):
+    return Holder(list(values))
+
+
+class TestPredicateForm:
+    def _make(self):
+        def all_positive(h):
+            for i in range(len(h.items)):
+                if h.items[i] is not None and h.items[i] <= 0:
+                    return False
+            return True
+
+        return recursify(all_positive)
+
+    def test_returns_check_function(self):
+        entry = self._make()
+        assert isinstance(entry, CheckFunction)
+        assert entry.name == "all_positive"
+
+    def test_semantics_match_original(self):
+        entry = self._make()
+        assert entry(_holder(1, 2, 3)) is True
+        assert entry(_holder(1, -2, 3)) is False
+        assert entry(_holder()) is True
+        assert entry(_holder(None, 5)) is True
+
+    def test_incremental_equivalence(self, engine_factory):
+        entry = self._make()
+        engine = engine_factory(entry)
+        h = _holder(*range(1, 40))
+        assert engine.run(h) is True
+        h.items[20] = -7
+        assert engine.run(h) is False
+        h.items[20] = 7
+        assert engine.run(h) is True
+
+    def test_one_node_per_iteration(self, engine_factory):
+        entry = self._make()
+        engine = engine_factory(entry)
+        h = _holder(*range(1, 101))
+        engine.run(h)
+        assert engine.graph_size >= 100
+        h.items[50] = 99  # still positive
+        report = engine.run_with_report(h)
+        assert report.delta["execs"] <= 2  # only the touched iteration
+
+    def test_continue_supported(self):
+        def skip_nones(h):
+            for i in range(len(h.items)):
+                if h.items[i] is None:
+                    continue
+                if h.items[i] < 0:
+                    return False
+            return True
+
+        entry = recursify(skip_nones)
+        assert entry(_holder(None, 1, None, 2)) is True
+        assert entry(_holder(None, -1)) is False
+
+    def test_start_offset(self):
+        def tail_positive(h, start):
+            for i in range(start, len(h.items)):
+                if h.items[i] <= 0:
+                    return False
+            return True
+
+        entry = recursify(tail_positive)
+        assert entry(_holder(-5, 1, 2), 1) is True
+        assert entry(_holder(-5, 1, 2), 0) is False
+
+
+class TestAccumulatorForm:
+    def _make(self):
+        def count_filled(h):
+            total = 0
+            for i in range(len(h.items)):
+                if h.items[i] is not None:
+                    total = total + 1
+            return total
+
+        return recursify(count_filled)
+
+    def test_semantics(self):
+        entry = self._make()
+        assert entry(_holder(1, None, 2)) == 2
+        assert entry(_holder()) == 0
+
+    def test_incremental_equivalence(self, engine_factory):
+        entry = self._make()
+        engine = engine_factory(entry)
+        h = _holder(*([1] * 30))
+        assert engine.run(h) == 30
+        h.items[10] = None
+        assert engine.run(h) == 29
+        h.items[10] = 5
+        assert engine.run(h) == 30
+
+    def test_multiple_accumulators(self):
+        def count_and_sum(h):
+            count = 0
+            total = 0
+            for i in range(len(h.items)):
+                if h.items[i] is not None:
+                    count = count + 1
+                    total = total + h.items[i]
+            return (count, total)
+
+        entry = recursify(count_and_sum)
+        assert entry(_holder(2, None, 3)) == (2, 5)
+
+    def test_return_expression_over_accumulator(self, engine_factory):
+        def average_is_small(h):
+            count = 0
+            total = 0
+            for i in range(len(h.items)):
+                if h.items[i] is not None:
+                    count = count + 1
+                    total = total + h.items[i]
+            return count == 0 or total <= 10 * count
+
+        entry = recursify(average_is_small)
+        engine = engine_factory(entry)
+        h = _holder(5, 5, 5)
+        assert engine.run(h) is True
+        h.items[0] = 100
+        assert engine.run(h) == entry(h) is False
+
+
+class TestRejections:
+    def _err(self, func):
+        with pytest.raises(RecursifyError) as exc_info:
+            recursify(func)
+        return str(exc_info.value)
+
+    def test_while_rejected(self):
+        def loops(h):
+            while True:
+                return False
+            return True
+
+        assert "for-loop" in self._err(loops)
+
+    def test_nested_loops_rejected(self):
+        def nested(h):
+            for i in range(3):
+                for j in range(3):
+                    pass
+            return True
+
+        assert "nested" in self._err(nested)
+
+    def test_break_rejected(self):
+        def breaks(h):
+            for i in range(3):
+                break
+            return True
+
+        assert "break" in self._err(breaks)
+
+    def test_mixing_return_and_accumulators_rejected(self):
+        def mixed(h):
+            total = 0
+            for i in range(3):
+                total = total + 1
+                if total > 2:
+                    return False
+            return True
+
+        assert "split the check" in self._err(mixed)
+
+    def test_non_range_iteration_rejected(self):
+        def iterates(h):
+            for x in h.items:
+                pass
+            return True
+
+        assert "range" in self._err(iterates)
+
+    def test_missing_trailing_return_rejected(self):
+        def no_return(h):
+            for i in range(3):
+                pass
+            x = 1
+            return x
+
+        assert "single return" in self._err(no_return)
+
+    def test_step_range_rejected(self):
+        def stepped(h):
+            for i in range(0, 10, 2):
+                pass
+            return True
+
+        assert "step" in self._err(stepped)
+
+    def test_uninitialized_accumulator_rejected(self):
+        def uninit(h):
+            for i in range(3):
+                acc = i
+            return True
+
+        # `acc` is assigned in the loop but the trailing return is a
+        # constant — treated as accumulator form with missing init.
+        assert "not initialized" in self._err(uninit)
+
+
+class TestRecursifyProperties:
+    """Machine-generated recursive checks agree with the original loop on
+    arbitrary inputs, from scratch and incrementally."""
+
+    def test_equivalence_on_random_arrays(self, engine_factory):
+        from hypothesis import given, settings, strategies as st
+
+        def threshold_ok(h, limit):
+            for i in range(len(h.items)):
+                if h.items[i] is not None and h.items[i] > limit:
+                    return False
+            return True
+
+        entry = recursify(threshold_ok, name="threshold_ok_prop")
+        engine = engine_factory(entry)
+
+        @given(
+            st.lists(
+                st.one_of(st.none(), st.integers(-50, 50)), max_size=25
+            ),
+            st.integers(-50, 50),
+        )
+        @settings(max_examples=60, deadline=None)
+        def run(values, limit):
+            h = Holder(values)
+            assert entry(h, limit) == threshold_ok(h, limit)
+            assert engine.run(h, limit) == threshold_ok(h, limit)
+
+        run()
+
+    def test_accumulator_equivalence_under_mutation(self, engine_factory):
+        from hypothesis import given, settings, strategies as st
+
+        def summed(h):
+            total = 0
+            for i in range(len(h.items)):
+                if h.items[i] is not None:
+                    total = total + h.items[i]
+            return total
+
+        entry = recursify(summed, name="summed_prop")
+        engine = engine_factory(entry)
+        h = Holder([0] * 12)
+        assert engine.run(h) == 0
+
+        @given(st.integers(0, 11), st.one_of(st.none(),
+                                             st.integers(-20, 20)))
+        @settings(max_examples=60, deadline=None)
+        def mutate_and_check(index, value):
+            h.items[index] = value
+            assert engine.run(h) == summed(h)
+
+        mutate_and_check()
+
+
+class TestRecursifiedUnderGuard:
+    def test_engine_validates(self, engine_factory):
+        def no_gaps(h):
+            for i in range(len(h.items)):
+                if h.items[i] is None and i + 1 < len(h.items):
+                    if h.items[i + 1] is not None:
+                        return False
+            return True
+
+        entry = recursify(no_gaps)
+        engine = engine_factory(entry)
+        h = _holder(1, 2, None, None)
+        assert engine.run(h) is True
+        engine.validate()
+        h.items[1] = None  # gap: None at 1, value at... none after -> ok
+        assert engine.run(h) == entry(h)
+        engine.validate()

@@ -1,0 +1,89 @@
+"""@check registry: wrapping, direct calls, callee resolution, closures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CheckFunction, InstrumentationError, check
+from repro.instrument.registry import closure_of
+
+
+@check
+def leafy(x):
+    return x is None
+
+
+@check
+def caller(x):
+    b1 = leafy(x)
+    b2 = mutual_a(x)
+    return b1 and b2
+
+
+@check
+def mutual_a(x):
+    if x is None:
+        return True
+    return mutual_b(x)
+
+
+@check
+def mutual_b(x):
+    if x is None:
+        return True
+    return mutual_a(None)
+
+
+class TestCheckDecorator:
+    def test_wraps_into_check_function(self):
+        assert isinstance(leafy, CheckFunction)
+        assert leafy.name == "leafy"
+        assert leafy.params == ["x"]
+
+    def test_direct_call_runs_original(self):
+        assert leafy(None) is True
+        assert leafy(3) is False
+
+    def test_idempotent(self):
+        assert check(leafy) is leafy
+
+    def test_rejects_non_functions(self):
+        with pytest.raises(InstrumentationError):
+            check(42)  # type: ignore[arg-type]
+
+    def test_unique_uids(self):
+        assert leafy.uid != caller.uid != mutual_a.uid
+
+    def test_tree_strips_decorators(self):
+        tree = leafy.tree()
+        assert tree.decorator_list == []
+        assert tree.name == "leafy"
+
+    def test_repr(self):
+        assert "leafy" in repr(leafy)
+
+
+class TestCalleeResolution:
+    def test_resolve_callees(self):
+        callees = caller.resolve_callees()
+        assert callees == {"leafy": leafy, "mutual_a": mutual_a}
+
+    def test_self_recursion_resolves(self):
+        @check
+        def recurse(x):
+            if x is None:
+                return True
+            return recurse(None)
+
+        assert recurse.resolve_callees() == {"recurse": recurse}
+
+    def test_closure_of_transitive(self):
+        closure = closure_of(caller)
+        assert set(closure.values()) == {caller, leafy, mutual_a, mutual_b}
+
+    def test_closure_of_leaf(self):
+        assert set(closure_of(leafy).values()) == {leafy}
+
+    def test_mutual_recursion_closure(self):
+        closure = closure_of(mutual_a)
+        assert set(closure.values()) == {mutual_a, mutual_b}

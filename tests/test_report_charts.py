@@ -1,0 +1,57 @@
+"""ASCII chart rendering (the terminal version of the paper's figures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import ascii_chart, figure11_chart
+from repro.bench.runner import SweepRow
+
+
+class TestAsciiChart:
+    def test_marks_and_legend(self):
+        out = ascii_chart(
+            "t", [1, 2, 3], {"full": [1.0, 2.0, 3.0], "ditto": [1.0, 1.0, 1.0]}
+        )
+        assert out.startswith("t\n")
+        assert "F = full" in out and "D = ditto" in out
+        assert "F" in out and "D" in out
+
+    def test_overlap_marked_with_star(self):
+        out = ascii_chart("t", [1, 2], {"aa": [5.0, 1.0], "bb": [5.0, 2.0]})
+        assert "*" in out  # both series share the point at x=1
+
+    def test_axis_labels(self):
+        out = ascii_chart("t", [10, 20], {"s": [0.5, 4.5]})
+        assert "4.5" in out
+        assert "0.5" in out
+        assert "10" in out and "20" in out
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        out = ascii_chart("t", [1, 2], {"s": [3.0, 3.0]})
+        assert "S" in out
+
+    def test_empty_inputs(self):
+        assert "<no data>" in ascii_chart("t", [], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart("t", [1, 2], {"s": [1.0]})
+
+    def test_height_respected(self):
+        out = ascii_chart("t", [1, 2], {"s": [0.0, 1.0]}, height=5)
+        rows = [line for line in out.splitlines() if "|" in line]
+        assert len(rows) == 5
+
+
+class TestFigure11Chart:
+    def test_renders_three_curves(self):
+        rows = [
+            SweepRow(size=50, none_s=0.01, full_s=0.1, ditto_s=0.05,
+                     speedup=2.0),
+            SweepRow(size=100, none_s=0.02, full_s=0.4, ditto_s=0.08,
+                     speedup=5.0),
+        ]
+        out = figure11_chart("panel", rows)
+        assert "N = none" in out
+        assert "50" in out and "100" in out

@@ -1,0 +1,69 @@
+"""EngineStats / RunReport accounting."""
+
+from __future__ import annotations
+
+from repro import EngineStats, RunReport, TrackedObject, check
+
+
+class Elem(TrackedObject):
+    def __init__(self, value, next=None):
+        self.value = value
+        self.next = next
+
+
+@check
+def stats_len(e):
+    if e is None:
+        return 0
+    return 1 + stats_len(e.next)
+
+
+class TestEngineStats:
+    def test_snapshot_and_delta(self):
+        stats = EngineStats()
+        before = stats.snapshot()
+        stats.execs += 3
+        stats.reuses += 1
+        delta = stats.delta(before)
+        assert delta["execs"] == 3
+        assert delta["reuses"] == 1
+        assert delta["runs"] == 0
+
+    def test_delta_with_missing_keys(self):
+        stats = EngineStats(execs=5)
+        assert stats.delta({})["execs"] == 5
+
+
+class TestRunReport:
+    def test_report_fields(self, engine_factory):
+        engine = engine_factory(stats_len)
+        head = Elem(1, Elem(2))
+        report = engine.run_with_report(head)
+        assert isinstance(report, RunReport)
+        assert report.result == 2
+        assert report.mode == "ditto"
+        assert report.incremental is False
+        assert report.graph_size == 2
+
+    def test_incremental_flag_flips(self, engine_factory):
+        engine = engine_factory(stats_len)
+        head = Elem(1)
+        assert engine.run_with_report(head).incremental is False
+        assert engine.run_with_report(head).incremental is True
+
+    def test_counters_accumulate_across_runs(self, engine_factory):
+        engine = engine_factory(stats_len)
+        head = Elem(1, Elem(2, Elem(3)))
+        engine.run(head)
+        assert engine.stats.runs == 1
+        assert engine.stats.initial_execs == 3
+        head.next.next = None
+        engine.run(head)
+        assert engine.stats.runs == 2
+        assert engine.stats.incremental_runs == 1
+        assert engine.stats.nodes_pruned == 1
+
+    def test_implicit_reads_counted(self, engine_factory):
+        engine = engine_factory(stats_len)
+        engine.run(Elem(1))
+        assert engine.stats.implicit_reads >= 1

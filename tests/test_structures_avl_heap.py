@@ -1,0 +1,179 @@
+"""AVLTree and BinaryHeap: structure semantics + incremental invariants."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structures import (
+    AVLTree,
+    BinaryHeap,
+    avl_invariant,
+    check_avl_height,
+    check_heap_order,
+    heap_invariant,
+)
+
+
+class TestAVLTree:
+    def test_insert_contains(self):
+        t = AVLTree()
+        for k in [5, 2, 8]:
+            t.insert(k)
+        assert 5 in t and 2 in t and 9 not in t
+        assert len(t) == 3
+
+    def test_insert_duplicate_noop(self):
+        t = AVLTree()
+        t.insert(1)
+        t.insert(1)
+        assert len(t) == 1
+
+    def test_keys_sorted(self):
+        t = AVLTree()
+        for k in [9, 3, 7, 1]:
+            t.insert(k)
+        assert list(t.keys()) == [1, 3, 7, 9]
+
+    def test_delete(self):
+        t = AVLTree()
+        for k in range(12):
+            t.insert(k)
+        assert t.delete(6)
+        assert not t.delete(6)
+        assert list(t.keys()) == [0, 1, 2, 3, 4, 5, 7, 8, 9, 10, 11]
+
+    def test_stays_balanced_ascending_inserts(self):
+        t = AVLTree()
+        for k in range(200):
+            t.insert(k)
+        assert check_avl_height(t.root) <= 10  # ~1.44 log2(200)
+        assert avl_invariant(t) is True
+
+    def test_corrupt_height_detected(self):
+        t = AVLTree()
+        for k in range(20):
+            t.insert(k)
+        assert t.corrupt_height(5, 99) is True
+        assert avl_invariant(t) is False
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 60)),
+                    max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_set_model(self, ops):
+        t = AVLTree()
+        model: set[int] = set()
+        for is_insert, key in ops:
+            if is_insert:
+                t.insert(key)
+                model.add(key)
+            else:
+                assert t.delete(key) == (key in model)
+                model.discard(key)
+        assert list(t.keys()) == sorted(model)
+        assert avl_invariant(t) is True
+
+    def test_incremental_agrees(self, engine_factory):
+        engine = engine_factory(avl_invariant)
+        t = AVLTree()
+        rng = random.Random(31)
+        keys: set[int] = set()
+        engine.run(t)
+        for _ in range(200):
+            if rng.random() < 0.5 or not keys:
+                k = rng.randrange(3000)
+                t.insert(k)
+                keys.add(k)
+            else:
+                k = rng.choice(sorted(keys))
+                t.delete(k)
+                keys.discard(k)
+            assert engine.run(t) == avl_invariant(t) is True
+
+
+class TestBinaryHeap:
+    def test_push_pop_order(self):
+        h = BinaryHeap()
+        for v in [5, 1, 4, 2, 3]:
+            h.push(v)
+        assert [h.pop() for _ in range(5)] == [1, 2, 3, 4, 5]
+
+    def test_peek(self):
+        h = BinaryHeap()
+        assert h.peek() is None
+        h.push(3)
+        h.push(1)
+        assert h.peek() == 1
+        assert len(h) == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BinaryHeap().pop()
+
+    def test_growth(self):
+        h = BinaryHeap(capacity=2)
+        for v in range(40):
+            h.push(v)
+        assert len(h) == 40
+        assert heap_invariant(h) is True
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BinaryHeap(capacity=0)
+
+    def test_corrupt_detected(self):
+        h = BinaryHeap()
+        for v in range(10):
+            h.push(v)
+        h.corrupt(0, 10**9)
+        assert heap_invariant(h) is False
+
+    def test_corrupt_bounds(self):
+        h = BinaryHeap()
+        h.push(1)
+        with pytest.raises(IndexError):
+            h.corrupt(5, 0)
+
+    @given(st.lists(st.one_of(st.integers(0, 100), st.none()), max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_sorted_model(self, ops):
+        import heapq
+
+        h = BinaryHeap(capacity=2)
+        model: list[int] = []
+        for op in ops:
+            if op is None:
+                if model:
+                    assert h.pop() == heapq.heappop(model)
+            else:
+                h.push(op)
+                heapq.heappush(model, op)
+        assert sorted(h) == sorted(model)
+        assert heap_invariant(h) is True
+
+    def test_incremental_agrees(self, engine_factory):
+        engine = engine_factory(heap_invariant)
+        h = BinaryHeap(capacity=512)
+        rng = random.Random(37)
+        engine.run(h)
+        for _ in range(200):
+            if rng.random() < 0.6 or len(h) == 0:
+                h.push(rng.randrange(10_000))
+            else:
+                h.pop()
+            assert engine.run(h) == heap_invariant(h) is True
+
+    def test_sift_dirty_set_is_logarithmic(self, engine_factory):
+        engine = engine_factory(heap_invariant)
+        h = BinaryHeap(capacity=4096)
+        for v in range(2000):
+            h.push(v)
+        engine.run(h)
+        graph = engine.graph_size
+        h.push(-1)  # sifts to the root: log2(2000) ~ 11 swaps
+        report = engine.run_with_report(h)
+        assert report.result is True
+        assert report.delta["execs"] < 60  # far less than the ~4000 nodes
+        assert graph > 1000

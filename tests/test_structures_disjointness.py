@@ -1,0 +1,114 @@
+"""Cross-structure disjointness invariant (the paper's intro example:
+"no elements in this priority queue can be in that priority queue")."""
+
+from __future__ import annotations
+
+import random
+
+from repro.structures import (
+    DisjointHeapPair,
+    check_disjoint_from,
+    heaps_disjoint,
+    value_in_heap,
+)
+
+
+class TestValueInHeap:
+    def test_present_and_absent(self):
+        pair = DisjointHeapPair()
+        pair.submit(5)
+        pair.submit(9)
+        assert value_in_heap(pair.waiting, 5, 0) is True
+        assert value_in_heap(pair.waiting, 9, 0) is True
+        assert value_in_heap(pair.waiting, 7, 0) is False
+
+    def test_empty_heap(self):
+        pair = DisjointHeapPair()
+        assert value_in_heap(pair.ready, 1, 0) is False
+
+    def test_offset_scan(self):
+        pair = DisjointHeapPair()
+        pair.submit(1)
+        pair.submit(2)
+        # Slot 0 holds the minimum (1); scanning from slot 1 misses it.
+        assert value_in_heap(pair.waiting, 1, 1) is False
+
+
+class TestPairOperations:
+    def test_scheduler_flow(self):
+        pair = DisjointHeapPair()
+        for v in [3, 1, 2]:
+            pair.submit(v)
+        assert pair.activate() == 1
+        assert pair.activate() == 2
+        assert pair.complete() == 1
+        assert pair.suspend() == 2
+        assert heaps_disjoint(pair) is True
+
+    def test_empty_operations(self):
+        pair = DisjointHeapPair()
+        assert pair.activate() is None
+        assert pair.complete() is None
+        assert pair.suspend() is None
+
+    def test_corrupt_duplicate(self):
+        pair = DisjointHeapPair()
+        pair.submit(7)
+        assert pair.corrupt_duplicate() == 7
+        assert heaps_disjoint(pair) is False
+
+    def test_corrupt_on_empty(self):
+        assert DisjointHeapPair().corrupt_duplicate() is None
+
+
+class TestIncrementalDisjointness:
+    def test_agrees_under_scheduler_churn(self, engine_factory):
+        engine = engine_factory(heaps_disjoint)
+        pair = DisjointHeapPair(capacity=128)
+        rng = random.Random(59)
+        next_task = 0
+        assert engine.run(pair) is True
+        for _ in range(150):
+            roll = rng.random()
+            if roll < 0.4:
+                pair.submit(next_task)
+                next_task += 1
+            elif roll < 0.7:
+                pair.activate()
+            elif roll < 0.9:
+                pair.complete()
+            else:
+                pair.suspend()
+            assert engine.run(pair) == heaps_disjoint(pair) is True
+
+    def test_detects_double_queuing(self, engine_factory):
+        engine = engine_factory(heaps_disjoint)
+        pair = DisjointHeapPair()
+        for v in range(10):
+            pair.submit(v)
+        for _ in range(5):
+            pair.activate()
+        assert engine.run(pair) is True
+        duplicate = pair.corrupt_duplicate()
+        assert engine.run(pair) == heaps_disjoint(pair) is False
+        # Repair: complete the move by removing the duplicate (it is the
+        # waiting queue's minimum, so one pop retires it).
+        assert pair.waiting.pop() == duplicate
+        assert engine.run(pair) == heaps_disjoint(pair) is True
+
+    def test_move_is_subquadratic(self, engine_factory):
+        engine = engine_factory(heaps_disjoint)
+        pair = DisjointHeapPair(capacity=256)
+        for v in range(60):
+            pair.submit(v)
+        for _ in range(30):
+            pair.activate()
+        engine.run(pair)
+        graph = engine.graph_size  # O(n*m) invocations
+        assert graph > 500
+        pair.activate()  # move one element
+        report = engine.run_with_report(pair)
+        assert report.result is True
+        # One move re-executes O(n + m) invocations, far below the O(n*m)
+        # full check.
+        assert report.delta["execs"] < graph * 0.4

@@ -1,0 +1,161 @@
+"""HashTable semantics + the two-function bucket invariant (Figure 9)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structures import HashTable, hash_table_invariant
+from repro.structures.hash_table import stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash(123) == 123
+
+    def test_non_negative(self):
+        assert stable_hash(-7) >= 0
+        assert stable_hash("") == 0
+
+    def test_bool_separate(self):
+        assert stable_hash(True) == 1
+
+    def test_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            stable_hash(3.5)
+
+
+class TestHashTable:
+    def test_put_get(self):
+        t = HashTable()
+        t.put("a", 1)
+        t.put("b", 2)
+        assert t.get("a") == 1
+        assert t.get("b") == 2
+        assert t.get("missing") is None
+        assert t.get("missing", -1) == -1
+        assert len(t) == 2
+
+    def test_update_existing(self):
+        t = HashTable()
+        t.put("a", 1)
+        t.put("a", 9)
+        assert t.get("a") == 9
+        assert len(t) == 1
+
+    def test_contains(self):
+        t = HashTable()
+        t.put(5, None)
+        assert 5 in t
+        assert 6 not in t
+
+    def test_remove(self):
+        t = HashTable()
+        t.put("a", 1)
+        assert t.remove("a") is True
+        assert t.remove("a") is False
+        assert "a" not in t
+        assert len(t) == 0
+
+    def test_collision_chaining(self):
+        t = HashTable(capacity=1)  # everything collides
+        for i in range(5):
+            t.put(i, i * 10)
+        for i in range(5):
+            assert t.get(i) == i * 10
+        # Capacity 1 with 5 items has rehashed by load factor.
+        assert len(t.buckets) > 1
+
+    def test_rehash_preserves_entries(self):
+        t = HashTable(capacity=4)
+        for i in range(50):
+            t.put(i, -i)
+        assert len(t) == 50
+        assert sorted(t.keys()) == list(range(50))
+        assert hash_table_invariant(t) is True
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            HashTable(capacity=0)
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 40)),
+                    max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_model(self, ops):
+        t = HashTable(capacity=2)
+        model: dict[int, int] = {}
+        for is_put, key in ops:
+            if is_put:
+                t.put(key, key + 1)
+                model[key] = key + 1
+            else:
+                assert t.remove(key) == (key in model)
+                model.pop(key, None)
+        assert dict(t.items()) == model
+        assert hash_table_invariant(t) is True
+
+
+class TestBucketInvariant:
+    def test_corruption_detected(self):
+        t = HashTable()
+        for i in range(10):
+            t.put(i, i)
+        assert hash_table_invariant(t) is True
+        assert t.corrupt(3) is True
+        assert hash_table_invariant(t) is False
+
+    def test_incremental_agrees_under_churn(self, engine_factory):
+        engine = engine_factory(hash_table_invariant)
+        t = HashTable()
+        rng = random.Random(3)
+        keys = []
+        engine.run(t)
+        for _ in range(150):
+            if rng.random() < 0.5 or not keys:
+                k = rng.randrange(10_000)
+                t.put(k, k)
+                if k not in keys:
+                    keys.append(k)
+            else:
+                t.remove(keys.pop(rng.randrange(len(keys))))
+            assert engine.run(t) == hash_table_invariant(t) is True
+
+    def test_incremental_detects_and_localizes_corruption(
+        self, engine_factory
+    ):
+        engine = engine_factory(hash_table_invariant)
+        t = HashTable(capacity=64)
+        for i in range(40):
+            t.put(i, i)
+        assert engine.run(t) is True
+        t.corrupt(7)
+        assert engine.run(t) is False
+        # Repair: purge the displaced element and re-insert correctly.
+        assert t.purge(7) is True
+        t.put(7, 7)
+        assert engine.run(t) == hash_table_invariant(t) is True
+
+    def test_rehash_rebuilds_graph(self, engine_factory):
+        engine = engine_factory(hash_table_invariant)
+        t = HashTable(capacity=4)
+        t.put(1, 1)
+        assert engine.run(t) is True
+        for i in range(2, 30):  # trips several rehashes
+            t.put(i, i)
+            assert engine.run(t) is True
+        assert engine.run(t) == hash_table_invariant(t) is True
+
+    def test_insert_into_bucket_is_local_work(self, engine_factory):
+        engine = engine_factory(hash_table_invariant)
+        t = HashTable(capacity=256)
+        for i in range(100):
+            t.put(i, i)
+        engine.run(t)
+        t.put(1000, 1)  # no rehash at this load factor
+        report = engine.run_with_report(t)
+        assert report.result is True
+        # Work is one bucket chain + the touched spine node, not O(table).
+        assert report.delta["execs"] <= 4

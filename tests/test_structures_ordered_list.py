@@ -1,0 +1,125 @@
+"""OrderedIntList semantics + incremental behaviour of ``is_ordered``
+(paper §2 / Figure 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structures import IntListElem, OrderedIntList, is_ordered
+
+
+class TestStructure:
+    def test_insert_keeps_sorted(self):
+        lst = OrderedIntList()
+        for v in [5, 1, 3, 2, 4]:
+            lst.insert(v)
+        assert lst.to_list() == [1, 2, 3, 4, 5]
+        assert len(lst) == 5
+
+    def test_duplicates_allowed(self):
+        lst = OrderedIntList()
+        for v in [2, 2, 1]:
+            lst.insert(v)
+        assert lst.to_list() == [1, 2, 2]
+
+    def test_delete(self):
+        lst = OrderedIntList()
+        for v in [1, 2, 3]:
+            lst.insert(v)
+        assert lst.delete(2) is True
+        assert lst.delete(99) is False
+        assert lst.to_list() == [1, 3]
+        assert len(lst) == 2
+
+    def test_delete_head(self):
+        lst = OrderedIntList()
+        for v in [1, 2]:
+            lst.insert(v)
+        assert lst.delete(1)
+        assert lst.to_list() == [2]
+
+    def test_delete_first(self):
+        lst = OrderedIntList()
+        for v in [3, 1, 2]:
+            lst.insert(v)
+        assert lst.delete_first() == 1
+        assert lst.delete_first() == 2
+        assert lst.delete_first() == 3
+        assert lst.delete_first() is None
+
+    def test_corrupt(self):
+        lst = OrderedIntList()
+        for v in [1, 2, 3]:
+            lst.insert(v)
+        lst.corrupt(1, 99)
+        assert lst.to_list() == [1, 99, 3]
+        with pytest.raises(IndexError):
+            lst.corrupt(5, 0)
+
+    @given(st.lists(st.integers(-100, 100), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_sorted_model(self, values):
+        lst = OrderedIntList()
+        for v in values:
+            lst.insert(v)
+        assert lst.to_list() == sorted(values)
+        assert bool(is_ordered(lst.head))
+
+
+class TestInvariantCheck:
+    def test_detects_disorder(self):
+        head = IntListElem(5, IntListElem(1))
+        assert is_ordered(head) is False
+
+    def test_empty_and_singleton(self):
+        assert is_ordered(None) is True
+        assert is_ordered(IntListElem(1)) is True
+
+    def test_incremental_insert_is_constant_work(self, engine_factory):
+        engine = engine_factory(is_ordered)
+        lst = OrderedIntList()
+        for v in range(0, 1000, 2):
+            lst.insert(v)
+        engine.run(lst.head)
+        lst.insert(501)
+        report = engine.run_with_report(lst.head)
+        assert report.result is True
+        assert report.delta["execs"] <= 3
+
+    def test_incremental_mixed_workload_agrees(self, engine_factory):
+        engine = engine_factory(is_ordered)
+        lst = OrderedIntList()
+        rng = random.Random(11)
+        values = []
+        for _ in range(50):
+            v = rng.randrange(500)
+            lst.insert(v)
+            values.append(v)
+        engine.run(lst.head)
+        for _ in range(120):
+            roll = rng.random()
+            if roll < 0.5 or not values:
+                v = rng.randrange(500)
+                lst.insert(v)
+                values.append(v)
+            elif roll < 0.75:
+                v = values.pop(rng.randrange(len(values)))
+                lst.delete(v)
+            else:
+                lst.delete_first()
+                values.remove(min(values))
+            assert engine.run(lst.head) == is_ordered(lst.head) is True
+
+    def test_corruption_detected_and_repaired(self, engine_factory):
+        engine = engine_factory(is_ordered)
+        lst = OrderedIntList()
+        for v in range(20):
+            lst.insert(v)
+        assert engine.run(lst.head) is True
+        lst.corrupt(10, -1)
+        assert engine.run(lst.head) is False
+        lst.corrupt(10, 10)
+        assert engine.run(lst.head) is True

@@ -1,0 +1,196 @@
+"""RedBlackTree: structural correctness against a sorted-set model, and the
+three Figure 10 invariants under DITTO (the paper's "acid test")."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.structures import (
+    BLACK,
+    NIL,
+    RED,
+    RedBlackTree,
+    check_black_depth,
+    is_red_black,
+    rbt_invariant,
+    rbt_is_ordered,
+)
+from repro.structures.red_black_tree import NEG_INF, POS_INF
+
+
+def full_invariant(tree) -> bool:
+    return rbt_invariant(tree)
+
+
+class TestTreeSemantics:
+    def test_insert_find(self):
+        t = RedBlackTree()
+        for k in [5, 2, 8, 1]:
+            t.insert(k, k * 10)
+        assert t.get(5) == 50
+        assert t.get(99, "x") == "x"
+        assert 2 in t and 99 not in t
+        assert len(t) == 4
+
+    def test_insert_update(self):
+        t = RedBlackTree()
+        t.insert(1, "a")
+        t.insert(1, "b")
+        assert t.get(1) == "b"
+        assert len(t) == 1
+
+    def test_keys_sorted(self):
+        t = RedBlackTree()
+        for k in [5, 2, 8, 1, 9, 3]:
+            t.insert(k)
+        assert list(t.keys()) == [1, 2, 3, 5, 8, 9]
+
+    def test_delete(self):
+        t = RedBlackTree()
+        for k in range(10):
+            t.insert(k)
+        assert t.delete(5) is True
+        assert t.delete(5) is False
+        assert list(t.keys()) == [0, 1, 2, 3, 4, 6, 7, 8, 9]
+        assert len(t) == 9
+
+    def test_root_is_black(self):
+        t = RedBlackTree()
+        t.insert(1)
+        assert t.root.color == BLACK
+
+    def test_invariants_hold_during_heavy_churn(self):
+        t = RedBlackTree()
+        rng = random.Random(17)
+        keys: set[int] = set()
+        for step in range(600):
+            if rng.random() < 0.5 or not keys:
+                k = rng.randrange(2000)
+                t.insert(k)
+                keys.add(k)
+            else:
+                k = rng.choice(sorted(keys))
+                t.delete(k)
+                keys.discard(k)
+            if step % 37 == 0:
+                assert full_invariant(t) is True
+                assert list(t.keys()) == sorted(keys)
+        assert full_invariant(t) is True
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 50)),
+                    max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_set_model(self, ops):
+        t = RedBlackTree()
+        model: set[int] = set()
+        for is_insert, key in ops:
+            if is_insert:
+                t.insert(key)
+                model.add(key)
+            else:
+                assert t.delete(key) == (key in model)
+                model.discard(key)
+        assert list(t.keys()) == sorted(model)
+        assert full_invariant(t) is True
+
+
+class TestFigure10Checks:
+    def _tree(self, *keys):
+        t = RedBlackTree()
+        for k in keys:
+            t.insert(k)
+        return t
+
+    def test_ordered_check(self):
+        t = self._tree(5, 2, 8)
+        assert rbt_is_ordered(t.root, NEG_INF, POS_INF) is True
+        t.corrupt_key(2, 100)
+        assert rbt_is_ordered(t.root, NEG_INF, POS_INF) is False
+
+    def test_red_black_local_check(self):
+        t = self._tree(5, 2, 8, 1, 3)
+        assert is_red_black(t.root) is True
+        # Flip a black node with red children to red: red-red violation.
+        t.corrupt_color(2)
+        assert is_red_black(t.root) is False
+
+    def test_parent_pointer_check(self):
+        t = self._tree(5, 2, 8)
+        t.root.left.parent = t.root.left  # break the back-pointer
+        assert is_red_black(t.root) is False
+
+    def test_black_depth_check(self):
+        t = self._tree(*range(20))
+        depth = check_black_depth(t.root)
+        assert depth >= 1
+        # Recoloring a deep black node to red unbalances black depth.
+        node = t.root
+        while node.left is not NIL:
+            node = node.left
+        if node.color == BLACK:
+            node.color = RED
+        else:
+            node.color = BLACK
+        assert check_black_depth(t.root) == -1
+
+    def test_nil_is_always_black(self):
+        assert NIL.color == BLACK
+        assert check_black_depth(NIL) == 1
+        assert is_red_black(NIL) is True
+
+
+class TestIncrementalAcidTest:
+    def test_agrees_with_scratch_under_churn(self, engine_factory):
+        engine = engine_factory(rbt_invariant)
+        t = RedBlackTree()
+        rng = random.Random(23)
+        keys: set[int] = set()
+        engine.run(t)
+        for _ in range(250):
+            if rng.random() < 0.5 or not keys:
+                k = rng.randrange(5000)
+                t.insert(k)
+                keys.add(k)
+            else:
+                k = rng.choice(sorted(keys))
+                t.delete(k)
+                keys.discard(k)
+            assert engine.run(t) == rbt_invariant(t) is True
+
+    def test_corruption_detected_incrementally(self, engine_factory):
+        engine = engine_factory(rbt_invariant)
+        t = RedBlackTree()
+        for k in range(50):
+            t.insert(k)
+        assert engine.run(t) is True
+        t.corrupt_color(20)
+        assert engine.run(t) == rbt_invariant(t) is False
+        t.corrupt_color(20)  # flip back
+        assert engine.run(t) == rbt_invariant(t) is True
+
+    def test_key_corruption_detected(self, engine_factory):
+        engine = engine_factory(rbt_invariant)
+        t = RedBlackTree()
+        for k in range(0, 60, 2):
+            t.insert(k)
+        assert engine.run(t) is True
+        assert t.corrupt_key(30, 100) is True
+        assert engine.run(t) == rbt_invariant(t) is False
+        t.corrupt_key(100, 30)
+        assert engine.run(t) is True
+
+    def test_distant_insert_reuses_most_of_graph(self, engine_factory):
+        engine = engine_factory(rbt_invariant)
+        t = RedBlackTree()
+        for k in range(0, 4000, 4):
+            t.insert(k)
+        engine.run(t)
+        graph = engine.graph_size
+        t.insert(1)  # leaf insert near the minimum
+        report = engine.run_with_report(t)
+        assert report.result is True
+        # A single insert recolors/rotates a bounded region; the vast
+        # majority of the graph must be reused, not re-executed.
+        assert report.delta["execs"] < graph * 0.3

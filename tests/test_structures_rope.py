@@ -1,0 +1,147 @@
+"""Rope: string-model equivalence and the cached-weight invariants."""
+
+from __future__ import annotations
+
+import random
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structures.rope import (
+    Rope,
+    RopeConcat,
+    RopeLeaf,
+    check_rope_leaves,
+    check_rope_weights,
+    rope_invariant,
+)
+
+_text = st.text(alphabet=string.ascii_lowercase, max_size=20)
+
+
+class TestRopeSemantics:
+    def test_build_and_str(self):
+        r = Rope("hello world " * 10)
+        assert str(r) == "hello world " * 10
+        assert len(r) == 120
+
+    def test_empty(self):
+        r = Rope()
+        assert str(r) == ""
+        assert len(r) == 0
+        assert rope_invariant(r) is True
+
+    def test_indexing(self):
+        text = "abcdefghij" * 13
+        r = Rope(text)
+        for i in (0, 1, 64, 100, len(text) - 1, -1):
+            assert r[i] == text[i]
+        with pytest.raises(IndexError):
+            r[len(text) + 5]
+
+    def test_insert(self):
+        r = Rope("helloworld")
+        r.insert(5, ", ")
+        assert str(r) == "hello, world"
+        r.insert(0, ">> ")
+        assert str(r) == ">> hello, world"
+        r.append("!")
+        assert str(r) == ">> hello, world!"
+        assert rope_invariant(r) is True
+
+    def test_insert_bounds(self):
+        r = Rope("ab")
+        with pytest.raises(IndexError):
+            r.insert(5, "x")
+        r.insert(1, "")  # no-op
+        assert str(r) == "ab"
+
+    def test_delete(self):
+        r = Rope("hello cruel world")
+        r.delete(5, 11)
+        assert str(r) == "hello world"
+        r.delete(0, 6)
+        assert str(r) == "world"
+        r.delete(0, 5)
+        assert str(r) == ""
+        assert rope_invariant(r) is True
+
+    def test_delete_bounds(self):
+        r = Rope("abc")
+        with pytest.raises(IndexError):
+            r.delete(2, 9)
+        r.delete(1, 1)  # empty range: no-op
+        assert str(r) == "abc"
+
+    @given(st.lists(st.tuples(_text, st.integers(0, 400),
+                              st.integers(0, 400)), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_string_model(self, ops):
+        r = Rope("seed")
+        model = "seed"
+        for text, a, b in ops:
+            if text:
+                index = a % (len(model) + 1)
+                r.insert(index, text)
+                model = model[:index] + text + model[index:]
+            elif model:
+                start = a % (len(model) + 1)
+                stop = start + (b % (len(model) - start + 1))
+                r.delete(start, stop)
+                model = model[:start] + model[stop:]
+            assert str(r) == model
+            assert len(r) == len(model)
+            assert rope_invariant(r) is True
+
+
+class TestRopeInvariants:
+    def test_weight_corruption_detected(self):
+        r = Rope("x" * 100)
+        assert check_rope_weights(r.root) == 100
+        assert r.corrupt_weight(+3) is True
+        assert check_rope_weights(r.root) == -1
+        assert rope_invariant(r) is False
+        r.corrupt_weight(-3)
+        assert rope_invariant(r) is True
+
+    def test_empty_leaf_detected(self):
+        r = Rope("abcd")
+        r.root = RopeConcat(RopeLeaf(""), r.root, 0)
+        assert check_rope_leaves(r.root) is False
+        assert rope_invariant(r) is False
+
+    def test_incremental_agrees_under_edits(self, engine_factory):
+        engine = engine_factory(rope_invariant)
+        rng = random.Random(81)
+        r = Rope("The quick brown fox jumps over the lazy dog. " * 8)
+        assert engine.run(r) is True
+        for _ in range(120):
+            if rng.random() < 0.6:
+                index = rng.randrange(len(r) + 1)
+                r.insert(index, rng.choice(["foo", "ba", "quux "]))
+            elif len(r) > 4:
+                start = rng.randrange(len(r) - 2)
+                stop = min(len(r), start + rng.randrange(1, 6))
+                r.delete(start, stop)
+            assert engine.run(r) == rope_invariant(r) is True
+        engine.validate()
+
+    def test_incremental_detects_weight_rot(self, engine_factory):
+        engine = engine_factory(rope_invariant)
+        r = Rope("z" * 200)
+        assert engine.run(r) is True
+        r.corrupt_weight(+1)
+        assert engine.run(r) == rope_invariant(r) is False
+        r.corrupt_weight(-1)
+        assert engine.run(r) is True
+
+    def test_subtree_sharing_limits_recheck(self, engine_factory):
+        engine = engine_factory(rope_invariant)
+        r = Rope("a" * 4096)
+        engine.run(r)
+        graph = engine.graph_size
+        r.insert(2048, "MID")  # one spine rebuilt, subtrees shared
+        report = engine.run_with_report(r)
+        assert report.result is True
+        assert report.delta["execs"] < graph * 0.5

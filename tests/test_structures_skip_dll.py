@@ -1,0 +1,188 @@
+"""SkipList and DoublyLinkedList: semantics + incremental invariants."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structures import (
+    DoublyLinkedList,
+    SkipList,
+    dll_invariant,
+    skip_list_invariant,
+)
+
+
+class TestSkipList:
+    def test_insert_contains_iter(self):
+        sl = SkipList()
+        for v in [5, 1, 9, 3]:
+            assert sl.insert(v) is True
+        assert sl.insert(5) is False  # duplicate
+        assert list(sl) == [1, 3, 5, 9]
+        assert 3 in sl and 4 not in sl
+        assert len(sl) == 4
+
+    def test_delete(self):
+        sl = SkipList()
+        for v in range(10):
+            sl.insert(v)
+        assert sl.delete(5) is True
+        assert sl.delete(5) is False
+        assert list(sl) == [0, 1, 2, 3, 4, 6, 7, 8, 9]
+
+    def test_levels_shrink_after_deletes(self):
+        sl = SkipList()
+        for v in range(200):
+            sl.insert(v)
+        top = sl.level
+        for v in range(200):
+            sl.delete(v)
+        assert len(sl) == 0
+        assert sl.level <= top
+
+    def test_deterministic_with_seed(self):
+        a, b = SkipList(seed=7), SkipList(seed=7)
+        for v in range(50):
+            a.insert(v)
+            b.insert(v)
+        assert a.level == b.level
+
+    def test_corrupt_detected(self):
+        sl = SkipList()
+        for v in range(20):
+            sl.insert(v)
+        assert skip_list_invariant(sl) is True
+        assert sl.corrupt_value(10, 0) is True  # duplicate of 0: not sorted
+        assert skip_list_invariant(sl) is False
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 60)),
+                    max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_set_model(self, ops):
+        sl = SkipList(seed=99)
+        model: set[int] = set()
+        for is_insert, value in ops:
+            if is_insert:
+                assert sl.insert(value) == (value not in model)
+                model.add(value)
+            else:
+                assert sl.delete(value) == (value in model)
+                model.discard(value)
+        assert list(sl) == sorted(model)
+        assert skip_list_invariant(sl) is True
+
+    def test_incremental_agrees(self, engine_factory):
+        engine = engine_factory(skip_list_invariant)
+        sl = SkipList(seed=41)
+        rng = random.Random(41)
+        values: set[int] = set()
+        engine.run(sl)
+        for _ in range(200):
+            if rng.random() < 0.5 or not values:
+                v = rng.randrange(5000)
+                sl.insert(v)
+                values.add(v)
+            else:
+                v = rng.choice(sorted(values))
+                sl.delete(v)
+                values.discard(v)
+            assert engine.run(sl) == skip_list_invariant(sl) is True
+
+
+class TestDoublyLinkedList:
+    def test_push_pop_both_ends(self):
+        d = DoublyLinkedList()
+        d.push_back(2)
+        d.push_front(1)
+        d.push_back(3)
+        assert list(d) == [1, 2, 3]
+        assert d.pop_front() == 1
+        assert d.pop_back() == 3
+        assert list(d) == [2]
+
+    def test_pop_empty_raises(self):
+        d = DoublyLinkedList()
+        with pytest.raises(IndexError):
+            d.pop_front()
+        with pytest.raises(IndexError):
+            d.pop_back()
+
+    def test_remove_and_insert_after(self):
+        d = DoublyLinkedList()
+        n1 = d.push_back(1)
+        n3 = d.push_back(3)
+        d.insert_after(n1, 2)
+        assert list(d) == [1, 2, 3]
+        d.remove(n3)
+        assert list(d) == [1, 2]
+        assert dll_invariant(d) is True
+
+    def test_single_element_edge_cases(self):
+        d = DoublyLinkedList()
+        node = d.push_back(1)
+        assert d.head is d.tail is node
+        assert dll_invariant(d) is True
+        d.remove(node)
+        assert d.head is None and d.tail is None
+        assert dll_invariant(d) is True
+
+    def test_corruption_detected(self):
+        d = DoublyLinkedList()
+        for v in range(6):
+            d.push_back(v)
+        assert dll_invariant(d) is True
+        d.corrupt_back_pointer(3)
+        assert dll_invariant(d) is False
+
+    @given(st.lists(st.sampled_from(["pf", "pb", "of", "ob"]), max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_deque_model(self, ops):
+        from collections import deque
+
+        d = DoublyLinkedList()
+        model: deque = deque()
+        counter = 0
+        for op in ops:
+            if op == "pf":
+                d.push_front(counter)
+                model.appendleft(counter)
+                counter += 1
+            elif op == "pb":
+                d.push_back(counter)
+                model.append(counter)
+                counter += 1
+            elif op == "of" and model:
+                assert d.pop_front() == model.popleft()
+            elif op == "ob" and model:
+                assert d.pop_back() == model.pop()
+        assert list(d) == list(model)
+        assert dll_invariant(d) is True
+
+    def test_incremental_agrees(self, engine_factory):
+        engine = engine_factory(dll_invariant)
+        d = DoublyLinkedList()
+        rng = random.Random(47)
+        engine.run(d)
+        for i in range(200):
+            roll = rng.random()
+            if roll < 0.35 or len(d) == 0:
+                d.push_back(i)
+            elif roll < 0.6:
+                d.push_front(i)
+            elif roll < 0.8:
+                d.pop_front()
+            else:
+                d.pop_back()
+            assert engine.run(d) == dll_invariant(d) is True
+
+    def test_incremental_detects_corruption(self, engine_factory):
+        engine = engine_factory(dll_invariant)
+        d = DoublyLinkedList()
+        for v in range(30):
+            d.push_back(v)
+        assert engine.run(d) is True
+        d.corrupt_back_pointer(15)
+        assert engine.run(d) == dll_invariant(d) is False

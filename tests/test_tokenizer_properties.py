@@ -1,0 +1,99 @@
+"""Property tests for the JSO JavaScript tokenizer."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.jso import (
+    JsObfuscator,
+    RESERVED_WORDS,
+    Token,
+    TokenKind,
+    TokenizeError,
+    generate_program,
+    tokenize,
+)
+
+_ident_start = st.sampled_from(string.ascii_letters + "_$")
+_ident_rest = st.text(
+    alphabet=string.ascii_letters + string.digits + "_$", max_size=8
+)
+identifiers = st.builds(lambda a, b: a + b, _ident_start, _ident_rest)
+
+js_snippets = st.lists(
+    st.one_of(
+        identifiers,
+        st.sampled_from(RESERVED_WORDS),
+        st.integers(0, 10_000).map(str),
+        st.sampled_from(["+", "-", "*", "/", "==", "===", "&&", "(", ")",
+                         "{", "}", ";", ",", "=>", "?."]),
+        st.text(alphabet=string.ascii_letters + " ", max_size=10).map(
+            lambda s: '"' + s + '"'
+        ),
+    ),
+    max_size=30,
+).map(" ".join)
+
+
+class TestTokenizerProperties:
+    @given(js_snippets)
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip_with_trivia(self, source):
+        tokens = tokenize(source, keep_trivia=True)
+        assert "".join(t.text for t in tokens) == source
+
+    @given(js_snippets)
+    @settings(max_examples=120, deadline=None)
+    def test_no_empty_tokens(self, source):
+        for token in tokenize(source, keep_trivia=True):
+            assert token.text != ""
+
+    @given(js_snippets)
+    @settings(max_examples=80, deadline=None)
+    def test_trivia_filtering_is_a_subsequence(self, source):
+        full = tokenize(source, keep_trivia=True)
+        lean = tokenize(source)
+        trivia = (TokenKind.WHITESPACE, TokenKind.COMMENT, TokenKind.NEWLINE)
+        assert lean == [t for t in full if t.kind not in trivia]
+
+    @given(identifiers)
+    @settings(max_examples=80, deadline=None)
+    def test_identifier_classification(self, name):
+        token = tokenize(name)[0]
+        expected = (
+            TokenKind.KEYWORD if name in RESERVED_WORDS else TokenKind.IDENT
+        )
+        assert token.kind is expected
+        assert token.text == name
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=150, deadline=None)
+    def test_total_on_arbitrary_text(self, source):
+        """Tokenization either succeeds or raises TokenizeError — never any
+        other exception, never an infinite loop."""
+        try:
+            tokens = tokenize(source, keep_trivia=True)
+        except TokenizeError:
+            return
+        assert "".join(t.text for t in tokens) == source
+
+    @given(st.integers(1, 40), st.integers(0, 2**30))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_programs_always_tokenize(self, n, seed):
+        program = "".join(generate_program(n, seed=seed))
+        tokens = tokenize(program)
+        assert tokens  # non-empty
+        assert sum(1 for t in tokens if t.text == "function") == n
+
+    @given(st.integers(1, 25), st.integers(0, 2**30))
+    @settings(max_examples=25, deadline=None)
+    def test_obfuscated_output_tokenizes_and_hides_names(self, n, seed):
+        jso = JsObfuscator()
+        out = "".join(jso.feed(c) for c in generate_program(n, seed=seed))
+        tokens = tokenize(out)
+        renamed = set(jso.mapping)
+        for token in tokens:
+            if token.kind is TokenKind.IDENT:
+                assert token.text not in renamed

@@ -1,0 +1,252 @@
+"""Source-to-source instrumentation (paper Figure 3): rewritten reads and
+calls, the runtime purity police for helpers and methods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DittoEngine,
+    TrackedArray,
+    TrackedObject,
+    TrackingError,
+    check,
+    instrumented_source,
+    register_pure_helper,
+    register_pure_method,
+)
+from repro.instrument.transform import is_pure_helper, is_pure_method
+
+
+class Elem(TrackedObject):
+    def __init__(self, value, next=None):
+        self.value = value
+        self.next = next
+
+
+class Mutable:
+    """Deliberately untracked mutable object."""
+
+    def __init__(self):
+        self.value = 1
+
+    def poke(self):
+        return self.value
+
+
+@check
+def reads_fields(e):
+    if e is None or e.next is None:
+        return True
+    if e.value > e.next.value:
+        return False
+    return reads_fields(e.next)
+
+
+@check
+def reads_array(holder, i):
+    a = holder.items
+    if i >= len(a):
+        return True
+    ok = a[i] is None or a[i] >= 0
+    b = reads_array(holder, i + 1)
+    return ok and b
+
+
+class Holder(TrackedObject):
+    def __init__(self, items):
+        self.items = TrackedArray(items)
+
+
+class TestInstrumentedSource:
+    def test_field_reads_diverted(self):
+        src = instrumented_source(
+            reads_fields, {"reads_fields": reads_fields.uid}
+        )
+        assert "__ditto_rt__.get_attr(e, 'next')" in src
+        assert "__ditto_rt__.get_attr(e, 'value')" in src
+
+    def test_check_calls_diverted(self):
+        src = instrumented_source(
+            reads_fields, {"reads_fields": reads_fields.uid}
+        )
+        assert f"__ditto_rt__.call({reads_fields.uid}" in src
+
+    def test_len_and_subscript_diverted(self):
+        src = instrumented_source(reads_array, {})
+        assert "__ditto_rt__.get_len" in src
+        assert "__ditto_rt__.get_item" in src
+
+    def test_pure_builtins_left_alone(self):
+        @check
+        def uses_abs(x):
+            return abs(x) >= 0
+
+        src = instrumented_source(uses_abs, {})
+        assert "abs(" in src
+        assert "helper" not in src
+
+    def test_unknown_call_wrapped_as_helper(self):
+        @check
+        def calls_helper(x):
+            return mystery(x)  # noqa: F821
+
+        src = instrumented_source(calls_helper, {})
+        assert "__ditto_rt__.helper(mystery, x)" in src
+
+    def test_method_call_wrapped(self):
+        @check
+        def calls_method(s):
+            return s.startswith("a")
+
+        src = instrumented_source(calls_method, {})
+        assert "__ditto_rt__.method(s, 'startswith', 'a')" in src
+
+    def test_engine_exposes_source(self, engine_factory):
+        engine = engine_factory(reads_fields)
+        assert "__ditto_rt__" in engine.instrumented_source()
+
+
+class TestRuntimePolicing:
+    def test_untracked_mutable_attr_read_strict(self, engine_factory):
+        @check
+        def reads_untracked(m):
+            if m is None:
+                return True
+            return m.value == 1
+
+        engine = engine_factory(reads_untracked, strict=True)
+        with pytest.raises(TrackingError):
+            engine.run(Mutable())
+
+    def test_untracked_mutable_attr_read_lenient(self, engine_factory):
+        @check
+        def reads_untracked2(m):
+            if m is None:
+                return True
+            return m.value == 1
+
+        engine = engine_factory(reads_untracked2, strict=False)
+        assert engine.run(Mutable()) is True
+
+    def test_unregistered_helper_strict(self, engine_factory):
+        def shady(x):
+            return x
+
+        @check
+        def calls_shady(n):
+            return shady(n) is None
+
+        engine = engine_factory(calls_shady, strict=True)
+        with pytest.raises(TrackingError):
+            engine.run(None)
+
+    def test_registered_helper_allowed(self, engine_factory):
+        @register_pure_helper
+        def blessed(x):
+            return x
+
+        @check
+        def calls_blessed(n):
+            return blessed(n) is None
+
+        engine = engine_factory(calls_blessed, strict=True)
+        assert engine.run(None) is True
+
+    def test_method_on_immutable_allowed(self, engine_factory):
+        @check
+        def str_method(s):
+            return s.startswith("he")
+
+        engine = engine_factory(str_method)
+        assert engine.run("hello") is True
+        assert engine.run("goodbye") is False
+
+    def test_method_on_untracked_mutable_strict(self, engine_factory):
+        @check
+        def calls_poke(m):
+            return m.poke() == 1
+
+        engine = engine_factory(calls_poke, strict=True)
+        with pytest.raises(TrackingError):
+            engine.run(Mutable())
+
+    def test_registered_pure_method_allowed(self, engine_factory):
+        class Tagged(TrackedObject):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def tag_upper(self):
+                return self.tag.upper()
+
+        register_pure_method(Tagged, "tag_upper")
+
+        @check
+        def calls_tag(t):
+            return t.tag_upper() == "A"
+
+        engine = engine_factory(calls_tag, strict=True)
+        assert engine.run(Tagged("a")) is True
+
+    def test_untracked_index_strict(self, engine_factory):
+        @check
+        def indexes_list(xs):
+            return xs[0] == 1
+
+        engine = engine_factory(indexes_list, strict=True)
+        with pytest.raises(TrackingError):
+            engine.run([1, 2])
+        # Tuples are immutable: fine.
+        assert engine.run((1, 2)) is True
+
+    def test_untracked_len_strict(self, engine_factory):
+        @check
+        def takes_len(xs):
+            return len(xs) == 2
+
+        engine = engine_factory(takes_len, strict=True)
+        with pytest.raises(TrackingError):
+            engine.run([1, 2])
+        assert engine.run("ab") is True
+
+
+class TestPurityRegistry:
+    def test_is_pure_helper_builtin(self):
+        assert is_pure_helper(abs)
+        assert is_pure_helper(max)
+        assert not is_pure_helper(print)
+
+    def test_is_pure_method_immutables(self):
+        assert is_pure_method("s", "upper")
+        assert is_pure_method(1, "bit_length")
+        assert is_pure_method((1,), "count")
+        assert not is_pure_method([1], "append")
+
+    def test_register_pure_method_subclass(self):
+        class Base:
+            def f(self):
+                return 1
+
+        class Derived(Base):
+            pass
+
+        register_pure_method(Base, "f")
+        assert is_pure_method(Derived(), "f")
+
+
+class TestEndToEnd:
+    def test_instrumented_matches_original(self, engine_factory):
+        engine = engine_factory(reads_fields)
+        head = Elem(1, Elem(2, Elem(3)))
+        assert engine.run(head) == reads_fields(head) is True
+        bad = Elem(9, Elem(2))
+        assert engine.run(bad) == reads_fields(bad) is False
+
+    def test_array_check(self, engine_factory):
+        engine = engine_factory(reads_array)
+        holder = Holder([1, 2, None, 4])
+        assert engine.run(holder, 0) is True
+        holder.items[1] = -5
+        assert engine.run(holder, 0) is False
+        holder.items[1] = 5
+        assert engine.run(holder, 0) is True
