@@ -47,6 +47,8 @@ from .core import (
     DittoError,
     EngineStateError,
     EngineStats,
+    FallbackEvent,
+    GraphAuditError,
     InstrumentationError,
     OptimisticMispredictionError,
     ResultTypeError,
@@ -57,6 +59,7 @@ from .core import (
     TrackedObject,
     TrackingError,
     UnknownCheckError,
+    VerificationError,
     is_tracked,
     reset_tracking,
     tracking_state,
@@ -70,20 +73,38 @@ from .instrument import (
     register_pure_method,
 )
 from .guard import InvariantGuard, InvariantViolation, guarded
+from .resilience import (
+    AuditFinding,
+    AuditReport,
+    DegradationPolicy,
+    FaultPlan,
+    GraphAuditor,
+    InjectedFault,
+    inject_faults,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ArgsKey",
+    "AuditFinding",
+    "AuditReport",
     "check",
     "CheckFunction",
     "CheckRestrictionError",
     "ComputationNode",
     "CyclicCheckError",
+    "DegradationPolicy",
     "DittoEngine",
     "DittoError",
     "EngineStateError",
     "EngineStats",
+    "FallbackEvent",
+    "FaultPlan",
+    "GraphAuditError",
+    "GraphAuditor",
+    "InjectedFault",
+    "inject_faults",
     "InstrumentationError",
     "instrumented_source",
     "InvariantGuard",
@@ -104,5 +125,6 @@ __all__ = [
     "TrackingError",
     "tracking_state",
     "UnknownCheckError",
+    "VerificationError",
     "__version__",
 ]

@@ -7,18 +7,20 @@ from .errors import (
     CyclicCheckError,
     DittoError,
     EngineStateError,
+    GraphAuditError,
     InstrumentationError,
     OptimisticMispredictionError,
     ResultTypeError,
     StepLimitExceeded,
     TrackingError,
     UnknownCheckError,
+    VerificationError,
 )
 from .locations import FieldLocation, IndexLocation, LengthLocation, Location
 from .memo_table import MemoTable
 from .node import ComputationNode
 from .order_maintenance import OrderList, Record
-from .stats import EngineStats, RunReport
+from .stats import EngineStats, FallbackEvent, RunReport
 from .tracked import (
     TrackedArray,
     TrackedList,
@@ -38,7 +40,9 @@ __all__ = [
     "DittoError",
     "EngineStateError",
     "EngineStats",
+    "FallbackEvent",
     "FieldLocation",
+    "GraphAuditError",
     "IndexLocation",
     "InstrumentationError",
     "is_primitive",
@@ -59,5 +63,6 @@ __all__ = [
     "TrackingError",
     "tracking_state",
     "UnknownCheckError",
+    "VerificationError",
     "WriteLog",
 ]

@@ -36,19 +36,25 @@ in the check's call-graph closure.
 from __future__ import annotations
 
 import sys
-from typing import Any, Optional
+import time
+from typing import TYPE_CHECKING, Any, Optional
 
 from ..instrument.registry import CheckFunction, check as as_check, closure_of
 from ..instrument.transform import instrument, instrumented_source
 from .argkeys import ArgsKey, is_primitive
 from .errors import (
+    CheckRestrictionError,
     CyclicCheckError,
     DittoError,
     EngineStateError,
+    GraphAuditError,
+    InstrumentationError,
     OptimisticMispredictionError,
     ResultTypeError,
     StepLimitExceeded,
+    TrackingError,
     UnknownCheckError,
+    VerificationError,
 )
 from .memo_table import MemoTable
 from .node import ComputationNode
@@ -57,7 +63,27 @@ from .runtime import Runtime
 from .stats import EngineStats, RunReport
 from .tracked import tracking_state
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.auditor import AuditReport
+    from ..resilience.degradation import DegradationPolicy
+
 _MODES = ("ditto", "naive", "scratch")
+
+#: Deterministic usage/semantics errors a scratch re-run cannot repair (and
+#: must not mask): graceful degradation forwards these to the main program
+#: instead of retrying.
+_UNRECOVERABLE = (
+    CheckRestrictionError,
+    CyclicCheckError,
+    EngineStateError,
+    InstrumentationError,
+    ResultTypeError,
+    TrackingError,
+    UnknownCheckError,
+)
+
+#: Control-flow exceptions that must never be converted into a fallback.
+_NEVER_CAUGHT = (KeyboardInterrupt, SystemExit, GeneratorExit)
 
 #: Scalar types never treated as heap references by the leaf-call test.
 _SCALARS = (int, float, bool, str, bytes, complex)
@@ -79,9 +105,13 @@ class DittoEngine:
         leaf_optimization: bool = True,
         step_limit: Optional[int] = None,
         recursion_limit: Optional[int] = 20_000,
+        paranoia: int = 0,
+        degradation: Optional["DegradationPolicy"] = None,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if paranoia < 0:
+            raise ValueError(f"paranoia must be >= 0, got {paranoia!r}")
         #: Checks recurse once per structure element and the engine adds a
         #: few frames per invocation, so runs raise the interpreter
         #: recursion limit to at least this value (None disables; for very
@@ -93,6 +123,14 @@ class DittoEngine:
         self.strict = strict
         self.leaf_optimization = leaf_optimization
         self.step_limit = step_limit
+        #: Audit the graph and cross-check the result against the
+        #: uninstrumented check every N runs (0 disables).  See
+        #: :mod:`repro.resilience` for the failure modes this catches.
+        self.paranoia = paranoia
+        #: How to recover when trust in the graph is lost; None preserves
+        #: the classic behaviour (step-limit rebuilds, everything else is
+        #: forwarded to the main program).
+        self.degradation = degradation
         self.stats = EngineStats()
         self.table = MemoTable()
         self.order = OrderList()
@@ -130,12 +168,25 @@ class DittoEngine:
         self._to_propagate: set[ComputationNode] = set()
         self._failed: set[ComputationNode] = set()
         self._closed = False
+        # Degradation state (configured by self.degradation, reset by a
+        # clean incremental run): scratch-only runs left in the current
+        # cooldown window, consecutive-fallback streak for backoff, and the
+        # paranoia run counter.
+        self._cooldown_remaining: float = 0
+        self._consecutive_fallbacks = 0
+        self._runs_since_audit = 0
 
     # Public API. -----------------------------------------------------------------
 
     def run(self, *args: Any) -> Any:
         """Execute the invariant check on the current program state and
-        return its result, reusing previous executions where possible."""
+        return its result, reusing previous executions where possible.
+
+        This is also the resilience boundary: step-limit blowups, repair
+        exceptions (when a :class:`~repro.resilience.degradation.
+        DegradationPolicy` is configured), paranoia audit failures, and
+        verify mismatches are all converted here into a transactional
+        graph discard plus a trustworthy from-scratch answer."""
         if self._closed:
             raise EngineStateError("engine has been closed")
         if self._running:
@@ -146,7 +197,7 @@ class DittoEngine:
             return self.entry.original(*args)
         self._running = True
         try:
-            return self._run_tracked(args)
+            return self._run_resilient(args)
         finally:
             self._running = False
 
@@ -247,6 +298,22 @@ class DittoEngine:
             if node is not self._root:
                 assert node.caller_count() > 0, f"{node} unreachable"
 
+    def audit(self, raise_on_failure: bool = True) -> "AuditReport":
+        """Run the :class:`~repro.resilience.auditor.GraphAuditor` over the
+        computation graph and return its report.  Unlike :meth:`validate`
+        (assertion-based, test-oriented), the audit collects *every*
+        violation, counts itself in :attr:`stats`, and is safe to run in
+        production (``paranoia`` mode calls it automatically)."""
+        from ..resilience.auditor import GraphAuditor
+
+        report = GraphAuditor(self).run()
+        self.stats.audits += 1
+        if not report.ok:
+            self.stats.audit_failures += 1
+            if raise_on_failure:
+                raise GraphAuditError(report)
+        return report
+
     def instrumented_source(self, func: Optional[CheckFunction] = None) -> str:
         """The Figure 3 view: instrumented source of a check function."""
         fn = as_check(func) if func is not None else self.entry
@@ -257,6 +324,128 @@ class DittoEngine:
 
     # Run orchestration (Figure 7's ``incrementalize``). ----------------------------
 
+    def _run_resilient(self, args: tuple) -> Any:
+        """Wrap one tracked run with the degradation ladder: cooldown
+        service, fault fallback, and paranoia auditing/verification."""
+        policy = self.degradation
+        if self._cooldown_remaining > 0:
+            # Degraded: answer from the uninstrumented check while the
+            # cooldown window drains; the graph was discarded at fallback
+            # time, so only the write-log cursor needs to stay current.
+            self._cooldown_remaining -= 1
+            self.stats.runs += 1
+            self.stats.degraded_runs += 1
+            tracking_state().write_log.consume(self._log_cid)
+            return self.entry.original(*args)
+        fallbacks_before = self.stats.scratch_fallbacks
+        try:
+            result = self._run_tracked(args)
+        except StepLimitExceeded as exc:
+            # §3.5 second remedy: discard and re-run from scratch (always
+            # on, with or without a policy).
+            return self._fallback("step_limit", args, exc)
+        except _NEVER_CAUGHT:
+            self.invalidate()
+            raise
+        except _UNRECOVERABLE:
+            raise
+        except BaseException as exc:
+            if policy is None or not policy.fallback_on_exception:
+                raise
+            return self._fallback("repair_exception", args, exc)
+        if self.paranoia:
+            self._runs_since_audit += 1
+            if self._runs_since_audit >= self.paranoia:
+                self._runs_since_audit = 0
+                result = self._paranoia_check(result, args)
+        if self.stats.scratch_fallbacks == fallbacks_before:
+            # A clean run (no fallback, including none from paranoia)
+            # resets the consecutive-failure streak for backoff purposes.
+            self._consecutive_fallbacks = 0
+        return result
+
+    def _fallback(self, reason: str, args: tuple, cause: BaseException) -> Any:
+        """Transactionally discard the graph and produce a trustworthy
+        answer: rebuild in place (cooldown disabled) or serve the
+        uninstrumented check and back off to scratch mode for a while.
+        Genuine check failures — the from-scratch path raising too — are
+        forwarded to the main program, as the paper requires."""
+        policy = self.degradation
+        start = time.perf_counter()
+        self.invalidate()
+        self.in_incremental_run = False
+        cooldown: float = 0
+        if policy is not None:
+            cooldown = policy.cooldown_for(self._consecutive_fallbacks + 1)
+        rebuilt = False
+        if cooldown > 0:
+            # The graph would only go stale during the scratch window, so
+            # don't bother rebuilding it; the run after the window does.
+            result = self.entry.original(*args)
+        else:
+            try:
+                result = self._incrementalize(args)
+                rebuilt = True
+            except _NEVER_CAUGHT:
+                self.invalidate()
+                raise
+            except _UNRECOVERABLE:
+                self.invalidate()
+                raise
+            except BaseException:
+                # Even the instrumented rebuild fails: distrust the whole
+                # machinery and fall back to the original check.  If that
+                # raises as well the failure is genuine and propagates.
+                self.invalidate()
+                if policy is None or not policy.fallback_on_exception:
+                    raise
+                result = self.entry.original(*args)
+                cooldown = policy.cooldown_for(
+                    max(self._consecutive_fallbacks + 1, 2)
+                )
+        self._consecutive_fallbacks += 1
+        self._cooldown_remaining = cooldown
+        self.stats.record_fallback(
+            reason=reason,
+            duration=time.perf_counter() - start,
+            rebuilt=rebuilt,
+            cooldown=int(cooldown) if cooldown != float("inf") else -1,
+            detail=repr(cause),
+        )
+        return result
+
+    def _paranoia_check(self, result: Any, args: tuple) -> Any:
+        """Every N-th run: audit the graph's representation invariants and
+        cross-check the incremental result against the uninstrumented
+        check — the only detector for silently-stale graphs (e.g. a lost
+        write barrier) and corrupted cached values."""
+        policy = self.degradation
+        report = self.audit(raise_on_failure=False)
+        if not report.ok:
+            if policy is not None and policy.fallback_on_audit_failure:
+                return self._fallback(
+                    "audit_failure", args, GraphAuditError(report)
+                )
+            raise GraphAuditError(report)
+        self.stats.verify_checks += 1
+        try:
+            expected = self.entry.original(*args)
+        except _NEVER_CAUGHT:
+            raise
+        except BaseException:
+            # The incremental run returned a value but the from-scratch
+            # check raises: that too is a divergence.  Distrust the graph
+            # and forward the genuine exception.
+            self.invalidate()
+            raise
+        if not _same_value(result, expected):
+            self.stats.verify_mismatches += 1
+            error = VerificationError(result, expected)
+            if policy is not None and policy.fallback_on_verify_mismatch:
+                return self._fallback("verify_mismatch", args, error)
+            raise error
+        return result
+
     def _run_tracked(self, args: tuple) -> Any:
         self.stats.runs += 1
         self.steps = 0
@@ -266,12 +455,6 @@ class DittoEngine:
         ):
             sys.setrecursionlimit(self.recursion_limit)
         try:
-            return self._incrementalize(args)
-        except StepLimitExceeded:
-            # §3.5 second remedy: discard and re-run from scratch.
-            self.stats.scratch_fallbacks += 1
-            self.invalidate()
-            self.in_incremental_run = False
             return self._incrementalize(args)
         except DittoError:
             raise

@@ -95,5 +95,38 @@ class TrackingError(DittoError):
     (strict mode only), so incremental results could silently go stale."""
 
 
+class GraphAuditError(DittoError):
+    """The computation graph failed a :class:`~repro.resilience.auditor.
+    GraphAuditor` pass: some internal invariant (memo keys, reverse map,
+    edge multiplicities, order records, reference counts) is violated.
+
+    Carries the full :class:`~repro.resilience.auditor.AuditReport` as
+    ``report`` so callers can inspect every finding.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        findings = getattr(report, "findings", [])
+        lines = "\n  - ".join(str(f) for f in findings) or "<no details>"
+        super().__init__(
+            f"computation-graph audit failed with {len(findings)} "
+            f"finding(s):\n  - {lines}"
+        )
+
+
+class VerificationError(DittoError):
+    """A paranoia cross-check found the incremental result differs from the
+    from-scratch result — the graph silently went stale (e.g. a lost write
+    barrier) or a cached value was corrupted."""
+
+    def __init__(self, incremental: object, scratch: object):
+        self.incremental = incremental
+        self.scratch = scratch
+        super().__init__(
+            f"incremental result {incremental!r} disagrees with "
+            f"from-scratch result {scratch!r}"
+        )
+
+
 class EngineStateError(DittoError):
     """The engine was used incorrectly (e.g. re-entrant run() call)."""

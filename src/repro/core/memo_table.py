@@ -168,7 +168,19 @@ class MemoTable:
         self._reverse.clear()
         return removed
 
-    # Introspection used by tests. ---------------------------------------------
+    # Introspection used by tests and the graph auditor. -----------------------
+
+    def entries(self) -> Iterator[tuple[tuple[int, ArgsKey], ComputationNode]]:
+        """Iterate ``((uid, key), node)`` pairs — the raw table rows.  The
+        auditor uses this to confirm each row's key matches the identity of
+        the node stored under it."""
+        return iter(self._entries.items())
+
+    def reverse_items(self) -> Iterator[tuple[Location, set[ComputationNode]]]:
+        """Iterate ``(location, dependent nodes)`` pairs of the reverse map.
+        The auditor cross-checks these against each node's ``implicits``."""
+        return iter(self._reverse.items())
+
 
     def snapshot(self) -> dict[tuple[str, tuple], object]:
         """Map ``(function name, explicit args)`` to return values, for

@@ -120,6 +120,51 @@ class OrderList:
             raise ValueError("record does not belong to this OrderList")
         return a.label < b.label
 
+    def audit(self) -> list[str]:
+        """Structural self-check: walk the list and report every linkage or
+        labeling violation as a human-readable string (empty list = sound).
+
+        Used by the resilience layer's :class:`~repro.resilience.auditor.
+        GraphAuditor`; kept here because only the list knows its own
+        representation invariants (sentinel labels, bidirectional linkage,
+        strictly increasing labels, size accounting)."""
+        problems: list[str] = []
+        if self._head.label != 0:
+            problems.append(f"head sentinel label {self._head.label} != 0")
+        if self._tail.label != _UNIVERSE:
+            problems.append("tail sentinel label moved")
+        count = 0
+        rec = self._head
+        while rec is not self._tail:
+            nxt = rec.next
+            if nxt is None:
+                problems.append(f"forward chain broken after {rec!r}")
+                break
+            if nxt.prev is not rec:
+                problems.append(
+                    f"asymmetric linkage: {rec!r}.next.prev is not {rec!r}"
+                )
+            if nxt.label <= rec.label:
+                problems.append(
+                    f"labels not strictly increasing: {rec.label} -> "
+                    f"{nxt.label}"
+                )
+            if nxt is not self._tail:
+                count += 1
+                if nxt.owner is not self:
+                    problems.append(f"{nxt!r} in chain but owned elsewhere")
+                if count > self._size:
+                    problems.append(
+                        f"chain longer than recorded size {self._size}"
+                    )
+                    break
+            rec = nxt
+        if not problems and count != self._size:
+            problems.append(
+                f"recorded size {self._size} but walked {count} records"
+            )
+        return problems
+
     # Internal: Bender-style range relabeling. ------------------------------
 
     def _rebalance(self, rec: Record) -> None:

@@ -4,11 +4,40 @@ The counters make the incrementalizer's behaviour observable: tests assert,
 for example, that inserting one element into a 1000-element ordered list
 re-executes O(1) nodes, and the ablation benchmarks report how many node
 executions each strategy performs.
+
+Beyond the plain counters, the stats object is the resilience layer's
+flight recorder: every graph-discarding fallback is appended to
+``fallback_events`` as a :class:`FallbackEvent` (reason, run index,
+recovery duration, whether the graph was rebuilt), and ``fallback_reasons``
+aggregates the same events by reason string.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+
+@dataclass
+class FallbackEvent:
+    """One graceful-degradation episode: why the engine distrusted its
+    graph, when, how long recovery took, and what it recovered to."""
+
+    #: Why the graph was discarded: ``"step_limit"``, ``"repair_exception"``,
+    #: ``"audit_failure"``, or ``"verify_mismatch"``.
+    reason: str
+    #: Value of ``stats.runs`` when the fallback fired (1-based).
+    run_index: int
+    #: Wall-clock seconds spent producing the replacement answer.
+    duration: float
+    #: True when the graph was rebuilt in place (incremental mode stays on);
+    #: False when the engine answered from the uninstrumented check and
+    #: entered a scratch-mode cooldown.
+    rebuilt: bool
+    #: Scratch-only runs scheduled before incremental mode is retried
+    #: (-1 = permanent: the policy's ``give_up_after`` was exceeded).
+    cooldown: int = 0
+    #: ``repr()`` of the triggering exception or audit report.
+    detail: str = ""
 
 
 @dataclass
@@ -35,16 +64,65 @@ class EngineStats:
     dirty_marked: int = 0
     #: Re-executions that raised and were deferred to the retry phase.
     mispredictions: int = 0
-    #: Step-limit fallbacks to a from-scratch run.
+    #: Graph-discarding fallbacks to a from-scratch run (all reasons).
     scratch_fallbacks: int = 0
     implicit_reads: int = 0
+    #: Runs served by the uninstrumented check during a degradation cooldown.
+    degraded_runs: int = 0
+    #: Graph audits performed (``engine.audit()`` / paranoia mode) and how
+    #: many of them reported findings.
+    audits: int = 0
+    audit_failures: int = 0
+    #: Paranoia cross-checks against the uninstrumented check, and how many
+    #: caught a divergent incremental result.
+    verify_checks: int = 0
+    verify_mismatches: int = 0
+    #: Per-reason fallback totals, e.g. ``{"step_limit": 2}``.
+    fallback_reasons: dict[str, int] = field(default_factory=dict)
+    #: Chronological log of degradation episodes.
+    fallback_events: list[FallbackEvent] = field(default_factory=list)
+
+    #: Cap on the ``fallback_events`` log; oldest entries are dropped first
+    #: so a persistently-faulting engine cannot grow without bound.
+    MAX_FALLBACK_EVENTS = 256
+
+    def record_fallback(
+        self,
+        reason: str,
+        duration: float,
+        rebuilt: bool,
+        cooldown: int = 0,
+        detail: str = "",
+    ) -> FallbackEvent:
+        """Account one degradation episode (counter, reason totals, event
+        log) and return the recorded event."""
+        event = FallbackEvent(
+            reason=reason,
+            run_index=self.runs,
+            duration=duration,
+            rebuilt=rebuilt,
+            cooldown=cooldown,
+            detail=detail,
+        )
+        self.scratch_fallbacks += 1
+        self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
+        self.fallback_events.append(event)
+        if len(self.fallback_events) > self.MAX_FALLBACK_EVENTS:
+            del self.fallback_events[: -self.MAX_FALLBACK_EVENTS]
+        return event
 
     def snapshot(self) -> dict[str, int]:
-        return dict(self.__dict__)
+        """The integer counters only — reasons/events are cumulative logs
+        and are excluded so :meth:`delta` stays a pure subtraction."""
+        return {k: v for k, v in self.__dict__.items() if isinstance(v, int)}
 
     def delta(self, before: dict[str, int]) -> dict[str, int]:
         """Difference between the current counters and a snapshot."""
-        return {k: v - before.get(k, 0) for k, v in self.__dict__.items()}
+        return {
+            k: v - before.get(k, 0)
+            for k, v in self.__dict__.items()
+            if isinstance(v, int)
+        }
 
 
 @dataclass

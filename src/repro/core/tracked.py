@@ -48,6 +48,11 @@ class WriteLog:
         self._cursors: dict[int, int] = {}
         self._next_cid = 0
         self._last_pos: dict[Location, int] = {}
+        #: Test-only fault hook (see :mod:`repro.resilience.faults`): when
+        #: set, every would-be append is offered to the hook first and is
+        #: *dropped* if the hook returns True.  Simulates a lost write
+        #: barrier — the failure mode paranoia verification exists to catch.
+        self.fault_hook: "Any | None" = None
 
     def register(self) -> int:
         """Register a new consumer; it starts at the current end of the log
@@ -67,6 +72,8 @@ class WriteLog:
         is still unread by every consumer."""
         if not self._cursors:
             return
+        if self.fault_hook is not None and self.fault_hook(location):
+            return
         last = self._last_pos.get(location)
         if last is not None and last >= max(self._cursors.values()):
             return
@@ -80,6 +87,12 @@ class WriteLog:
         self._cursors[cid] = len(self._entries)
         self._compact()
         return pending
+
+    def peek(self, cid: int) -> list[Location]:
+        """Locations logged since consumer ``cid`` last consumed, without
+        advancing its cursor.  Diagnostics only (e.g. the pending-write dump
+        emitted when a guarded block raises mid-mutation)."""
+        return self._entries[self._cursors[cid]:]
 
     def _compact(self) -> None:
         if not self._cursors:

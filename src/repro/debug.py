@@ -2,7 +2,8 @@
 
 Debug aids for understanding what DITTO memoized — handy when designing a
 new invariant (is the graph sharing what you expect? how big is it? what
-does one mutation dirty?).
+does one mutation dirty?), plus the pending-write dump the guard layer
+emits when a guarded block dies mid-mutation.
 """
 
 from __future__ import annotations
@@ -11,6 +12,7 @@ from typing import Callable, Optional
 
 from .core.engine import DittoEngine
 from .core.node import ComputationNode
+from .core.tracked import tracking_state
 
 
 def _default_label(node: ComputationNode) -> str:
@@ -83,6 +85,28 @@ def graph_dot(
             if dst is not None:
                 lines.append(f"  {src} -> {dst};")
     lines.append("}")
+    return "\n".join(lines)
+
+
+def pending_writes_text(engine: DittoEngine, max_entries: int = 25) -> str:
+    """The mutations ``engine`` has *not yet* consumed, one per line.
+
+    This is the evidence that would have driven the engine's next
+    incremental run.  :meth:`repro.guard.InvariantGuard.guarding` dumps it
+    when the guarded body raises, so a violation introduced just before
+    the crash is preserved in the diagnostics instead of being lost with
+    the skipped exit check."""
+    pending = tracking_state().write_log.peek(engine._log_cid)
+    if not pending:
+        return "<no pending writes>"
+    lines = [
+        f"{len(pending)} pending write(s) for check "
+        f"{engine.entry.name!r}:"
+    ]
+    for location in pending[:max_entries]:
+        lines.append(f"  - {location}")
+    if len(pending) > max_entries:
+        lines.append(f"  ... and {len(pending) - max_entries} more")
     return "\n".join(lines)
 
 

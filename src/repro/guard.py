@@ -19,17 +19,28 @@ that pattern around a :class:`~repro.core.engine.DittoEngine`:
 
   Every call to ``insert`` now checks ``is_ordered`` incrementally before
   and after the body, at DITTO cost instead of full-traversal cost.
+
+Guards are resilience-aware: pass ``paranoia=`` and/or ``degradation=``
+(see :mod:`repro.resilience`) and the underlying engine self-audits and
+degrades to scratch mode instead of trusting a corrupted graph.  When a
+``guarding`` body raises, the guard logs the engine's pending write log
+(the mutations that would have driven the skipped exit check) through the
+``repro.guard`` logger, so a violation introduced just before the crash is
+not silently lost.
 """
 
 from __future__ import annotations
 
 import functools
+import logging
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional
 
 from .core.engine import DittoEngine
 from .core.errors import DittoError
 from .instrument.registry import CheckFunction, check as as_check
+
+logger = logging.getLogger("repro.guard")
 
 
 class InvariantViolation(DittoError):
@@ -48,9 +59,14 @@ class InvariantViolation(DittoError):
 
 
 def _failed(result: Any) -> bool:
-    """A check fails on False, and on the error values used by
-    checkBlackDepth-style integer checks (-1)."""
-    return result is False or result == -1
+    """A check fails on False, and on the error value used by
+    checkBlackDepth-style integer checks (-1).
+
+    The integer comparison is type-strict: ``-1.0``, ``Decimal(-1)`` and
+    other numeric lookalikes are *not* failures, and neither is ``True``
+    even though ``True == 1`` (bool is an int subclass, so an identity
+    test on the type is required)."""
+    return result is False or (type(result) is int and result == -1)
 
 
 class InvariantGuard:
@@ -72,6 +88,9 @@ class InvariantGuard:
         self.violations: list[InvariantViolation] = []
         self._failed = failed if failed is not None else _failed
         self.checks_run = 0
+        #: Pending-write dumps captured when a ``guarding`` body raised
+        #: (newest last); see :func:`repro.debug.pending_writes_text`.
+        self.diagnostics: list[str] = []
 
     def check(self, *args: Any, moment: str = "check") -> Any:
         """Run the check; raise or record on a failing result."""
@@ -89,12 +108,31 @@ class InvariantGuard:
     @contextmanager
     def guarding(self, *args: Any) -> Iterator["InvariantGuard"]:
         """Check the invariant at block entry and block exit (the paper's
-        method-entry/exit discipline).  The exit check runs only when the
-        body did not itself raise, so the body's own exception is not
-        masked."""
+        method-entry/exit discipline).
+
+        The exit check runs only when the body did not itself raise, so
+        the body's own exception is not masked — but the evidence is not
+        lost either: on a body exception the guard captures the engine's
+        pending write log (the mutations the skipped exit check would have
+        examined) into :attr:`diagnostics` and logs it, then re-raises."""
         self.check(*args, moment="entry")
-        yield self
+        try:
+            yield self
+        except BaseException:
+            diagnostic = self._pending_writes_diagnostic()
+            self.diagnostics.append(diagnostic)
+            logger.warning(
+                "guarded block for %r raised; exit check skipped.\n%s",
+                self.entry.name,
+                diagnostic,
+            )
+            raise
         self.check(*args, moment="exit")
+
+    def _pending_writes_diagnostic(self) -> str:
+        from .debug import pending_writes_text  # avoid an import cycle
+
+        return pending_writes_text(self.engine)
 
     def close(self) -> None:
         self.engine.close()
@@ -116,8 +154,13 @@ def guarded(
     at its entry and exit.
 
     One shared :class:`InvariantGuard` (and hence one engine/graph) is
-    created per decorated class, lazily on first call, and stored on the
-    class as ``_ditto_guard_<check name>``.
+    created *per concrete class*, lazily on first call, and stored on the
+    class as ``_ditto_guard_<check name>``.  The lookup deliberately uses
+    ``vars(type(self))`` rather than attribute access: ``getattr`` walks
+    the MRO, which would make a subclass silently reuse — and pollute —
+    its base class's engine and computation graph.  Engine options
+    (``paranoia=``, ``degradation=``, ``step_limit=``, ...) are forwarded
+    to each per-class engine.
     """
     entry = as_check(entry)
     attr = f"_ditto_guard_{entry.name}"
@@ -125,10 +168,11 @@ def guarded(
     def decorate(method: Callable) -> Callable:
         @functools.wraps(method)
         def wrapper(self, *call_args: Any, **call_kwargs: Any) -> Any:
-            guard = getattr(type(self), attr, None)
+            cls = type(self)
+            guard = vars(cls).get(attr)
             if guard is None:
                 guard = InvariantGuard(entry, mode=mode, **engine_options)
-                setattr(type(self), attr, guard)
+                setattr(cls, attr, guard)
             guard.check(*args(self), moment=f"entry of {method.__name__}")
             result = method(self, *call_args, **call_kwargs)
             # Recompute the check arguments: the method may have replaced

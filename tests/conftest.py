@@ -17,6 +17,25 @@ from repro import DittoEngine, reset_tracking
 sys.setrecursionlimit(200_000)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine-mode",
+        default="ditto",
+        choices=("ditto", "naive"),
+        help=(
+            "Incrementalization strategy used by mode-parametric suites "
+            "(the tests/test_resilience_*.py fault-injection tests); CI "
+            "runs them under both 'ditto' and 'naive'."
+        ),
+    )
+
+
+@pytest.fixture
+def engine_mode(request) -> str:
+    """The --engine-mode command-line choice ('ditto' by default)."""
+    return request.config.getoption("--engine-mode")
+
+
 @pytest.fixture(autouse=True)
 def _clean_tracking():
     reset_tracking()

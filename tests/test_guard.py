@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import logging
+
 import pytest
 
 from repro import (
@@ -11,6 +13,7 @@ from repro import (
     check,
     guarded,
 )
+from repro.guard import _failed
 
 
 class Elem(TrackedObject):
@@ -46,6 +49,44 @@ def build(*values):
     for v in reversed(values):
         head = Elem(v, head)
     return head
+
+
+class TestFailedPredicate:
+    """``_failed`` draws a strict boolean/int boundary: False and the
+    exact int -1 fail; every numeric lookalike passes."""
+
+    @pytest.mark.parametrize("result", [False, -1])
+    def test_failures(self, result):
+        assert _failed(result)
+
+    @pytest.mark.parametrize(
+        "result",
+        [
+            True,        # == 1 but a bool, not a failing int
+            0,
+            1,
+            -2,
+            -1.0,        # float lookalike of the error code
+            None,        # falsy but not a failure signal
+            "",
+            [],
+            "ok",
+        ],
+    )
+    def test_non_failures(self, result):
+        assert not _failed(result)
+
+    def test_bool_subclass_boundary(self):
+        # bool is an int subclass: True == 1 and (True - 2) == -1, yet
+        # neither may be classified by int semantics.
+        assert not _failed(True)
+        assert _failed(True - 2)  # a real int -1, produced via bool math
+
+    def test_int_subclass_is_not_a_failure(self):
+        class Code(int):
+            pass
+
+        assert not _failed(Code(-1))
 
 
 class TestInvariantGuard:
@@ -114,6 +155,51 @@ class TestInvariantGuard:
                 with guard.guarding(head):
                     raise RuntimeError("body bug")
 
+    def test_body_exception_captures_pending_writes(self, caplog):
+        """When the body raises, the exit check is skipped — but the
+        mutations it would have examined are preserved as a diagnostic
+        and logged, so the evidence is not silently lost."""
+        with InvariantGuard(guard_ordered) as guard:
+            head = build(1, 2, 3)
+            with caplog.at_level(logging.WARNING, logger="repro.guard"):
+                with pytest.raises(RuntimeError):
+                    with guard.guarding(head):
+                        head.next.value = 99  # breaks the order...
+                        raise RuntimeError("crashed before exit check")
+            assert len(guard.diagnostics) == 1
+            assert "pending write" in guard.diagnostics[0]
+            assert "value" in guard.diagnostics[0]
+            assert any(
+                "exit check skipped" in r.getMessage()
+                for r in caplog.records
+            )
+            # The write stays pending: the next check still sees it.
+            with pytest.raises(InvariantViolation):
+                guard.check(head)
+
+    def test_body_exception_with_no_writes(self):
+        with InvariantGuard(guard_ordered) as guard:
+            head = build(1, 2)
+            with pytest.raises(RuntimeError):
+                with guard.guarding(head):
+                    raise RuntimeError("no mutations happened")
+            assert guard.diagnostics == ["<no pending writes>"]
+
+    def test_guard_forwards_resilience_options(self):
+        from repro import DegradationPolicy
+
+        with InvariantGuard(
+            guard_ordered,
+            paranoia=1,
+            degradation=DegradationPolicy(),
+        ) as guard:
+            assert guard.engine.paranoia == 1
+            assert guard.engine.degradation is not None
+            head = build(1, 2, 3)
+            assert guard.check(head) is True
+            assert guard.engine.stats.audits == 1
+            assert guard.engine.stats.verify_checks == 1
+
     def test_rejects_bad_on_violation(self):
         with pytest.raises(ValueError):
             InvariantGuard(guard_ordered, on_violation="explode")
@@ -160,6 +246,44 @@ class TestGuardedDecorator:
         guard = type(s)._ditto_guard_positive_values
         assert guard.checks_run >= 5
         guard.close()
+
+    def test_subclass_gets_its_own_guard(self):
+        """The lazy per-class guard must live on the *concrete* class.
+        An MRO-walking lookup (plain getattr) would make the subclass
+        reuse — and pollute — the base class's engine and graph."""
+
+        @check
+        def small_stack(s):
+            n, e = 0, s.head
+            while e is not None:
+                n, e = n + 1, e.next
+            return n <= 3
+
+        class Stack(TrackedObject):
+            def __init__(self):
+                self.head = None
+
+            @guarded(small_stack)
+            def push(self, value):
+                self.head = Elem(value, self.head)
+
+        class AuditedStack(Stack):
+            pass
+
+        base, sub = Stack(), AuditedStack()
+        base.push(1)
+        sub.push(10)
+        base_guard = vars(Stack)["_ditto_guard_small_stack"]
+        sub_guard = vars(AuditedStack)["_ditto_guard_small_stack"]
+        try:
+            assert base_guard is not sub_guard
+            assert base_guard.engine is not sub_guard.engine
+            # Each class's guard only ever saw its own instances.
+            assert base_guard.checks_run == 2
+            assert sub_guard.checks_run == 2
+        finally:
+            base_guard.close()
+            sub_guard.close()
 
     def test_outside_modification_caught_at_entry(self):
         @check

@@ -1,0 +1,337 @@
+"""Graceful degradation: cooldown, backoff, give-up, and exception paths.
+
+These tests drive the :class:`DegradationPolicy` ladder end to end — a
+trust-losing event discards the graph transactionally, the engine serves
+from-scratch answers for the configured window, and incremental mode
+resumes afterwards — and pin down which exceptions are *never* recovered
+from (genuine check failures, unrecoverable engine errors).
+
+Run with ``--engine-mode=naive`` to exercise the Figure 6 naive
+incrementalizer (CI does both).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CyclicCheckError,
+    DegradationPolicy,
+    FaultPlan,
+    TrackedObject,
+    check,
+    inject_faults,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+class Elem(TrackedObject):
+    def __init__(self, value, next=None):
+        self.value = value
+        self.next = next
+
+
+@check
+def deg_ordered(e):
+    if e is None or e.next is None:
+        return True
+    if e.value > e.next.value:
+        return False
+    return deg_ordered(e.next)
+
+
+@check
+def deg_sum_positive(e):
+    if e is None:
+        return True
+    if e.value < 0:  # raises TypeError when value is None
+        return False
+    return deg_sum_positive(e.next)
+
+
+def build(*values):
+    head = None
+    for v in reversed(values):
+        head = Elem(v, head)
+    return head
+
+
+def splice(at, *values):
+    """Insert a chain of fresh elements after ``at`` — a structural repair
+    that executes one new node per element (~5 steps each), used to push
+    an incremental run over a step limit that small repairs stay under."""
+    chain = build(*values)
+    tail = chain
+    while tail.next is not None:
+        tail = tail.next
+    tail.next = at.next
+    at.next = chain
+
+
+class TestPolicyObject:
+    def test_cooldown_backoff_progression(self):
+        policy = DegradationPolicy(cooldown_runs=2, backoff_factor=3.0)
+        assert [policy.cooldown_for(n) for n in (1, 2, 3)] == [2, 6, 18]
+
+    def test_cooldown_capped(self):
+        policy = DegradationPolicy(cooldown_runs=100, max_cooldown_runs=150)
+        assert policy.cooldown_for(2) == 150
+
+    def test_no_cooldown_by_default(self):
+        assert DegradationPolicy().cooldown_for(5) == 0
+
+    def test_give_up_returns_inf(self):
+        policy = DegradationPolicy(cooldown_runs=1, give_up_after=3)
+        assert policy.cooldown_for(2) == 2
+        assert policy.cooldown_for(3) == float("inf")
+
+    def test_give_up_works_without_cooldown(self):
+        policy = DegradationPolicy(give_up_after=1)
+        assert policy.cooldown_for(1) == float("inf")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cooldown_runs": -1},
+            {"backoff_factor": 0.5},
+            {"max_cooldown_runs": 0},
+            {"give_up_after": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DegradationPolicy(**kwargs)
+
+
+class TestStepLimitFallback:
+    def test_step_limit_rebuilds_without_policy(self, engine_factory,
+                                                engine_mode):
+        """The §3.5 step-limit remedy predates the resilience layer and
+        stays always-on; it now also leaves a FallbackEvent behind."""
+        engine = engine_factory(deg_ordered, mode=engine_mode, step_limit=2)
+        head = build(1, 2, 3, 4, 5, 6)
+        assert engine.run(head) is True  # full run: limit not applied
+        head.next.value = 0
+        assert engine.run(head) is False
+        assert engine.stats.scratch_fallbacks == 1
+        assert engine.stats.fallback_reasons == {"step_limit": 1}
+        event = engine.stats.fallback_events[0]
+        assert event.reason == "step_limit"
+        assert event.rebuilt
+        assert event.cooldown == 0
+        assert "StepLimitExceeded" in event.detail
+        # The rebuild left a working graph behind.
+        assert engine.graph_size > 0
+        assert engine.audit().ok
+
+    def test_step_limit_with_cooldown_window(self, engine_factory,
+                                             engine_mode):
+        # Limit 20: single-node repairs (~6-12 steps) stay incremental;
+        # the four-element splice (~34 steps) trips the fallback.
+        engine = engine_factory(
+            deg_ordered, mode=engine_mode, step_limit=20,
+            degradation=DegradationPolicy(cooldown_runs=2),
+        )
+        head = build(1, 2, 3, 4, 5, 6)
+        assert engine.run(head) is True
+        splice(head, 1, 1, 1, 1)
+        assert engine.run(head) is True  # fallback: scratch answer
+        event = engine.stats.fallback_events[0]
+        assert not event.rebuilt  # cooldown > 0: rebuild deferred
+        assert event.cooldown == 2
+        assert engine.graph_size == 0
+        # Two degraded runs served by the uninstrumented check.
+        head.next.value = 0
+        assert engine.run(head) is False
+        head.next.value = 1
+        assert engine.run(head) is True
+        assert engine.stats.degraded_runs == 2
+        # Cooldown over: the next run rebuilds and incremental resumes.
+        full_runs = engine.stats.full_runs
+        assert engine.run(head) is True
+        assert engine.stats.full_runs == full_runs + 1
+        assert engine.graph_size > 0
+        head.value = 0
+        assert engine.run(head) is True  # small repair: under the limit
+        assert engine.stats.scratch_fallbacks == 1  # no repeat episode
+        assert engine.audit().ok
+
+    def test_degraded_runs_keep_write_log_compacted(self, engine_factory,
+                                                    engine_mode):
+        from repro import tracking_state
+
+        engine = engine_factory(
+            deg_ordered, mode=engine_mode, step_limit=2,
+            degradation=DegradationPolicy(cooldown_runs=3),
+        )
+        head = build(1, 2, 3, 4, 5, 6)
+        engine.run(head)
+        head.next.value = 0
+        engine.run(head)  # fallback, cooldown starts
+        head.value = 7
+        engine.run(head)  # degraded
+        assert not tracking_state().write_log.peek(engine._log_cid)
+
+
+class TestBackoffAndGiveUp:
+    def test_rebuild_failure_escalates_cooldown(self, engine_factory,
+                                                engine_mode):
+        """When even the fallback rebuild raises, the engine backs off as
+        if it had failed twice (the environment is clearly hostile)."""
+        engine = engine_factory(
+            deg_ordered, mode=engine_mode,
+            degradation=DegradationPolicy(cooldown_runs=1,
+                                          backoff_factor=3.0),
+        )
+        head = build(1, 2, 3, 4)
+        assert engine.run(head) is True
+        with inject_faults(engine, FaultPlan.persistent_exceptions()):
+            head.value = 0
+            # cooldown_runs=1 -> first fallback would normally wait 1 run;
+            # escalation computes cooldown_for(2) = 3 instead... except the
+            # first fallback already enters the cooldown window (1 run)
+            # before any rebuild is attempted.
+            assert engine.run(head) is True
+        event = engine.stats.fallback_events[0]
+        assert event.reason == "repair_exception"
+        assert not event.rebuilt
+        assert event.cooldown == 1
+
+    def test_rebuild_failure_without_cooldown(self, engine_factory,
+                                              engine_mode):
+        """cooldown_runs=0 forces a rebuild attempt inside the fallback;
+        when the fault is persistent the rebuild fails too and the answer
+        comes from the uninstrumented check."""
+        engine = engine_factory(
+            deg_ordered, mode=engine_mode,
+            degradation=DegradationPolicy(),
+        )
+        head = build(1, 2, 3, 4)
+        assert engine.run(head) is True
+
+        # Arm a fault that also fires during full (rebuild) runs by
+        # wrapping the compiled entry directly.
+        uid = engine.entry.uid
+        real = engine._compiled[uid]
+        calls = {"n": 0}
+
+        def hostile(*a):
+            calls["n"] += 1
+            raise RuntimeError("hostile environment")
+
+        head.value = 0
+        engine._compiled[uid] = hostile
+        try:
+            result = engine.run(head)
+        finally:
+            engine._compiled[uid] = real
+        assert result is True  # the *uninstrumented* check still works
+        event = engine.stats.fallback_events[0]
+        assert event.reason == "repair_exception"
+        assert not event.rebuilt
+        assert calls["n"] >= 2  # incremental attempt(s) + rebuild attempt
+        assert engine.graph_size == 0
+        # Environment healed: incremental mode comes back on the next run.
+        assert engine.run(head) is True
+        assert engine.graph_size > 0
+
+    def test_give_up_after_stays_in_scratch_mode(self, engine_factory,
+                                                 engine_mode):
+        engine = engine_factory(
+            deg_ordered, mode=engine_mode,
+            degradation=DegradationPolicy(cooldown_runs=1, give_up_after=1),
+        )
+        head = build(1, 2, 3, 4)
+        assert engine.run(head) is True
+        with inject_faults(engine, FaultPlan.persistent_exceptions()):
+            head.value = 0
+            assert engine.run(head) is True
+        assert engine.stats.fallback_events[0].cooldown == -1  # permanent
+        # Long after the fault is gone, the engine still refuses to trust
+        # itself: every run is scratch, the graph stays empty.
+        for i in range(5):
+            head.value = -i
+            assert engine.run(head) is True
+        assert engine.stats.degraded_runs == 5
+        assert engine.graph_size == 0
+
+    def test_clean_run_resets_the_streak(self, engine_factory, engine_mode):
+        engine = engine_factory(
+            deg_ordered, mode=engine_mode, step_limit=20,
+            degradation=DegradationPolicy(cooldown_runs=1,
+                                          backoff_factor=4.0),
+        )
+        head = build(1, 2, 3, 4, 5, 6)
+        engine.run(head)
+        splice(head, 1, 1, 1, 1)
+        engine.run(head)          # fallback #1: cooldown 1
+        engine.run(head)          # degraded
+        engine.run(head)          # clean full rebuild -> streak reset
+        head.value = 0
+        engine.run(head)          # incremental: small repair, under limit
+        splice(head, 0, 0, 0, 0)
+        engine.run(head)          # fallback #2 — but streak was reset:
+        # cooldown is 1 again, not backoff_factor * 1 = 4.
+        assert [e.cooldown for e in engine.stats.fallback_events] == [1, 1]
+
+
+class TestNeverRecovered:
+    def test_cyclic_check_propagates_despite_policy(self, engine_factory,
+                                                    engine_mode):
+        """A cyclic structure would make the uninstrumented check diverge;
+        recovery by re-running from scratch is meaningless, so the error
+        always reaches the main program."""
+        engine = engine_factory(
+            deg_ordered, mode=engine_mode,
+            degradation=DegradationPolicy(cooldown_runs=4),
+        )
+        # All-equal values: no out-of-order pair ever short-circuits the
+        # recursion, so the traversal walks the cycle back into an
+        # invocation that is still in progress.
+        head = build(2, 2, 2)
+        head.next.next.next = head
+        with pytest.raises(CyclicCheckError):
+            engine.run(head)
+        assert engine.stats.scratch_fallbacks == 0
+        # Unbreaking the structure brings the engine straight back.
+        head.next.next.next = None
+        assert engine.run(head) is True
+        assert engine.stats.degraded_runs == 0
+
+    def test_genuine_check_failure_propagates(self, engine_factory,
+                                              engine_mode):
+        """The check itself crashes on the data (None < 0): incremental,
+        rebuild, and uninstrumented scratch all raise — the paper requires
+        the failure to reach the main program, not be swallowed."""
+        engine = engine_factory(
+            deg_sum_positive, mode=engine_mode,
+            degradation=DegradationPolicy(),
+        )
+        head = build(1, 2, 3)
+        assert engine.run(head) is True
+        head.next.value = None
+        with pytest.raises(TypeError):
+            engine.run(head)
+        # The engine remains usable once the data is fixed (satellite:
+        # exception paths of run()).
+        head.next.value = 2
+        assert engine.run(head) is True
+        assert engine.audit().ok
+
+    def test_fallback_on_exception_false_forwards(self, engine_factory,
+                                                  engine_mode):
+        from repro.resilience import InjectedFault
+
+        engine = engine_factory(
+            deg_ordered, mode=engine_mode,
+            degradation=DegradationPolicy(fallback_on_exception=False),
+        )
+        head = build(1, 2, 3)
+        assert engine.run(head) is True
+        with inject_faults(engine, FaultPlan.persistent_exceptions()):
+            head.value = 0
+            with pytest.raises(InjectedFault):
+                engine.run(head)
+        assert engine.stats.scratch_fallbacks == 0
+        assert engine.run(head) is True  # usable after the raise

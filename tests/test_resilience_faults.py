@@ -1,0 +1,273 @@
+"""Fault injection: the engine detects and survives what we break.
+
+Acceptance matrix for the resilience layer: under every injected fault
+class — dropped write-barrier entries, corrupted cached return values,
+exceptions raised mid-repair — ``engine.run()`` must still return exactly
+what a fresh from-scratch run returns, and ``EngineStats`` must record the
+fallback with its reason.  Detection is proved by also showing the
+*undefended* engine (no paranoia, no policy) serves the wrong answer.
+
+Run with ``--engine-mode=naive`` to prove the same guarantees for the
+Figure 6 naive incrementalizer (CI does both).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DegradationPolicy,
+    FaultPlan,
+    TrackedObject,
+    check,
+    inject_faults,
+    tracking_state,
+)
+from repro.resilience import InjectedFault
+
+pytestmark = pytest.mark.resilience
+
+
+class Elem(TrackedObject):
+    def __init__(self, value, next=None):
+        self.value = value
+        self.next = next
+
+
+@check
+def flt_ordered(e):
+    if e is None or e.next is None:
+        return True
+    if e.value > e.next.value:
+        return False
+    return flt_ordered(e.next)
+
+
+def build(*values):
+    head = None
+    for v in reversed(values):
+        head = Elem(v, head)
+    return head
+
+
+def paranoid_engine(engine_factory, engine_mode, **policy_kwargs):
+    return engine_factory(
+        flt_ordered,
+        mode=engine_mode,
+        paranoia=1,
+        degradation=DegradationPolicy(**policy_kwargs),
+    )
+
+
+class TestDroppedWriteBarriers:
+    def test_undefended_engine_serves_stale_answer(self, engine_factory,
+                                                   engine_mode):
+        """Without the resilience layer a lost barrier is silent: this is
+        the failure mode the defended tests below must catch."""
+        engine = engine_factory(flt_ordered, mode=engine_mode)
+        head = build(1, 2, 3, 4)
+        assert engine.run(head) is True
+        with inject_faults(engine, FaultPlan(drop_writes=5)) as injector:
+            head.next.value = 99  # breaks the order, invisibly
+            assert injector.writes_dropped == 1  # dropped at barrier time
+            stale = engine.run(head)
+        assert stale is True           # wrong!
+        assert flt_ordered(head) is False
+
+    def test_paranoia_catches_and_recovers(self, engine_factory,
+                                           engine_mode):
+        engine = paranoid_engine(engine_factory, engine_mode)
+        head = build(1, 2, 3, 4)
+        assert engine.run(head) is True
+        with inject_faults(engine, FaultPlan(drop_writes=5)) as injector:
+            head.next.value = 99
+            result = engine.run(head)
+        assert injector.writes_dropped >= 1
+        assert result is False                      # the scratch answer
+        assert result == flt_ordered(head)
+        assert engine.stats.verify_mismatches == 1
+        assert engine.stats.fallback_reasons == {"verify_mismatch": 1}
+        event = engine.stats.fallback_events[-1]
+        assert event.reason == "verify_mismatch"
+        assert event.duration >= 0.0
+        assert event.rebuilt  # no cooldown configured: graph rebuilt
+
+    def test_recovered_graph_is_trustworthy(self, engine_factory,
+                                            engine_mode):
+        engine = paranoid_engine(engine_factory, engine_mode)
+        head = build(1, 2, 3, 4)
+        engine.run(head)
+        with inject_faults(engine, FaultPlan(drop_writes=5)):
+            head.next.value = 99
+            engine.run(head)
+        # Faults disarmed: normal incremental operation resumes and the
+        # rebuilt graph tracks new mutations correctly.
+        head.next.value = 2
+        assert engine.run(head) is True
+        assert engine.audit().ok
+        assert engine.stats.scratch_fallbacks == 1
+
+    def test_drop_filter_limits_the_fault(self, engine_factory,
+                                          engine_mode):
+        engine = paranoid_engine(engine_factory, engine_mode)
+        head = build(1, 2, 3, 4)
+        engine.run(head)
+        victim = head.next
+        plan = FaultPlan(
+            drop_writes=100,
+            drop_filter=lambda loc: loc.container is victim,
+        )
+        with inject_faults(engine, plan) as injector:
+            head.value = 0          # logged normally
+            victim.value = 99       # dropped
+            result = engine.run(head)
+        assert injector.writes_dropped == 1
+        assert result == flt_ordered(head) is False
+
+    def test_hook_removed_after_block(self, engine_factory, engine_mode):
+        engine = engine_factory(flt_ordered, mode=engine_mode)
+        head = build(1, 2)
+        engine.run(head)
+        with inject_faults(engine, FaultPlan(drop_writes=100)):
+            pass
+        assert tracking_state().write_log.fault_hook is None
+        head.value = 5  # barrier works again
+        assert engine.run(head) is False
+
+    def test_concurrent_hooks_rejected(self, engine_factory, engine_mode):
+        engine = engine_factory(flt_ordered, mode=engine_mode)
+        with inject_faults(engine, FaultPlan(drop_writes=1)):
+            with pytest.raises(RuntimeError):
+                with inject_faults(engine, FaultPlan(drop_writes=1)):
+                    pass
+
+
+class TestCorruptedCachedReturns:
+    def test_undefended_engine_serves_corrupted_answer(self, engine_factory,
+                                                       engine_mode):
+        engine = engine_factory(flt_ordered, mode=engine_mode)
+        head = build(1, 2, 3, 4)
+        assert engine.run(head) is True
+        with inject_faults(
+            engine, FaultPlan(corrupt_returns=engine.graph_size)
+        ) as injector:
+            head.value = 0  # benign: forces an incremental run
+            corrupted = engine.run(head)
+        assert injector.returns_corrupted == engine.graph_size
+        assert corrupted is False      # wrong: the list is ordered
+        assert flt_ordered(head) is True
+
+    def test_paranoia_catches_and_recovers(self, engine_factory,
+                                           engine_mode):
+        engine = paranoid_engine(engine_factory, engine_mode)
+        head = build(1, 2, 3, 4)
+        assert engine.run(head) is True
+        with inject_faults(
+            engine, FaultPlan(corrupt_returns=engine.graph_size)
+        ) as injector:
+            head.value = 0
+            result = engine.run(head)
+        assert injector.returns_corrupted >= 1
+        assert result is True
+        assert result == flt_ordered(head)
+        assert engine.stats.fallback_reasons == {"verify_mismatch": 1}
+        # The rebuilt graph holds clean values: the next run agrees too.
+        head.value = -1
+        assert engine.run(head) is True
+        assert engine.stats.scratch_fallbacks == 1
+
+    def test_custom_corruption(self, engine_factory, engine_mode):
+        engine = paranoid_engine(engine_factory, engine_mode)
+        head = build(1, 2, 3)
+        engine.run(head)
+        size_when_armed = engine.graph_size
+        plan = FaultPlan(corrupt_returns=99, corrupt_value=lambda v: not v)
+        with inject_faults(engine, plan) as injector:
+            head.value = 0
+            assert engine.run(head) == flt_ordered(head)
+        assert injector.returns_corrupted == size_when_armed
+
+
+class TestExceptionsMidRepair:
+    def test_transient_fault_absorbed_by_retry(self, engine_factory,
+                                               engine_mode):
+        """A one-off crash inside repair is indistinguishable from a §3.5
+        misprediction: ditto mode retries and recovers without discarding
+        the graph."""
+        if engine_mode != "ditto":
+            pytest.skip("misprediction retry is a ditto-mode mechanism")
+        engine = engine_factory(
+            flt_ordered, mode=engine_mode,
+            degradation=DegradationPolicy(),
+        )
+        head = build(1, 2, 3, 4)
+        assert engine.run(head) is True
+        with inject_faults(
+            engine, FaultPlan(raise_on_calls=frozenset({1}))
+        ) as injector:
+            head.value = 0
+            assert engine.run(head) is True
+        assert injector.faults_raised == 1
+        assert engine.stats.mispredictions >= 1
+        assert engine.stats.scratch_fallbacks == 0  # retry was enough
+
+    def test_persistent_fault_degrades_gracefully(self, engine_factory,
+                                                  engine_mode):
+        engine = engine_factory(
+            flt_ordered, mode=engine_mode,
+            degradation=DegradationPolicy(),
+        )
+        head = build(1, 2, 3, 4)
+        assert engine.run(head) is True
+        with inject_faults(
+            engine, FaultPlan.persistent_exceptions()
+        ) as injector:
+            head.value = 0
+            result = engine.run(head)
+        assert injector.faults_raised >= 1
+        assert result is True
+        assert result == flt_ordered(head)
+        assert engine.stats.fallback_reasons == {"repair_exception": 1}
+        event = engine.stats.fallback_events[-1]
+        assert event.rebuilt
+        assert "InjectedFault" in event.detail
+
+    def test_fault_during_propagation_phase(self, engine_factory,
+                                            engine_mode):
+        """Crash the machinery deeper into the run (after some successful
+        re-executions) — the degradation layer must still deliver the
+        scratch answer."""
+        engine = engine_factory(
+            flt_ordered, mode=engine_mode,
+            degradation=DegradationPolicy(),
+        )
+        head = build(1, 2, 3, 4, 5, 6, 7, 8)
+        assert engine.run(head) is True
+        plan = FaultPlan(
+            raise_on_calls=frozenset(range(3, 200)),  # first two succeed
+        )
+        with inject_faults(engine, plan):
+            head.next.next.value = 0      # dirty mid-chain
+            head.next.next.next.value = 1
+            result = engine.run(head)
+        assert result == flt_ordered(head)
+
+    def test_without_policy_exception_is_forwarded(self, engine_factory,
+                                                   engine_mode):
+        """No DegradationPolicy: after §3.5 retries are exhausted the
+        injected exception reaches the main program — and the engine is
+        still usable afterwards (satellite: exception paths of run())."""
+        engine = engine_factory(flt_ordered, mode=engine_mode)
+        head = build(1, 2, 3, 4)
+        assert engine.run(head) is True
+        with inject_faults(engine, FaultPlan.persistent_exceptions()):
+            head.value = 0
+            with pytest.raises(InjectedFault):
+                engine.run(head)
+        # The graph was discarded; the next run rebuilds and is correct.
+        assert engine.run(head) is True
+        assert engine.graph_size > 0
+        assert engine.stats.scratch_fallbacks == 0
+        if engine_mode == "ditto":
+            assert engine.stats.mispredictions >= 1
+        assert engine.audit().ok
