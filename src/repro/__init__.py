@@ -13,6 +13,10 @@ Public API in three layers:
   — write-barrier base classes for the data structures under check.
 * ``repro.structures`` / ``repro.apps`` — ready-made structures, invariants,
   and the paper's two sample applications (Netcols, JSO).
+* ``repro.obs`` — observability: trace sinks (``trace_sink=`` engine
+  option), a Prometheus-exportable metrics registry, and the
+  repair-provenance explainer (``enable_provenance`` /
+  ``explain_last_run``).
 
 Quickstart::
 
@@ -82,6 +86,17 @@ from .resilience import (
     InjectedFault,
     inject_faults,
 )
+from .obs import (
+    ChromeTraceSink,
+    EngineMetrics,
+    JsonlSink,
+    MetricsRegistry,
+    NullSink,
+    RingBufferSink,
+    TraceSink,
+    enable_provenance,
+    explain_last_run,
+)
 
 __version__ = "1.1.0"
 
@@ -92,13 +107,17 @@ __all__ = [
     "check",
     "CheckFunction",
     "CheckRestrictionError",
+    "ChromeTraceSink",
     "ComputationNode",
     "CyclicCheckError",
     "DegradationPolicy",
     "DittoEngine",
     "DittoError",
+    "enable_provenance",
+    "EngineMetrics",
     "EngineStateError",
     "EngineStats",
+    "explain_last_run",
     "FallbackEvent",
     "FaultPlan",
     "GraphAuditError",
@@ -111,14 +130,19 @@ __all__ = [
     "InvariantViolation",
     "guarded",
     "is_tracked",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullSink",
     "OptimisticMispredictionError",
     "recursify",
+    "RingBufferSink",
     "register_pure_helper",
     "register_pure_method",
     "reset_tracking",
     "ResultTypeError",
     "RunReport",
     "StepLimitExceeded",
+    "TraceSink",
     "TrackedArray",
     "TrackedList",
     "TrackedObject",

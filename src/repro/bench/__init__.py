@@ -19,14 +19,22 @@ from .workloads import (
 )
 from .runner import (
     CrossoverResult,
+    SoakResult,
     SweepRow,
     find_crossover,
     measure_modes,
+    measure_soak,
     run_with_big_stack,
     speedup_series,
     sweep,
 )
-from .report import ascii_chart, figure11_chart, format_series, format_table
+from .report import (
+    ascii_chart,
+    figure11_chart,
+    format_phase_breakdown,
+    format_series,
+    format_table,
+)
 
 __all__ = [
     "ascii_chart",
@@ -34,15 +42,18 @@ __all__ = [
     "figure11_chart",
     "find_crossover",
     "run_with_big_stack",
+    "format_phase_breakdown",
     "format_series",
     "format_table",
     "get_workload",
     "HashTableWorkload",
     "JsoWorkload",
     "measure_modes",
+    "measure_soak",
     "NetcolsWorkload",
     "OrderedListWorkload",
     "RedBlackTreeWorkload",
+    "SoakResult",
     "speedup_series",
     "sweep",
     "SweepRow",

@@ -10,8 +10,15 @@ Usage::
     python -m repro.bench fig14          # Figure 14, JSO size sweep
     python -m repro.bench netcols        # §5.2 per-frame event-loop times
     python -m repro.bench ablation       # naive-vs-optimistic + impl toggles
+    python -m repro.bench soak           # one engine, per-phase breakdown
 
 ``--quick`` shrinks sizes/mod counts by ~4x for a fast sanity pass.
+
+``--trace out.json`` attaches a Chrome trace-event sink
+(:class:`repro.obs.ChromeTraceSink`) to every engine the experiment
+constructs and writes the combined trace on exit — load it in Perfetto
+(https://ui.perfetto.dev) to see the per-phase spans.  Tracing adds
+per-event overhead, so don't compare traced timings against untraced ones.
 """
 
 from __future__ import annotations
@@ -19,17 +26,25 @@ from __future__ import annotations
 import argparse
 import json
 import time
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 from ..core.engine import DittoEngine
-from .runner import find_crossover, measure_modes, sweep
+from ..obs.sinks import ChromeTraceSink
+from .runner import find_crossover, measure_modes, measure_soak, sweep
 from .report import (
     figure11_chart,
     format_crossover,
+    format_phase_breakdown,
     format_series,
     format_table,
 )
 from .workloads import get_workload
+
+
+def _engine_options(args: argparse.Namespace) -> dict[str, Any]:
+    """Engine kwargs shared by every experiment: the ``--trace`` sink."""
+    sink = getattr(args, "trace_sink", None)
+    return {"trace_sink": sink} if sink is not None else {}
 
 #: Figure 11 structures and their paper-reported crossovers.
 FIG11_WORKLOADS = ("ordered_list", "hash_table", "red_black_tree")
@@ -49,7 +64,10 @@ def cmd_fig11(args: argparse.Namespace) -> dict[str, Any]:
     workloads = [args.workload] if args.workload else list(FIG11_WORKLOADS)
     payload: dict[str, Any] = {"mods": mods, "workloads": {}}
     for name in workloads:
-        rows = sweep(name, sizes, mods, seed=args.seed)
+        rows = sweep(
+            name, sizes, mods, seed=args.seed,
+            engine_options=_engine_options(args),
+        )
         print(
             format_series(
                 f"\n[fig11-{name}] {mods} modifications per size "
@@ -200,14 +218,20 @@ def cmd_ablation(args: argparse.Namespace) -> dict[str, Any]:
           f"size {size}, {mods} mods")
     rows = []
     payload: dict[str, Any] = {"size": size, "mods": mods,
-                               "optimistic_vs_naive": {}, "variants": {}}
+                               "optimistic_vs_naive": {}, "variants": {},
+                               "phase_times": {}}
     for name in FIG11_WORKLOADS:
         measured = measure_modes(
-            name, size, mods, ("full", "naive", "ditto"), seed=args.seed
+            name, size, mods, ("full", "naive", "ditto"), seed=args.seed,
+            engine_options=_engine_options(args),
         )
         payload["optimistic_vs_naive"][name] = {
             mode: measured[mode].seconds
             for mode in ("full", "naive", "ditto")
+        }
+        payload["phase_times"][name] = {
+            mode: measured[mode].phase_times
+            for mode in ("naive", "ditto")
         }
         rows.append(
             (
@@ -232,7 +256,7 @@ def cmd_ablation(args: argparse.Namespace) -> dict[str, Any]:
     for label, options in variants:
         measured = measure_modes(
             "ordered_list", size, mods, ("ditto",), seed=args.seed,
-            engine_options=options,
+            engine_options={**_engine_options(args), **options},
         )["ditto"]
         payload["variants"][label] = measured.seconds
         rows.append((label, f"{measured.seconds:.3f}"))
@@ -259,7 +283,7 @@ def cmd_overhead(args: argparse.Namespace) -> dict[str, Any]:
 
     def measure(name: str, size: int) -> dict[str, float]:
         workload = get_workload(name, size, seed=args.seed)
-        engine = DittoEngine(workload.entry)
+        engine = DittoEngine(workload.entry, **_engine_options(args))
         try:
             engine.run(*workload.check_args())
             stats = graph_stats(engine)
@@ -294,6 +318,42 @@ def cmd_overhead(args: argparse.Namespace) -> dict[str, Any]:
     return payload
 
 
+def cmd_soak(args: argparse.Namespace) -> dict[str, Any]:
+    """Per-phase breakdown of one long mutate+check soak: where does
+    repair time go?  (The paper's overhead discussion, made concrete.)"""
+    size = 200 if args.quick else 1000
+    mods = args.mods or (100 if args.quick else 500)
+    workload = args.workload or "ordered_list"
+    print(f"\n[obs-soak] {workload} size {size}, {mods} mutate+check "
+          f"events, mode ditto")
+    result = measure_soak(
+        workload, size, mods, mode="ditto", seed=args.seed,
+        engine_options=_engine_options(args),
+    )
+    print(format_phase_breakdown(result.phase_times, total=result.seconds))
+    durations = sorted(result.run_durations)
+    if durations:
+        mid = durations[len(durations) // 2]
+        p95 = durations[min(len(durations) - 1,
+                            int(0.95 * len(durations)))]
+        print(
+            f"\nper-run latency: median {mid * 1e3:.3f} ms, "
+            f"p95 {p95 * 1e3:.3f} ms, max {durations[-1] * 1e3:.3f} ms"
+        )
+    print(f"graph size after soak: {result.graph_size} nodes")
+    return {
+        "workload": result.workload,
+        "size": result.size,
+        "mods": result.mods,
+        "mode": result.mode,
+        "seconds": result.seconds,
+        "phase_times": result.phase_times,
+        "run_durations": result.run_durations,
+        "counters": result.counters,
+        "graph_size": result.graph_size,
+    }
+
+
 COMMANDS = {
     "fig11": cmd_fig11,
     "crossover": cmd_crossover,
@@ -302,6 +362,7 @@ COMMANDS = {
     "netcols": cmd_netcols,
     "ablation": cmd_ablation,
     "overhead": cmd_overhead,
+    "soak": cmd_soak,
 }
 
 
@@ -326,16 +387,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="also write the measured data as JSON (for CI/regression "
              "tracking)",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a Chrome trace-event file of every engine's phase "
+             "spans (open in Perfetto)",
+    )
     args = parser.parse_args(argv)
+
+    sink: Optional[ChromeTraceSink] = None
+    if args.trace:
+        sink = ChromeTraceSink(args.trace)
+    args.trace_sink = sink
 
     start = time.perf_counter()
     payload: dict[str, Any] = {}
-    if args.experiment == "all":
-        for name in ("fig11", "crossover", "speedup", "fig14", "netcols",
-                     "ablation", "overhead"):
-            payload[name] = COMMANDS[name](args)
-    else:
-        payload[args.experiment] = COMMANDS[args.experiment](args)
+    try:
+        if args.experiment == "all":
+            for name in ("fig11", "crossover", "speedup", "fig14",
+                         "netcols", "ablation", "overhead", "soak"):
+                payload[name] = COMMANDS[name](args)
+        else:
+            payload[args.experiment] = COMMANDS[args.experiment](args)
+    finally:
+        if sink is not None:
+            sink.close()
+            print(f"\n(Chrome trace written to {args.trace} — "
+                  f"{sink.events_emitted} events; open in Perfetto)")
     elapsed = time.perf_counter() - start
     if args.json:
         payload["meta"] = {"quick": args.quick, "seed": args.seed,

@@ -119,6 +119,30 @@ def figure11_chart(title: str, rows: Sequence[SweepRow]) -> str:
     )
 
 
+def format_phase_breakdown(
+    phase_times: dict[str, float], total: float | None = None
+) -> str:
+    """Render "where did repair time go" as a table: one row per engine
+    phase with seconds and share of the phase total.
+
+    ``total``, when given (e.g. the soak's wall-clock time), adds an
+    "unattributed" row for time spent outside the engine's phase timers —
+    mutations, write barriers, and harness overhead."""
+    phase_total = sum(phase_times.values())
+    denominator = total if total and total > 0 else phase_total
+    rows = []
+    for phase, seconds in sorted(
+        phase_times.items(), key=lambda item: -item[1]
+    ):
+        share = (100.0 * seconds / denominator) if denominator else 0.0
+        rows.append((phase, f"{seconds:.4f}", f"{share:.1f}%"))
+    if total is not None and total > phase_total:
+        rest = total - phase_total
+        share = 100.0 * rest / denominator if denominator else 0.0
+        rows.append(("(unattributed)", f"{rest:.4f}", f"{share:.1f}%"))
+    return format_table(["phase", "seconds", "share"], rows)
+
+
 def format_crossover(results: Sequence[CrossoverResult]) -> str:
     """§5.1.1-style crossover table."""
     return format_table(

@@ -79,6 +79,28 @@ class ModeResult:
     mode: str
     seconds: float
     checks: int = 0
+    #: Engine-phase wall-clock totals over the measurement (empty for the
+    #: ``none``/``full`` modes, which run no engine).
+    phase_times: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SoakResult:
+    """One long mutate+check soak of a single engine: where repair time
+    went, per phase, plus the per-run latency distribution."""
+
+    workload: str
+    size: int
+    mods: int
+    mode: str
+    seconds: float
+    #: Sum of per-run phase durations across the whole soak.
+    phase_times: dict[str, float] = field(default_factory=dict)
+    #: Wall-clock seconds of each incremental run, in order.
+    run_durations: list[float] = field(default_factory=list)
+    #: Lifetime engine-counter deltas over the soak (dirty_execs, ...).
+    counters: dict[str, int] = field(default_factory=dict)
+    graph_size: int = 0
 
 
 @dataclass
@@ -182,7 +204,13 @@ def _measure_modes_inner(
             workload.run_full_check()
         checks = run_cycle(workload, mods, mode, engine)
         elapsed = time.perf_counter() - start
+        phase_times: dict[str, float] = {}
         if engine is not None:
+            phase_times = {
+                phase: seconds
+                for phase, seconds in engine.stats.timers().items()
+                if seconds > 0.0
+            }
             engine.close()
         results[mode] = ModeResult(
             workload=workload_name,
@@ -191,8 +219,70 @@ def _measure_modes_inner(
             mode=mode,
             seconds=elapsed,
             checks=checks,
+            phase_times=phase_times,
         )
     return results
+
+
+def measure_soak(
+    workload_name: str,
+    size: int,
+    mods: int,
+    mode: str = "ditto",
+    seed: int = 0xD1770,
+    engine_options: Optional[dict] = None,
+) -> SoakResult:
+    """One engine, ``mods`` mutate+check events, per-run reporting: the
+    phase breakdown the paper's overhead discussion calls for.
+
+    Unlike :func:`measure_modes` (opaque wall clock, minimal overhead)
+    this uses ``run_with_report`` per event to capture each run's phase
+    times and latency; use it for the breakdown, not for crossovers."""
+    return run_with_big_stack(
+        lambda: _measure_soak_inner(
+            workload_name, size, mods, mode, seed, engine_options
+        )
+    )
+
+
+def _measure_soak_inner(
+    workload_name: str,
+    size: int,
+    mods: int,
+    mode: str,
+    seed: int,
+    engine_options: Optional[dict],
+) -> SoakResult:
+    workload = get_workload(workload_name, size, seed=seed)
+    engine = DittoEngine(workload.entry, mode=mode, **(engine_options or {}))
+    try:
+        start = time.perf_counter()
+        engine.run(*workload.check_args())  # initial graph build
+        before = engine.stats.snapshot()
+        phase_times: dict[str, float] = {}
+        durations: list[float] = []
+        for _ in range(mods):
+            workload.mutate()
+            report = engine.run_with_report(*workload.check_args())
+            if report.result is False:
+                raise AssertionError("invariant unexpectedly violated")
+            durations.append(report.duration)
+            for phase, seconds in report.phase_times.items():
+                phase_times[phase] = phase_times.get(phase, 0.0) + seconds
+        elapsed = time.perf_counter() - start
+        return SoakResult(
+            workload=workload_name,
+            size=size,
+            mods=mods,
+            mode=mode,
+            seconds=elapsed,
+            phase_times=phase_times,
+            run_durations=durations,
+            counters=engine.stats.delta(before),
+            graph_size=engine.graph_size,
+        )
+    finally:
+        engine.close()
 
 
 def sweep(
@@ -200,12 +290,14 @@ def sweep(
     sizes: Sequence[int],
     mods: int,
     seed: int = 0xD1770,
+    engine_options: Optional[dict] = None,
 ) -> list[SweepRow]:
     """Figure 11: one row per size with all three curves."""
     rows = []
     for size in sizes:
         measured = measure_modes(
-            workload_name, size, mods, ("none", "full", "ditto"), seed
+            workload_name, size, mods, ("none", "full", "ditto"), seed,
+            engine_options=engine_options,
         )
         full_s = measured["full"].seconds
         ditto_s = measured["ditto"].seconds

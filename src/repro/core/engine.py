@@ -60,14 +60,20 @@ from .memo_table import MemoTable
 from .node import ComputationNode
 from .order_maintenance import OrderList
 from .runtime import Runtime
-from .stats import EngineStats, RunReport
+from .stats import PHASES, EngineStats, RunReport
 from .tracked import tracking_state
+from ..obs.trace import NullSink, TraceSink
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.provenance import RunRecorder
     from ..resilience.auditor import AuditReport
     from ..resilience.degradation import DegradationPolicy
 
 _MODES = ("ditto", "naive", "scratch")
+
+#: Phase name -> EngineStats accumulator attribute (precomputed so the
+#: per-phase accounting does no string building at run time).
+_TIMER_ATTRS = {phase: "time_" + phase for phase in PHASES}
 
 #: Deterministic usage/semantics errors a scratch re-run cannot repair (and
 #: must not mask): graceful degradation forwards these to the main program
@@ -107,6 +113,7 @@ class DittoEngine:
         recursion_limit: Optional[int] = 20_000,
         paranoia: int = 0,
         degradation: Optional["DegradationPolicy"] = None,
+        trace_sink: Optional[TraceSink] = None,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -135,6 +142,17 @@ class DittoEngine:
         self.table = MemoTable()
         self.order = OrderList()
         self.runtime = Runtime(self)
+        # Observability (repro.obs).  ``tracing`` is the single boolean the
+        # hot paths test: with the default NullSink no event is ever built.
+        self._sink: TraceSink = trace_sink if trace_sink is not None else NullSink()
+        self.tracing = not isinstance(self._sink, NullSink)
+        #: Per-run provenance recorder (repro.obs.enable_provenance).
+        self.recorder: Optional["RunRecorder"] = None
+        #: Wall-clock seconds of the most recent run() call and its
+        #: per-phase breakdown (reset at the start of every run).
+        self.last_duration = 0.0
+        self.last_phase_times: dict[str, float] = {}
+        self._current_phase = ""
 
         # Resolve the check's function closure and validate every member
         # (analysis() raises CheckRestrictionError on a violation).
@@ -176,6 +194,37 @@ class DittoEngine:
         self._consecutive_fallbacks = 0
         self._runs_since_audit = 0
 
+    # Observability plumbing (repro.obs). -------------------------------------------
+
+    @property
+    def trace_sink(self) -> TraceSink:
+        """The attached :class:`~repro.obs.trace.TraceSink`.  Assigning a
+        non-null sink turns tracing on; assigning ``None`` or a
+        :class:`~repro.obs.trace.NullSink` turns it off."""
+        return self._sink
+
+    @trace_sink.setter
+    def trace_sink(self, sink: Optional[TraceSink]) -> None:
+        self._sink = sink if sink is not None else NullSink()
+        self.tracing = not isinstance(self._sink, NullSink)
+
+    def _phase_begin(self, name: str) -> float:
+        self._current_phase = name
+        return time.perf_counter()
+
+    def _phase_end(self, name: str, start: float) -> None:
+        """Account one completed phase: per-run breakdown, lifetime stats
+        accumulator, and (when tracing) a span event."""
+        dur = time.perf_counter() - start
+        self._current_phase = ""
+        times = self.last_phase_times
+        times[name] = times.get(name, 0.0) + dur
+        stats_dict = self.stats.__dict__
+        attr = _TIMER_ATTRS[name]
+        stats_dict[attr] = stats_dict[attr] + dur
+        if self.tracing:
+            self._sink.span(name, start, dur)
+
     # Public API. -----------------------------------------------------------------
 
     def run(self, *args: Any) -> Any:
@@ -191,15 +240,30 @@ class DittoEngine:
             raise EngineStateError("engine has been closed")
         if self._running:
             raise EngineStateError("re-entrant DittoEngine.run() call")
+        self.last_phase_times = {}
         if self.mode == "scratch":
             self.stats.runs += 1
             self.stats.full_runs += 1
-            return self.entry.original(*args)
+            start = self._phase_begin("exec")
+            try:
+                return self.entry.original(*args)
+            finally:
+                self._phase_end("exec", start)
+                self.last_duration = time.perf_counter() - start
         self._running = True
+        start = time.perf_counter()
+        aborted = True
         try:
-            return self._run_resilient(args)
+            result = self._run_resilient(args)
+            aborted = False
+            return result
         finally:
             self._running = False
+            self.last_duration = time.perf_counter() - start
+            if self.recorder is not None:
+                self.recorder.end_run(
+                    self.last_duration, self.last_phase_times, aborted
+                )
 
     def run_with_report(self, *args: Any) -> RunReport:
         """Like :meth:`run`, also returning per-run statistics."""
@@ -212,6 +276,8 @@ class DittoEngine:
             incremental=incremental and self.mode != "scratch",
             delta=self.stats.delta(before),
             graph_size=len(self.table),
+            duration=self.last_duration,
+            phase_times=dict(self.last_phase_times),
         )
 
     def invalidate(self) -> None:
@@ -306,7 +372,11 @@ class DittoEngine:
         production (``paranoia`` mode calls it automatically)."""
         from ..resilience.auditor import GraphAuditor
 
-        report = GraphAuditor(self).run()
+        start = self._phase_begin("audit")
+        try:
+            report = GraphAuditor(self).run()
+        finally:
+            self._phase_end("audit", start)
         self.stats.audits += 1
         if not report.ok:
             self.stats.audit_failures += 1
@@ -336,7 +406,11 @@ class DittoEngine:
             self.stats.runs += 1
             self.stats.degraded_runs += 1
             tracking_state().write_log.consume(self._log_cid)
-            return self.entry.original(*args)
+            start = self._phase_begin("degraded")
+            try:
+                return self.entry.original(*args)
+            finally:
+                self._phase_end("degraded", start)
         fallbacks_before = self.stats.scratch_fallbacks
         try:
             result = self._run_tracked(args)
@@ -371,7 +445,11 @@ class DittoEngine:
         Genuine check failures — the from-scratch path raising too — are
         forwarded to the main program, as the paper requires."""
         policy = self.degradation
-        start = time.perf_counter()
+        start = self._phase_begin("fallback")
+        if self.tracing:
+            self._sink.instant(
+                "degradation", start, {"reason": reason, "cause": repr(cause)}
+            )
         self.invalidate()
         self.in_incremental_run = False
         cooldown: float = 0
@@ -405,6 +483,7 @@ class DittoEngine:
                 )
         self._consecutive_fallbacks += 1
         self._cooldown_remaining = cooldown
+        self._phase_end("fallback", start)
         self.stats.record_fallback(
             reason=reason,
             duration=time.perf_counter() - start,
@@ -428,6 +507,7 @@ class DittoEngine:
                 )
             raise GraphAuditError(report)
         self.stats.verify_checks += 1
+        start = self._phase_begin("verify")
         try:
             expected = self.entry.original(*args)
         except _NEVER_CAUGHT:
@@ -438,6 +518,8 @@ class DittoEngine:
             # and forward the genuine exception.
             self.invalidate()
             raise
+        finally:
+            self._phase_end("verify", start)
         if not _same_value(result, expected):
             self.stats.verify_mismatches += 1
             error = VerificationError(result, expected)
@@ -466,8 +548,10 @@ class DittoEngine:
 
     def _incrementalize(self, args: tuple) -> Any:
         key = ArgsKey(args)
+        start = self._phase_begin("barrier_drain")
         pending = tracking_state().write_log.consume(self._log_cid)
         dirty = self.table.map_locations_to_nodes(pending)
+        self._phase_end("barrier_drain", start)
         root = self.table.lookup(self.entry, key)
         first_run = self._root is None
         self.in_incremental_run = not first_run
@@ -477,50 +561,70 @@ class DittoEngine:
         else:
             self.stats.incremental_runs += 1
 
+        start = self._phase_begin("dirty_mark")
         for node in dirty:
             node.dirty = True
         self.stats.dirty_marked += len(dirty)
+        if self.recorder is not None:
+            self.recorder.begin_run(self, pending, dirty, not first_run)
+        self._phase_end("dirty_mark", start)
         self._to_propagate.clear()
         self._failed.clear()
 
         try:
-            # Re-run the root first when its entry arguments are new
-            # (Figure 7: "need to re-run root if arguments have changed").
-            if root is None:
-                try:
-                    root = self._retarget_root(key)
-                except OptimisticMispredictionError:
-                    root = self._root  # created; retried after propagation
-                    assert root is not None
-            else:
-                if root is not self._root:
-                    # The entry arguments changed to an invocation that
-                    # already exists in the graph (e.g. queue-style
-                    # delete-first whose new head was memoized): re-anchor
-                    # without re-executing.
-                    self._reanchor(root)
-                if self.mode == "naive":
-                    # Figure 6: one top-down replay from the root
-                    # re-executes exactly the invocations whose inputs
-                    # changed.
-                    self._naive_value(root)
-            if self.mode == "ditto":
-                # Re-execute dirty invocations closest to the root first;
-                # invocations that already fell out of the computation are
-                # pruned, not re-executed (Figure 7).
-                for node in sorted(dirty, key=ComputationNode.sort_token):
-                    if not (self.table.contains(node) and node.dirty):
-                        continue
-                    if node is not self._root and node.caller_count() == 0:
-                        self._prune(node)
-                        continue
-                    self.stats.dirty_execs += 1
+            start = self._phase_begin("exec")
+            try:
+                # Re-run the root first when its entry arguments are new
+                # (Figure 7: "need to re-run root if arguments have
+                # changed").
+                if root is None:
                     try:
-                        self._exec(node)
+                        root = self._retarget_root(key)
                     except OptimisticMispredictionError:
-                        pass  # recorded in self._failed; retried below
-            self._propagate()
-            self._retry_failed()
+                        root = self._root  # created; retried after propagation
+                        assert root is not None
+                else:
+                    if root is not self._root:
+                        # The entry arguments changed to an invocation that
+                        # already exists in the graph (e.g. queue-style
+                        # delete-first whose new head was memoized):
+                        # re-anchor without re-executing.
+                        self._reanchor(root)
+                    if self.mode == "naive":
+                        # Figure 6: one top-down replay from the root
+                        # re-executes exactly the invocations whose inputs
+                        # changed.
+                        self._naive_value(root)
+                if self.mode == "ditto":
+                    # Re-execute dirty invocations closest to the root
+                    # first; invocations that already fell out of the
+                    # computation are pruned, not re-executed (Figure 7).
+                    for node in sorted(dirty, key=ComputationNode.sort_token):
+                        if not (self.table.contains(node) and node.dirty):
+                            continue
+                        if (
+                            node is not self._root
+                            and node.caller_count() == 0
+                        ):
+                            self._prune(node)
+                            continue
+                        self.stats.dirty_execs += 1
+                        try:
+                            self._exec(node)
+                        except OptimisticMispredictionError:
+                            pass  # recorded in self._failed; retried below
+            finally:
+                self._phase_end("exec", start)
+            start = self._phase_begin("propagate")
+            try:
+                self._propagate()
+            finally:
+                self._phase_end("propagate", start)
+            start = self._phase_begin("retry")
+            try:
+                self._retry_failed()
+            finally:
+                self._phase_end("retry", start)
         finally:
             self.in_incremental_run = False
         assert root.has_result
@@ -605,6 +709,12 @@ class DittoEngine:
                 node.failed = True
                 self._failed.add(node)
                 self.stats.mispredictions += 1
+                if self.tracing:
+                    self._sink.instant(
+                        "misprediction",
+                        time.perf_counter(),
+                        {"node": node.func.name, "error": repr(exc)},
+                    )
                 raise OptimisticMispredictionError(node, exc) from exc
             raise
         finally:
@@ -626,6 +736,14 @@ class DittoEngine:
         self.stats.execs += 1
         if not self.in_incremental_run:
             self.stats.initial_execs += 1
+        if self.recorder is not None:
+            self.recorder.executed(node, self._current_phase or "exec")
+        if self.tracing:
+            self._sink.instant(
+                "node_exec",
+                time.perf_counter(),
+                {"node": node.func.name, "phase": self._current_phase},
+            )
 
         # Drop the superseded call edges and prune unreachable callees.
         for child in old_calls:
@@ -654,6 +772,10 @@ class DittoEngine:
         return result
 
     def _prune(self, node: ComputationNode) -> None:
+        # Prune time is accounted as its own phase but accumulates *inside*
+        # the enclosing exec/propagate/retry span (cascades are triggered
+        # mid-phase), so it deliberately leaves ``_current_phase`` alone.
+        start = time.perf_counter()
         removed = self.table.prune(node)
         self.stats.nodes_pruned += len(removed)
         for n in removed:
@@ -662,6 +784,14 @@ class DittoEngine:
                 n.order_rec = None
             self._to_propagate.discard(n)
             self._failed.discard(n)
+        if self.recorder is not None and removed:
+            self.recorder.pruned(removed)
+        dur = time.perf_counter() - start
+        times = self.last_phase_times
+        times["prune"] = times.get("prune", 0.0) + dur
+        self.stats.time_prune += dur
+        if self.tracing:
+            self._sink.span("prune", start, dur, {"removed": len(removed)})
 
     # Memoized call dispatch (Figures 6/7 ``memo``). ---------------------------------
 
@@ -674,6 +804,10 @@ class DittoEngine:
             # §4 "Optimizing leaf calls": run outright, attributing any
             # implicit reads to the caller; no memo entry is created.
             self.stats.leaf_execs += 1
+            if self.tracing:
+                self._sink.instant(
+                    "leaf_exec", time.perf_counter(), {"func": func.name}
+                )
             return self._compiled[uid](*args)
         caller = self._stack[-1]
         key = ArgsKey(args)
@@ -688,6 +822,10 @@ class DittoEngine:
             return self._naive_value(node)
         # Optimistic memoization: reuse without validating callee returns.
         self.stats.reuses += 1
+        if self.tracing:
+            self._sink.instant(
+                "reuse", time.perf_counter(), {"node": node.func.name}
+            )
         return node.return_val
 
     def _naive_value(self, node: ComputationNode) -> Any:
@@ -703,6 +841,10 @@ class DittoEngine:
                 # A memo lookup failed somewhere in the child's call tree.
                 return self._exec(node)
         self.stats.reuses += 1
+        if self.tracing:
+            self._sink.instant(
+                "reuse", time.perf_counter(), {"node": node.func.name}
+            )
         return node.return_val
 
     # Return-value propagation (Figure 7's ``propagate_return_vals``). -----------------

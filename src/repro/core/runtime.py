@@ -13,7 +13,8 @@ namespace of its compiled check functions (see
   ``memo`` functions of Figures 6 and 7, including the leaf-call
   optimization of §4;
 * polices purity of non-check calls (``helper`` / ``method``), the runtime
-  complement of the static whitelist;
+  complement of the static whitelist, counting each dispatch in
+  ``EngineStats.helper_calls`` for the observability layer;
 * counts steps for the optional step-limit fallback (§3.5's second remedy
   for optimistic non-termination).
 """
@@ -122,6 +123,7 @@ class Runtime:
 
     def helper(self, func: Any, *args: Any) -> Any:
         self._step()
+        self.engine.stats.helper_calls += 1
         if self.engine.strict and not is_pure_helper(func):
             raise TrackingError(
                 f"check called unregistered helper "
@@ -132,6 +134,7 @@ class Runtime:
 
     def method(self, receiver: Any, name: str, *args: Any) -> Any:
         self._step()
+        self.engine.stats.helper_calls += 1
         if self.engine.strict and not is_pure_method(receiver, name):
             raise TrackingError(
                 f"check called method {name!r} on "

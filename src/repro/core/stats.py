@@ -10,11 +10,47 @@ flight recorder: every graph-discarding fallback is appended to
 ``fallback_events`` as a :class:`FallbackEvent` (reason, run index,
 recovery duration, whether the graph was rebuilt), and ``fallback_reasons``
 aggregates the same events by reason string.
+
+It is also the observability layer's accumulator: the engine adds the
+wall-clock seconds of every run phase (barrier drain, dirty marking,
+execution, return-value propagation, pruning, misprediction retry,
+fallback recovery, audits, verification) to the ``time_*`` fields, so the
+paper's overhead breakdown (Figures 11-13 measure *where* repair time
+goes) can be reported without attaching a trace sink.
+
+The contract between the counters and :meth:`EngineStats.snapshot` /
+:meth:`EngineStats.delta` is a *declared* field set: ``COUNTER_FIELDS``
+lists the per-run-subtractable integers, ``TIMER_FIELDS`` the wall-clock
+accumulators, and ``LOG_FIELDS`` the cumulative logs.  Snapshots cover
+exactly ``COUNTER_FIELDS`` — adding a field to the dataclass without
+classifying it fails the test suite rather than silently changing what
+``delta()`` returns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import ClassVar
+
+#: Run phases the engine times, in execution order.  ``barrier_drain``
+#: through ``retry`` partition one incremental run; ``prune`` is nested
+#: inside ``exec``/``propagate`` (it times the pruning cascades those
+#: phases trigger); ``fallback`` wraps a whole recovery (including the
+#: phases of the rebuild run it performs); ``audit``/``verify`` are the
+#: paranoia-mode passes; ``degraded`` is a run served by the
+#: uninstrumented check during a degradation cooldown.
+PHASES = (
+    "barrier_drain",
+    "dirty_mark",
+    "exec",
+    "propagate",
+    "prune",
+    "retry",
+    "fallback",
+    "audit",
+    "verify",
+    "degraded",
+)
 
 
 @dataclass
@@ -67,6 +103,8 @@ class EngineStats:
     #: Graph-discarding fallbacks to a from-scratch run (all reasons).
     scratch_fallbacks: int = 0
     implicit_reads: int = 0
+    #: Pure helper/method dispatches from instrumented code.
+    helper_calls: int = 0
     #: Runs served by the uninstrumented check during a degradation cooldown.
     degraded_runs: int = 0
     #: Graph audits performed (``engine.audit()`` / paranoia mode) and how
@@ -77,6 +115,18 @@ class EngineStats:
     #: caught a divergent incremental result.
     verify_checks: int = 0
     verify_mismatches: int = 0
+    #: Per-phase wall-clock accumulators (seconds over the engine's
+    #: lifetime); one per entry of :data:`PHASES`.
+    time_barrier_drain: float = 0.0
+    time_dirty_mark: float = 0.0
+    time_exec: float = 0.0
+    time_propagate: float = 0.0
+    time_prune: float = 0.0
+    time_retry: float = 0.0
+    time_fallback: float = 0.0
+    time_audit: float = 0.0
+    time_verify: float = 0.0
+    time_degraded: float = 0.0
     #: Per-reason fallback totals, e.g. ``{"step_limit": 2}``.
     fallback_reasons: dict[str, int] = field(default_factory=dict)
     #: Chronological log of degradation episodes.
@@ -85,6 +135,46 @@ class EngineStats:
     #: Cap on the ``fallback_events`` log; oldest entries are dropped first
     #: so a persistently-faulting engine cannot grow without bound.
     MAX_FALLBACK_EVENTS = 256
+
+    #: The per-run-subtractable integer counters — exactly the keys of
+    #: :meth:`snapshot` / :meth:`delta`.
+    COUNTER_FIELDS: ClassVar[tuple[str, ...]] = (
+        "runs",
+        "full_runs",
+        "incremental_runs",
+        "execs",
+        "initial_execs",
+        "dirty_execs",
+        "propagation_execs",
+        "retry_execs",
+        "reuses",
+        "replays",
+        "leaf_execs",
+        "nodes_created",
+        "nodes_pruned",
+        "dirty_marked",
+        "mispredictions",
+        "scratch_fallbacks",
+        "implicit_reads",
+        "helper_calls",
+        "degraded_runs",
+        "audits",
+        "audit_failures",
+        "verify_checks",
+        "verify_mismatches",
+    )
+
+    #: The wall-clock accumulators (floats; excluded from snapshots — a
+    #: per-run time breakdown comes from ``RunReport.phase_times``).
+    TIMER_FIELDS: ClassVar[tuple[str, ...]] = tuple(
+        "time_" + phase for phase in PHASES
+    )
+
+    #: Cumulative logs, excluded from snapshots.
+    LOG_FIELDS: ClassVar[tuple[str, ...]] = (
+        "fallback_reasons",
+        "fallback_events",
+    )
 
     def record_fallback(
         self,
@@ -112,17 +202,25 @@ class EngineStats:
         return event
 
     def snapshot(self) -> dict[str, int]:
-        """The integer counters only — reasons/events are cumulative logs
-        and are excluded so :meth:`delta` stays a pure subtraction."""
-        return {k: v for k, v in self.__dict__.items() if isinstance(v, int)}
+        """The declared integer counters only (``COUNTER_FIELDS``) — timers
+        and cumulative logs are excluded so :meth:`delta` stays a pure
+        subtraction."""
+        own = self.__dict__
+        return {name: own[name] for name in self.COUNTER_FIELDS}
 
     def delta(self, before: dict[str, int]) -> dict[str, int]:
         """Difference between the current counters and a snapshot."""
+        own = self.__dict__
         return {
-            k: v - before.get(k, 0)
-            for k, v in self.__dict__.items()
-            if isinstance(v, int)
+            name: own[name] - before.get(name, 0)
+            for name in self.COUNTER_FIELDS
         }
+
+    def timers(self) -> dict[str, float]:
+        """The lifetime per-phase wall-clock accumulators, keyed by phase
+        name (``{"exec": 0.12, ...}``)."""
+        own = self.__dict__
+        return {phase: own["time_" + phase] for phase in PHASES}
 
 
 @dataclass
@@ -134,3 +232,10 @@ class RunReport:
     incremental: bool = False
     delta: dict[str, int] = field(default_factory=dict)
     graph_size: int = 0
+    #: Wall-clock seconds of the whole :meth:`DittoEngine.run` call.
+    duration: float = 0.0
+    #: Seconds per run phase, keyed by :data:`PHASES` names.  The keys are
+    #: mode-consistent: a ``scratch``-mode (or degraded-cooldown) run
+    #: reports the single phase that ran (``exec`` / ``degraded``), an
+    #: incremental run reports the phases of Figure 7 it entered.
+    phase_times: dict[str, float] = field(default_factory=dict)

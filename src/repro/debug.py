@@ -50,8 +50,12 @@ def graph_text(
         flags = ""
         if node.dirty:
             flags += " [dirty]"
+        if node.failed:
+            flags += " [failed]"
         if id(node) in seen:
-            lines.append(f"{indent}{label(node)}{value} (shared)")
+            # Shared references carry the same flags as the expansion —
+            # a shared dirty node must not print as clean.
+            lines.append(f"{indent}{label(node)}{value}{flags} (shared)")
             return
         seen.add(id(node))
         lines.append(f"{indent}{label(node)}{value}{flags}")

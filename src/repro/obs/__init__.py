@@ -1,0 +1,67 @@
+"""Observability for the DITTO engine: tracing, metrics, provenance.
+
+Three sub-layers, all near-zero-cost until attached:
+
+* :mod:`repro.obs.trace` / :mod:`repro.obs.sinks` — structured trace
+  sinks.  Attach a sink (``DittoEngine(..., trace_sink=...)`` or
+  ``engine.trace_sink = ...``) and the engine emits a span per run phase
+  (``barrier_drain``, ``dirty_mark``, ``exec``, ``propagate``, ``prune``,
+  ``retry``, ``fallback``, ``audit``, ``verify``) plus instants for node
+  re-executions, reuses, mispredictions, and degradation episodes.
+  :class:`ChromeTraceSink` output loads directly in Perfetto.
+
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry with
+  Prometheus text export; :class:`EngineMetrics` mirrors ``EngineStats``
+  and feeds the paper-relevant histograms (repair latency, dirtied nodes
+  per run, graph size).
+
+* :mod:`repro.obs.provenance` — the "why did this re-execute?" recorder:
+  :func:`enable_provenance` + :func:`explain_last_run` render the chain
+  mutated location → dirtied nodes → re-executed nodes → propagated
+  ancestors as text or DOT.
+"""
+
+from .trace import NullSink, RingBufferSink, TraceEvent, TraceSink
+from .sinks import ChromeTraceSink, JsonlSink, validate_chrome_trace
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    EngineMetrics,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from .provenance import (
+    RunExplanation,
+    RunRecord,
+    RunRecorder,
+    disable_provenance,
+    enable_provenance,
+    explain_last_run,
+)
+
+__all__ = [
+    "ChromeTraceSink",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "disable_provenance",
+    "enable_provenance",
+    "EngineMetrics",
+    "explain_last_run",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullSink",
+    "parse_prometheus_text",
+    "RingBufferSink",
+    "RunExplanation",
+    "RunRecord",
+    "RunRecorder",
+    "TraceEvent",
+    "TraceSink",
+    "validate_chrome_trace",
+]

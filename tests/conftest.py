@@ -12,6 +12,7 @@ import sys
 import pytest
 
 from repro import DittoEngine, reset_tracking
+from repro.obs import RingBufferSink
 
 # Recursive checks on sizeable structures need stack headroom.
 sys.setrecursionlimit(200_000)
@@ -26,6 +27,16 @@ def pytest_addoption(parser):
             "Incrementalization strategy used by mode-parametric suites "
             "(the tests/test_resilience_*.py fault-injection tests); CI "
             "runs them under both 'ditto' and 'naive'."
+        ),
+    )
+    parser.addoption(
+        "--trace-sink",
+        default="null",
+        choices=("null", "ring"),
+        help=(
+            "Trace sink attached to every engine_factory engine: 'null' "
+            "(default, tracing off) or 'ring' (RingBufferSink — CI runs "
+            "the suite under both, proving tracing changes no results)."
         ),
     )
 
@@ -44,15 +55,18 @@ def _clean_tracking():
 
 
 @pytest.fixture
-def engine_factory():
+def engine_factory(request):
     """Create engines that are closed at test teardown."""
     engines: list[DittoEngine] = []
+    sink_kind = request.config.getoption("--trace-sink")
 
     def make(entry, **kwargs) -> DittoEngine:
         # The test session already runs with a raised recursion limit, and
         # engine-managed limits interact poorly with hypothesis's stack
         # bookkeeping — disable unless a test opts in.
         kwargs.setdefault("recursion_limit", None)
+        if sink_kind == "ring" and "trace_sink" not in kwargs:
+            kwargs["trace_sink"] = RingBufferSink()
         engine = DittoEngine(entry, **kwargs)
         engines.append(engine)
         return engine

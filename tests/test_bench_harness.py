@@ -9,10 +9,12 @@ from repro.bench import (
     WORKLOADS,
     Workload,
     find_crossover,
+    format_phase_breakdown,
     format_series,
     format_table,
     get_workload,
     measure_modes,
+    measure_soak,
     speedup_series,
     sweep,
 )
@@ -113,6 +115,37 @@ class TestRunner:
         )
         assert results["ditto"].seconds >= 0
 
+    def test_measure_modes_phase_times(self):
+        results = measure_modes(
+            "ordered_list", 20, 5, ("full", "ditto")
+        )
+        assert results["full"].phase_times == {}  # no engine ran
+        ditto_phases = results["ditto"].phase_times
+        assert "exec" in ditto_phases
+        assert all(v > 0 for v in ditto_phases.values())
+
+    def test_measure_soak(self):
+        result = measure_soak("ordered_list", 25, 8)
+        assert result.mods == 8
+        assert len(result.run_durations) == 8
+        assert all(d > 0 for d in result.run_durations)
+        assert result.counters["incremental_runs"] == 8
+        assert "exec" in result.phase_times
+        assert result.graph_size > 0
+        # Per-run phase sums stay inside the soak's wall clock.
+        assert sum(result.phase_times.values()) <= result.seconds + 0.05
+
+    def test_measure_soak_with_trace_sink(self):
+        from repro.obs import RingBufferSink
+
+        sink = RingBufferSink()
+        measure_soak(
+            "ordered_list", 20, 5,
+            engine_options={"trace_sink": sink},
+        )
+        assert sink.events_emitted > 0
+        assert sink.spans("exec")
+
 
 class TestReport:
     def test_format_table_alignment(self):
@@ -131,6 +164,25 @@ class TestReport:
                                 repeats=1)
         out = format_crossover([result])
         assert "ordered_list" in out
+
+    def test_format_phase_breakdown(self):
+        out = format_phase_breakdown(
+            {"exec": 0.75, "prune": 0.25}, total=2.0
+        )
+        lines = out.splitlines()
+        assert "phase" in lines[0] and "share" in lines[0]
+        # Rows are sorted by descending time; the gap to the total shows
+        # up as the unattributed row.
+        body = "\n".join(lines[2:])
+        assert body.index("exec") < body.index("prune")
+        assert "37.5%" in body
+        assert "(unattributed)" in body
+        assert "50.0%" in body
+
+    def test_format_phase_breakdown_without_total(self):
+        out = format_phase_breakdown({"exec": 1.0})
+        assert "100.0%" in out
+        assert "(unattributed)" not in out
 
 
 class TestCli:
@@ -193,3 +245,35 @@ class TestCli:
         out = capsys.readouterr().out
         assert "time (s) vs size" in out
         assert "D = ditto" in out
+
+    def test_soak_command_json_and_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.cli import main
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        json_path = tmp_path / "soak.json"
+        assert main(["soak", "--quick", "--mods", "6",
+                     "--trace", str(trace_path),
+                     "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "obs-soak" in out
+        assert "per-run latency" in out
+        assert "share" in out  # the phase-breakdown table
+        # The JSON payload carries the per-phase breakdown.
+        payload = json.loads(json_path.read_text())
+        assert "exec" in payload["soak"]["phase_times"]
+        assert len(payload["soak"]["run_durations"]) == 6
+        # The --trace file is a loadable Chrome trace.
+        assert validate_chrome_trace(str(trace_path)) == []
+
+    def test_fig11_with_trace(self, capsys, tmp_path):
+        from repro.bench.cli import main
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "fig11_trace.json"
+        assert main(["fig11", "--quick", "--workload", "ordered_list",
+                     "--mods", "4", "--trace", str(trace_path)]) == 0
+        assert "Chrome trace written" in capsys.readouterr().out
+        assert validate_chrome_trace(str(trace_path)) == []

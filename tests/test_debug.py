@@ -55,6 +55,26 @@ class TestGraphText:
         text = graph_text(engine)
         assert "(shared)" in text
 
+    def test_shared_nodes_keep_flags(self, engine_factory):
+        """Regression: the (shared) branch used to drop the computed
+        flags, so a shared dirty node printed as clean."""
+        engine = engine_factory(debug_sum)
+        shared = Node(5)
+        root = Node(1, Node(2, shared, None), Node(3, shared, None))
+        engine.run(root)
+        for node in engine.table:
+            if node.explicit_args and node.explicit_args[0] is shared:
+                node.dirty = True
+        text = graph_text(engine)
+        shared_lines = [l for l in text.splitlines() if "(shared)" in l]
+        assert shared_lines, "expected a shared reference line"
+        assert all("[dirty]" in line for line in shared_lines)
+        # The expanded occurrence carries the flag too.
+        dirty_lines = [l for l in text.splitlines() if "[dirty]" in l]
+        assert len(dirty_lines) == len(shared_lines) + 1
+        for node in engine.table:
+            node.dirty = False
+
     def test_truncation(self, engine_factory):
         engine = engine_factory(debug_sum)
         root = None

@@ -59,3 +59,11 @@ class TestExamples:
         assert "rbt_invariant" in out
         assert "(shared)" in out
         assert "Graphviz rendering written" in out
+
+    def test_profiling_trace(self):
+        out = run_example("profiling_trace.py", "30")
+        assert "where did repair time go" in out
+        assert "exec" in out
+        assert "re-executed" in out  # the provenance explanation
+        assert "ditto_run_duration_seconds_count" in out
+        assert "valid" in out  # the Chrome trace validated clean

@@ -1,0 +1,224 @@
+"""Metrics registry, Prometheus text round-trip, EngineMetrics bridge."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import TrackedObject, check
+from repro.obs import (
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    EngineMetrics,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+
+class Elem(TrackedObject):
+    def __init__(self, value, next=None):
+        self.value = value
+        self.next = next
+
+
+@check
+def metrics_len(e):
+    if e is None:
+        return 0
+    return 1 + metrics_len(e.next)
+
+
+def _chain(n):
+    head = None
+    for v in range(n, 0, -1):
+        head = Elem(v, head)
+    return head
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_counter_set_total_refuses_decrease(self):
+        c = Counter("c")
+        c.set_total(10)
+        c.set_total(10)  # equal is fine
+        with pytest.raises(ValueError):
+            c.set_total(9)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("g")
+        g.set(5)
+        g.inc()
+        g.dec(3)
+        assert g.value == 3.0
+
+    def test_histogram_buckets_cumulative(self):
+        h = Histogram("h", buckets=(1, 5, 10))
+        for v in (0.5, 1.0, 3, 7, 100):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(111.5)
+        assert h.cumulative_buckets() == [
+            (1.0, 2),  # 0.5 and 1.0 (bounds are inclusive)
+            (5.0, 3),
+            (10.0, 4),
+            (math.inf, 5),
+        ]
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(5, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1, 1, 2))
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+        assert reg.get("a") is not None
+        assert reg.get("missing") is None
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("a")
+
+    def test_invalid_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("3bad-name")
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(-1)
+        reg.histogram("h", buckets=(1, 2)).observe(1.5)
+        snap = reg.snapshot()
+        assert snap["c"] == 2.0
+        assert snap["g"] == -1.0
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["buckets"] == {"1": 0, "2": 1, "+Inf": 1}
+
+
+class TestPrometheusText:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("app_requests_total", "Requests served").inc(7)
+        reg.gauge("app_temperature", "Current level").set(2.5)
+        h = reg.histogram("app_latency_seconds", "Latency",
+                          buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        return reg
+
+    def test_exposition_format(self):
+        text = self._registry().to_prometheus_text()
+        assert "# HELP app_requests_total Requests served" in text
+        assert "# TYPE app_requests_total counter" in text
+        assert "app_requests_total 7" in text
+        assert "# TYPE app_temperature gauge" in text
+        assert "app_temperature 2.5" in text
+        assert '# TYPE app_latency_seconds histogram' in text
+        assert 'app_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'app_latency_seconds_bucket{le="1"} 2' in text
+        assert 'app_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "app_latency_seconds_count 3" in text
+        assert text.endswith("\n")
+
+    def test_round_trip(self):
+        reg = self._registry()
+        parsed = parse_prometheus_text(reg.to_prometheus_text())
+        assert parsed["app_requests_total"]["type"] == "counter"
+        assert parsed["app_requests_total"]["help"] == "Requests served"
+        assert (
+            parsed["app_requests_total"]["samples"]["app_requests_total"]
+            == 7.0
+        )
+        assert parsed["app_temperature"]["samples"]["app_temperature"] == 2.5
+        hist = parsed["app_latency_seconds"]
+        assert hist["type"] == "histogram"
+        samples = hist["samples"]
+        # Histogram samples fold back into the base family.
+        assert samples['app_latency_seconds_bucket{le="+Inf"}'] == 3.0
+        assert samples["app_latency_seconds_count"] == 3.0
+        assert samples["app_latency_seconds_sum"] == pytest.approx(5.55)
+        assert "app_latency_seconds_bucket" not in parsed
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus_text("!!! not a sample\n")
+
+    def test_parse_skips_comments_and_blanks(self):
+        parsed = parse_prometheus_text("# a comment\n\nx 1\n")
+        assert parsed["x"]["samples"]["x"] == 1.0
+        assert parsed["x"]["type"] == "untyped"
+
+
+class TestEngineMetrics:
+    def test_counters_mirrored(self, engine_factory):
+        engine = engine_factory(metrics_len)
+        metrics = EngineMetrics(engine)
+        engine.run(_chain(5))
+        metrics.refresh()
+        snap = metrics.registry.snapshot()
+        assert snap["ditto_runs_total"] == engine.stats.runs == 1
+        assert snap["ditto_execs_total"] == engine.stats.execs
+        assert snap["ditto_graph_size_nodes"] == engine.graph_size
+
+    def test_record_run_feeds_histograms(self, engine_factory):
+        engine = engine_factory(metrics_len)
+        metrics = EngineMetrics(engine)
+        head = _chain(5)
+        metrics.record_run(engine.run_with_report(head))
+        head.next.next = Elem(9, head.next.next)
+        report = engine.run_with_report(head)
+        metrics.record_run(report)
+        assert metrics.run_duration.count == 2
+        assert metrics.run_duration.sum > 0
+        assert metrics.dirtied_nodes.count == 2
+        # The incremental run dirtied at least the writer's reader node.
+        assert report.delta["dirty_marked"] >= 1
+        assert metrics.graph_size_hist.count == 2
+
+    def test_prometheus_round_trip_matches_stats(self, engine_factory):
+        engine = engine_factory(metrics_len)
+        metrics = EngineMetrics(engine, namespace="obs")
+        head = _chain(4)
+        engine.run(head)
+        parsed = parse_prometheus_text(metrics.to_prometheus_text())
+        assert (
+            parsed["obs_execs_total"]["samples"]["obs_execs_total"]
+            == float(engine.stats.execs)
+        )
+        # Phase timers surface as per-phase counters.
+        assert "obs_phase_seconds_total_exec" in parsed
+        exec_seconds = parsed["obs_phase_seconds_total_exec"]["samples"][
+            "obs_phase_seconds_total_exec"
+        ]
+        assert exec_seconds == pytest.approx(engine.stats.time_exec)
+
+    def test_shared_registry(self, engine_factory):
+        reg = MetricsRegistry()
+        a = engine_factory(metrics_len)
+        metrics = EngineMetrics(a, registry=reg, namespace="a")
+        assert metrics.registry is reg
+        assert reg.get("a_runs_total") is not None
+
+    def test_default_size_buckets_cover_graph(self):
+        assert DEFAULT_SIZE_BUCKETS[0] == 0
+        assert DEFAULT_SIZE_BUCKETS[-1] == 10000

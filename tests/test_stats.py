@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+from dataclasses import fields
+
 from repro import EngineStats, RunReport, TrackedObject, check
+from repro.core.stats import PHASES
 
 
 class Elem(TrackedObject):
@@ -32,6 +35,52 @@ class TestEngineStats:
     def test_delta_with_missing_keys(self):
         stats = EngineStats(execs=5)
         assert stats.delta({})["execs"] == 5
+
+
+class TestFieldContract:
+    """The snapshot/delta contract is a *declared* field set: every
+    dataclass field must be classified as a counter, a timer, or a log —
+    adding an unclassified field is a test failure, not a silent change
+    to what ``delta()`` returns."""
+
+    def test_every_field_classified(self):
+        declared = (
+            set(EngineStats.COUNTER_FIELDS)
+            | set(EngineStats.TIMER_FIELDS)
+            | set(EngineStats.LOG_FIELDS)
+        )
+        actual = {f.name for f in fields(EngineStats)}
+        assert declared == actual
+
+    def test_no_overlap_between_classes(self):
+        counters = set(EngineStats.COUNTER_FIELDS)
+        timers = set(EngineStats.TIMER_FIELDS)
+        logs = set(EngineStats.LOG_FIELDS)
+        assert not (counters & timers)
+        assert not (counters & logs)
+        assert not (timers & logs)
+
+    def test_snapshot_covers_exactly_the_counters(self):
+        snap = EngineStats().snapshot()
+        assert set(snap) == set(EngineStats.COUNTER_FIELDS)
+        assert all(isinstance(v, int) for v in snap.values())
+
+    def test_delta_excludes_timers_and_logs(self):
+        stats = EngineStats()
+        stats.time_exec = 1.5
+        stats.record_fallback("step_limit", 0.1, rebuilt=True)
+        delta = stats.delta(EngineStats().snapshot())
+        assert "time_exec" not in delta
+        assert "fallback_events" not in delta
+        assert delta["scratch_fallbacks"] == 1
+
+    def test_one_timer_per_phase(self):
+        assert EngineStats.TIMER_FIELDS == tuple(
+            "time_" + phase for phase in PHASES
+        )
+        timers = EngineStats().timers()
+        assert set(timers) == set(PHASES)
+        assert all(v == 0.0 for v in timers.values())
 
 
 class TestRunReport:
@@ -67,3 +116,23 @@ class TestRunReport:
         engine = engine_factory(stats_len)
         engine.run(Elem(1))
         assert engine.stats.implicit_reads >= 1
+
+    def test_duration_and_phase_times(self, engine_factory):
+        engine = engine_factory(stats_len)
+        head = Elem(1, Elem(2))
+        initial = engine.run_with_report(head)
+        assert initial.duration > 0
+        assert "exec" in initial.phase_times
+        head.next = None
+        report = engine.run_with_report(head)
+        assert report.duration > 0
+        assert set(report.phase_times) <= set(PHASES)
+        # Phase times are per-run, not lifetime accumulators.
+        assert report.phase_times["exec"] <= engine.stats.time_exec
+
+    def test_scratch_mode_reports_exec_phase(self, engine_factory):
+        engine = engine_factory(stats_len, mode="scratch")
+        report = engine.run_with_report(Elem(1))
+        assert report.mode == "scratch"
+        assert set(report.phase_times) == {"exec"}
+        assert report.duration >= report.phase_times["exec"]
