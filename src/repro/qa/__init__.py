@@ -1,0 +1,63 @@
+"""Differential fuzzing & property harness for the DITTO engines.
+
+The correctness contract of the whole system is a single sentence: after
+*any* sequence of heap mutations, an incremental run returns exactly what
+from-scratch re-execution returns (paper §3.1).  This package turns that
+sentence into an automated oracle:
+
+* :mod:`repro.qa.models` — per-structure adapters exposing every
+  registered structure's mutators (including direct-field-write
+  ``corrupt*`` helpers) as primitive-argument ops;
+* :mod:`repro.qa.generator` — seeded deterministic random traces;
+* :mod:`repro.qa.oracle` — replay on ``scratch``/``ditto``/``naive``
+  engines simultaneously, diff outcomes, audit graphs, and report
+  :class:`~repro.qa.oracle.Divergence`\\ s;
+* :mod:`repro.qa.shrinker` — delta-debugging minimization of divergent
+  traces;
+* :mod:`repro.qa.replay` — replay files + runnable reproducer snippets;
+* :mod:`repro.qa.cli` — ``python -m repro.qa`` (seeded corpus runs,
+  nightly time-budgeted sweeps, ``--replay`` artifact verification).
+"""
+
+from .generator import TraceGenerator
+from .models import MODELS, StructureModel, get_model, model_names
+from .oracle import (
+    DEFAULT_MODES,
+    Divergence,
+    Oracle,
+    OracleReport,
+    replay_trace,
+)
+from .replay import (
+    format_report,
+    python_reproducer,
+    write_reproducer,
+)
+from .shrinker import Shrinker, ShrinkResult, shrink_trace
+from .trace import CHECK, CHECK_OP, FAULT, FAULT_KINDS, Op, Trace, fault_op
+
+__all__ = [
+    "CHECK",
+    "CHECK_OP",
+    "DEFAULT_MODES",
+    "Divergence",
+    "FAULT",
+    "FAULT_KINDS",
+    "MODELS",
+    "Op",
+    "Oracle",
+    "OracleReport",
+    "Shrinker",
+    "ShrinkResult",
+    "StructureModel",
+    "Trace",
+    "TraceGenerator",
+    "fault_op",
+    "format_report",
+    "get_model",
+    "model_names",
+    "python_reproducer",
+    "replay_trace",
+    "shrink_trace",
+    "write_reproducer",
+]

@@ -1,0 +1,63 @@
+"""Seeded random trace generation.
+
+``TraceGenerator`` is the only source of randomness in the harness: it owns
+one ``random.Random(seed)`` and asks the structure model for weighted ops,
+interleaving differential ``@check`` steps so divergence is detected close
+to the mutation that caused it (which keeps shrunk reproducers short).
+
+The same ``(structure, seed, op_count, check_prob)`` quadruple always
+produces the identical trace — on any platform, in any process — because
+models draw only from the generator's RNG and structures with internal
+randomness (the skip list's tower heights) use fixed seeds of their own.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+from .models import StructureModel, get_model
+from .trace import CHECK_OP, Op, Trace, fault_op
+
+
+class TraceGenerator:
+    """Deterministic random mutation/check traces for one structure."""
+
+    def __init__(
+        self,
+        model: Union[StructureModel, str],
+        seed: int = 0,
+        op_count: int = 500,
+        check_prob: float = 0.25,
+    ):
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.seed = seed
+        self.op_count = op_count
+        if not 0.0 <= check_prob <= 1.0:
+            raise ValueError(f"check_prob must be in [0, 1], got {check_prob}")
+        self.check_prob = check_prob
+
+    def generate(
+        self,
+        inject: Optional[tuple[str, int, int]] = None,
+    ) -> Trace:
+        """Build the trace.  ``inject=(kind, amount, at)`` splices an
+        ``@fault`` op in at index ``at`` (clamped to the trace length) for
+        resilience drills — see :mod:`repro.resilience.faults` for the
+        kinds."""
+        rng = random.Random(self.seed)
+        ops: list[Op] = []
+        while len(ops) < self.op_count:
+            # Triples (corrupt/@check/revert) are kept whole: splitting
+            # them would leave structures whose own mutators need a
+            # consistent instance corrupted across unrelated ops.
+            ops.extend(self.model.random_ops(rng))
+            if rng.random() < self.check_prob:
+                ops.append(CHECK_OP)
+        trace = Trace(self.model.name, self.seed, ops)
+        if inject is not None:
+            kind, amount, at = inject
+            trace.ops.insert(
+                min(max(at, 0), len(trace.ops)), fault_op(kind, amount)
+            )
+        return trace

@@ -1,0 +1,114 @@
+"""Trace minimization by delta debugging.
+
+Given a divergent trace, ``Shrinker`` finds a (locally) minimal sub-trace
+that still diverges: classic ddmin over the op list — try dropping ever
+finer-grained chunks, restart at coarse granularity after any success —
+followed by a greedy one-op-at-a-time sweep.  Every candidate is replayed
+from scratch through a fresh :class:`~repro.qa.oracle.Oracle`, which is
+why models must keep ``apply`` total: candidates are arbitrary subsets of
+the original ops.
+
+Divergences are matched by *kind* only (a ``return_mismatch`` must shrink
+to a ``return_mismatch``, not to some unrelated ``apply_error`` the
+smaller trace happens to trip), so the reproducer demonstrates the
+original failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from .oracle import Oracle
+from .trace import Op, Trace
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized trace plus the bookkeeping tests want to assert on."""
+
+    trace: Trace
+    kind: str
+    original_len: int
+    replays: int
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+
+class Shrinker:
+    """ddmin over one divergent trace."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        kind: Optional[str] = None,
+        max_replays: int = 2000,
+        **oracle_options: Any,
+    ):
+        self.trace = trace
+        #: Divergence kind to preserve; None = discover from the first
+        #: replay of the full trace.
+        self.kind = kind
+        self.max_replays = max_replays
+        oracle_options.setdefault("stop_on_divergence", True)
+        self._oracle = Oracle(trace.structure, **oracle_options)
+        self.replays = 0
+
+    def _diverges(self, ops: list[Op]) -> bool:
+        if self.replays >= self.max_replays:
+            return False  # budget exhausted: stop improving, keep current
+        self.replays += 1
+        report = self._oracle.run(self.trace.with_ops(ops))
+        return any(d.kind == self.kind for d in report.divergences)
+
+    def shrink(self) -> ShrinkResult:
+        ops = list(self.trace.ops)
+        if self.kind is None:
+            self.replays += 1
+            report = self._oracle.run(self.trace)
+            if report.ok:
+                raise ValueError("trace does not diverge; nothing to shrink")
+            self.kind = report.divergences[0].kind
+        elif not self._diverges(ops):
+            raise ValueError(
+                f"trace does not produce a {self.kind!r} divergence"
+            )
+
+        # ddmin: drop complements of ever-finer chunks.
+        granularity = 2
+        while len(ops) >= 2:
+            chunk = max(1, len(ops) // granularity)
+            reduced = False
+            for start in range(0, len(ops), chunk):
+                candidate = ops[:start] + ops[start + chunk:]
+                if candidate and self._diverges(candidate):
+                    ops = candidate
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+            if not reduced:
+                if granularity >= len(ops):
+                    break
+                granularity = min(len(ops), granularity * 2)
+
+        # Greedy sweep: ddmin stops at chunk boundaries; single ops often
+        # still drop (later positions first, so indices stay valid).
+        index = len(ops) - 1
+        while index >= 0 and len(ops) > 1:
+            candidate = ops[:index] + ops[index + 1:]
+            if self._diverges(candidate):
+                ops = candidate
+            index -= 1
+
+        return ShrinkResult(
+            trace=self.trace.with_ops(ops),
+            kind=self.kind,
+            original_len=len(self.trace),
+            replays=self.replays,
+        )
+
+
+def shrink_trace(trace: Trace, **options: Any) -> ShrinkResult:
+    """Convenience wrapper: ``Shrinker(trace, **options).shrink()``."""
+    return Shrinker(trace, **options).shrink()

@@ -1,0 +1,126 @@
+"""Trace representation for the differential-fuzzing harness.
+
+A *trace* is a deterministic script of operations against one registered
+structure: ordinary mutations (``insert``, ``delete``, ``corrupt`` …, with
+primitive arguments only), interleaved invariant checks, and — for
+resilience drills — armed faults.  Because every argument is a JSON
+primitive, a trace round-trips losslessly through a replay file, which is
+what makes shrunk reproducers shippable as CI artifacts.
+
+Two operation names are reserved for the harness itself:
+
+* ``@check`` — run the invariant on every engine and diff the outcomes;
+* ``@fault`` — arm a :class:`~repro.resilience.faults.FaultPlan` against
+  the optimistic engine (args: ``(kind, amount)`` with kind one of
+  ``drop_writes``, ``corrupt_returns``, ``raise_calls``).
+
+Everything else is dispatched to the structure's
+:class:`~repro.qa.models.StructureModel` adapter.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Union
+
+#: Reserved op name: differential invariant check.
+CHECK = "@check"
+#: Reserved op name: arm a fault plan against the ditto engine.
+FAULT = "@fault"
+
+#: On-disk format tag (bumped on incompatible changes).
+FORMAT = "repro.qa/1"
+
+#: Fault kinds ``@fault`` accepts (mirrors FaultPlan's knobs).
+FAULT_KINDS = ("drop_writes", "corrupt_returns", "raise_calls")
+
+
+@dataclass(frozen=True)
+class Op:
+    """One trace step: an operation name and its primitive arguments."""
+
+    name: str
+    args: tuple = ()
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+#: Convenience singleton for the differential-check step.
+CHECK_OP = Op(CHECK)
+
+
+@dataclass
+class Trace:
+    """A deterministic op script against one registered structure."""
+
+    structure: str
+    seed: int = 0
+    ops: list[Op] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def with_ops(self, ops: Iterable[Op]) -> "Trace":
+        """A copy of this trace with a different op list (shrinking)."""
+        return Trace(self.structure, self.seed, list(ops))
+
+    def counts(self) -> dict[str, int]:
+        """Op-name histogram, for summaries and artifact metadata."""
+        out: dict[str, int] = {}
+        for op in self.ops:
+            out[op.name] = out.get(op.name, 0) + 1
+        return out
+
+    # Serialization. ---------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "format": FORMAT,
+            "structure": self.structure,
+            "seed": self.seed,
+            "ops": [[op.name, list(op.args)] for op in self.ops],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "Trace":
+        if data.get("format") != FORMAT:
+            raise ValueError(
+                f"not a {FORMAT} replay file (format={data.get('format')!r})"
+            )
+        ops = [
+            Op(name, tuple(_dejson(a) for a in args))
+            for name, args in data["ops"]
+        ]
+        return cls(data["structure"], int(data.get("seed", 0)), ops)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_json(), f, indent=1)
+            f.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        with open(path) as f:
+            return cls.from_json(json.load(f))
+
+
+def _dejson(value: Any) -> Any:
+    """JSON round-trips lists for tuples; traces only ever store scalars,
+    so anything else is rejected loudly rather than silently replayed
+    wrong."""
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    raise ValueError(f"non-primitive op argument in replay file: {value!r}")
+
+
+def fault_op(kind: str, amount: int) -> Op:
+    """Build a validated ``@fault`` op."""
+    if kind not in FAULT_KINDS:
+        raise ValueError(f"fault kind must be one of {FAULT_KINDS}, got {kind!r}")
+    return Op(FAULT, (kind, int(amount)))

@@ -90,3 +90,88 @@ class TestArgsKeyHypothesis:
     def test_usable_as_dict_key(self, n):
         table = {ArgsKey((n,)): "x"}
         assert table[ArgsKey((n,))] == "x"
+
+
+class TestHashCollisions:
+    """Keys whose *hashes* collide must still compare unequal — the memo
+    table then probes past the collision instead of aliasing two
+    invocations onto one node."""
+
+    def test_minus_one_minus_two(self):
+        # CPython quirk: hash(-1) == hash(-2) == -2.
+        ka, kb = ArgsKey((-1,)), ArgsKey((-2,))
+        assert hash(-1) == hash(-2)  # the premise of the test
+        assert ka != kb
+        table = {ka: "a", kb: "b"}
+        assert table[ArgsKey((-1,))] == "a"
+        assert table[ArgsKey((-2,))] == "b"
+
+    def test_numeric_tower_collides_but_never_aliases(self):
+        # hash(True) == hash(1) == hash(1.0), yet each type gets its own
+        # invocation (the engine's type-strict semantic equality).
+        keys = [ArgsKey((True,)), ArgsKey((1,)), ArgsKey((1.0,))]
+        assert hash(True) == hash(1) == hash(1.0)
+        table = {k: i for i, k in enumerate(keys)}
+        assert len(table) == 3
+        assert table[ArgsKey((True,))] == 0
+        assert table[ArgsKey((1,))] == 1
+        assert table[ArgsKey((1.0,))] == 2
+
+    def test_zero_tower(self):
+        table = {ArgsKey((0,)): "int", ArgsKey((False,)): "bool",
+                 ArgsKey((0.0,)): "float"}
+        assert len(table) == 3
+        assert table[ArgsKey((False,))] == "bool"
+
+    def test_nested_tuple_collision(self):
+        # Same-hash, different-type leaves inside primitive tuples.
+        ka, kb = ArgsKey(((1, -1),)), ArgsKey(((1.0, -2),))
+        assert ka != kb
+        assert {ka: 1, kb: 2}[ArgsKey(((1, -1),))] == 1
+
+
+class TestMutableArguments:
+    """Heap objects key by identity: equal contents never alias, and
+    mutation never migrates an invocation to a different node."""
+
+    def test_equal_content_lists_do_not_alias(self):
+        a, b = [1, 2, 3], [1, 2, 3]
+        ka, kb = ArgsKey((a,)), ArgsKey((b,))
+        assert a == b and ka != kb
+        table = {ka: "a", kb: "b"}
+        assert table[ArgsKey((a,))] == "a"
+        assert table[ArgsKey((b,))] == "b"
+
+    def test_mutation_does_not_change_key(self):
+        # The classic mutable-default-argument trap: the same list object
+        # reused across calls is the *same* invocation even after it has
+        # been mutated in place (id-based hashing is mutation-stable).
+        shared = []
+        key_before = ArgsKey((shared,))
+        table = {key_before: "node"}
+        shared.append(42)
+        assert ArgsKey((shared,)) == key_before
+        assert hash(ArgsKey((shared,))) == hash(key_before)
+        assert table[ArgsKey((shared,))] == "node"
+
+    def test_equal_content_dicts_and_boxes(self):
+        d1, d2 = {"k": 1}, {"k": 1}
+        assert ArgsKey((d1,)) != ArgsKey((d2,))
+        b1, b2 = Box(7), Box(7)
+        table = {ArgsKey((b1,)): 1, ArgsKey((b2,)): 2}
+        assert len(table) == 2
+
+    def test_key_keeps_argument_alive(self):
+        # Strong reference: the id() in the key can never be recycled by
+        # a newly allocated object while the memo entry lives.
+        key = ArgsKey(([1, 2],))
+        assert key.args[0] == [1, 2]
+        churn = [[i] for i in range(1000)]  # allocation pressure
+        del churn
+        assert ArgsKey((key.args[0],)) == key
+
+    def test_mixed_identity_and_collision(self):
+        box = Box(0)
+        ka, kb = ArgsKey((box, -1)), ArgsKey((box, -2))
+        assert ka != kb
+        assert {ka: "a", kb: "b"}[ArgsKey((box, -2))] == "b"

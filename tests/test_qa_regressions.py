@@ -1,0 +1,199 @@
+"""Shrunk QA reproducers, pinned as regressions.
+
+Each trace here is the delta-debugged minimal form of a divergence (or a
+near-miss) found while standing up the differential fuzzer.  They are
+hardcoded — not regenerated — so the exact op sequence that exposed each
+behaviour keeps running forever, independent of generator changes.
+"""
+
+from __future__ import annotations
+
+from repro.qa import CHECK_OP, Op, Oracle, Trace, fault_op, replay_trace
+from repro.qa.generator import TraceGenerator
+from repro.qa.shrinker import Shrinker
+
+# The canonical 5-op reproducer the shrinker produces from a ~300-op
+# drop-writes drill: build a sorted 2-element list, memoize the check,
+# drop exactly one write barrier, corrupt the head.  Scratch sees the
+# unsorted list; both incremental engines serve the stale True.
+DROP_WRITES_REPRO = Trace(
+    "ordered_list",
+    0,
+    [
+        Op("insert", (1,)),
+        Op("insert", (5,)),
+        CHECK_OP,
+        fault_op("drop_writes", 1),
+        Op("corrupt", (0, 99)),
+    ],
+)
+
+# Latent corrupt-returns consumption: poison the deepest cached node
+# (is_ordered of the tail), then dirty the middle cell with a write that
+# keeps the list sorted.  The middle node re-executes, reuses the
+# poisoned child cache, and ditto reports False on a sorted list.
+CORRUPT_RETURNS_REPRO = Trace(
+    "ordered_list",
+    0,
+    [
+        Op("insert", (1,)),
+        Op("insert", (2,)),
+        Op("insert", (3,)),
+        CHECK_OP,
+        fault_op("corrupt_returns", 1),
+        Op("corrupt", (1, 1)),
+    ],
+)
+
+
+class TestPinnedReproducers:
+    def test_drop_writes_repro_still_diverges(self):
+        report = replay_trace(DROP_WRITES_REPRO)
+        assert not report.ok
+        d = report.divergences[0]
+        assert d.kind == "return_mismatch"
+        assert d.details["scratch"] == ("value", False)
+        # The write log is global: dropping a barrier blinds *both*
+        # incremental strategies, not just the optimistic one.
+        assert d.details["ditto"] == ("value", True)
+        assert d.details["naive"] == ("value", True)
+
+    def test_drop_writes_repro_is_already_minimal(self):
+        result = Shrinker(
+            DROP_WRITES_REPRO, kind="return_mismatch", max_replays=500
+        ).shrink()
+        assert len(result) == len(DROP_WRITES_REPRO)
+
+    def test_committed_fixture_matches_and_reproduces(self):
+        """CI replays ``tests/fixtures/qa_repro_drop_writes.json`` with
+        ``--expect-divergence``; keep the committed artifact in lockstep
+        with the canonical trace above."""
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "fixtures", "qa_repro_drop_writes.json"
+        )
+        fixture = Trace.load(path)
+        assert fixture.structure == DROP_WRITES_REPRO.structure
+        assert fixture.ops == DROP_WRITES_REPRO.ops
+        assert not replay_trace(fixture).ok
+
+    def test_corrupt_returns_repro_still_diverges(self):
+        report = replay_trace(CORRUPT_RETURNS_REPRO)
+        assert not report.ok
+        d = report.divergences[0]
+        assert d.kind == "return_mismatch"
+        assert d.details["scratch"] == ("value", True)
+        assert d.details["ditto"] == ("value", False)
+
+
+class TestNearMisses:
+    """Traces that *look* like they should diverge but must not — each
+    documents a subtlety that cost debugging time during bring-up."""
+
+    def test_stale_false_equals_fresh_false(self):
+        """A dropped write only diverges if the mutation flips the check
+        result.  Corrupting an already-unsorted list under a dropped
+        barrier keeps every mode at False — no divergence, by design."""
+        trace = Trace(
+            "ordered_list",
+            0,
+            [
+                Op("insert", (5,)),
+                Op("insert", (1,)),
+                Op("corrupt", (0, 99)),  # [99, 5] — already unsorted
+                CHECK_OP,
+                fault_op("drop_writes", 1),
+                Op("corrupt", (1, 0)),  # stale False == fresh False
+            ],
+        )
+        assert replay_trace(trace).ok
+
+    def test_corrupt_returns_is_latent_until_consumed(self):
+        """Optimistic reuse serves the *root's* cached value; a poisoned
+        deep return stays invisible until a dirty write forces the
+        caller chain through it.  No consuming write => no divergence."""
+        trace = Trace(
+            "ordered_list",
+            0,
+            [
+                Op("insert", (1,)),
+                Op("insert", (2,)),
+                Op("insert", (3,)),
+                CHECK_OP,
+                fault_op("corrupt_returns", 1),
+                CHECK_OP,
+            ],
+        )
+        assert replay_trace(trace).ok
+
+    def test_benign_dropped_write_does_not_diverge(self):
+        """Dropping the barrier of a sortedness-preserving insert leaves
+        the memoized True accidentally correct."""
+        trace = Trace(
+            "ordered_list",
+            0,
+            [
+                Op("insert", (1,)),
+                CHECK_OP,
+                fault_op("drop_writes", 1),
+                Op("insert", (2,)),
+            ],
+        )
+        assert replay_trace(trace).ok
+
+
+class TestGeneratorHazards:
+    """Op-space hazards fixed during bring-up: the generator must never
+    emit them, but hand-written traces still exercise the model paths."""
+
+    def test_btree_corpus_never_emits_corrupt_count(self):
+        """``corrupt_count`` was removed from the B-tree op specs: an
+        out-of-range key count makes the *check itself* crash comparing
+        None keys, which the oracle would misread as a divergence."""
+        for seed in range(6):
+            trace = TraceGenerator(
+                "btree", seed=seed, op_count=400
+            ).generate()
+            assert all(op.name != "corrupt_count" for op in trace.ops)
+
+    def test_btree_corrupt_count_still_applies_by_hand(self):
+        """The model keeps the ``apply`` path so saved replay files using
+        it remain loadable; a +1/-1 round trip replays clean."""
+        trace = Trace(
+            "btree",
+            0,
+            [
+                Op("insert", (1, 1)),
+                Op("insert", (2, 2)),
+                Op("insert", (3, 3)),
+                CHECK_OP,
+                Op("corrupt_count", (1,)),
+                CHECK_OP,
+                Op("corrupt_count", (-1,)),
+                CHECK_OP,
+            ],
+        )
+        report = Oracle("btree", stop_on_divergence=False).run(trace)
+        # The corrupted middle check may disagree or raise on every mode
+        # alike; what matters is the trace applies end-to-end and the
+        # final reverted state agrees.
+        assert report.ops_applied == 5
+
+    def test_reversible_corruption_triples_stay_paired(self):
+        """Models whose mutators need internal consistency emit their
+        corruptions as corrupt/check/revert triples; shrinking must be
+        able to keep or drop them atomically, which requires the corrupt
+        op to be immediately followed by a check in generated traces."""
+        for name in ("red_black_tree", "avl_tree", "btree", "rope",
+                     "doubly_linked_list", "disjointness"):
+            trace = TraceGenerator(name, seed=0, op_count=400).generate()
+            ops = trace.ops
+            for i, op in enumerate(ops):
+                if not op.name.startswith("corrupt"):
+                    continue
+                # Either the corruption itself (check follows) or the
+                # revert half of a symmetric triple (check precedes).
+                followed = i + 1 < len(ops) and ops[i + 1].name == "@check"
+                preceded = i > 0 and ops[i - 1].name == "@check"
+                assert followed or preceded, (name, i, op)

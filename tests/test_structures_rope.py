@@ -145,3 +145,68 @@ class TestRopeInvariants:
         report = engine.run_with_report(r)
         assert report.result is True
         assert report.delta["execs"] < graph * 0.5
+
+
+class TestRopeCrossModeParity:
+    """Scripted three-way parity: after every mutation, the optimistic
+    engine, the naive engine, and from-scratch execution agree exactly —
+    through clean edits, corruption windows, and repair."""
+
+    def _engines(self, engine_factory):
+        return {
+            mode: engine_factory(rope_invariant, mode=mode)
+            for mode in ("scratch", "ditto", "naive")
+        }
+
+    def _assert_agree(self, engines, rope):
+        results = {m: e.run(rope) for m, e in engines.items()}
+        truth = results["scratch"]
+        assert results["ditto"] is truth, results
+        assert results["naive"] is truth, results
+        return truth
+
+    def test_scripted_edit_sequence(self, engine_factory):
+        engines = self._engines(engine_factory)
+        r = Rope("the quick brown fox")
+        assert self._assert_agree(engines, r) is True
+        script = [
+            lambda: r.append(" jumps"),
+            lambda: r.insert(0, ">> "),
+            lambda: r.insert(len(r) // 2, "|mid|"),
+            lambda: r.delete(0, 3),
+            lambda: r.append(" over the lazy dog"),
+            lambda: r.delete(len(r) - 4, len(r)),
+            lambda: r.insert(1, ""),  # no-op edit
+        ]
+        for step in script:
+            step()
+            assert self._assert_agree(engines, r) is True
+
+    def test_corruption_window_parity(self, engine_factory):
+        """All three modes must flip False together while a cached weight
+        is rotten, and flip back True together after the repair."""
+        engines = self._engines(engine_factory)
+        r = Rope("x" * 128)
+        r.append("y" * 64)  # guarantee a concat node to corrupt
+        assert self._assert_agree(engines, r) is True
+        for delta in (1, 3, -2):
+            r.corrupt_weight(delta)
+            assert self._assert_agree(engines, r) is False
+            r.corrupt_weight(-delta)
+            assert self._assert_agree(engines, r) is True
+
+    def test_interleaved_edits_and_corruption(self, engine_factory):
+        engines = self._engines(engine_factory)
+        r = Rope("seed text ")
+        expected_text = "seed text "
+        for i in range(20):
+            r.append(f"chunk{i} ")
+            expected_text += f"chunk{i} "
+            assert self._assert_agree(engines, r) is True
+            if i % 5 == 4:
+                r.corrupt_weight(+1)
+                assert self._assert_agree(engines, r) is False
+                r.corrupt_weight(-1)
+                assert self._assert_agree(engines, r) is True
+        # Parity held *and* the rope still models the right string.
+        assert str(r) == expected_text

@@ -186,3 +186,67 @@ class TestDoublyLinkedList:
         assert engine.run(d) is True
         d.corrupt_back_pointer(15)
         assert engine.run(d) == dll_invariant(d) is False
+
+
+class TestSkipListCrossModeParity:
+    """Scripted three-way parity for the skip list: ditto == naive ==
+    from-scratch after every mutation, across tower rebuilds and
+    value-corruption windows."""
+
+    def _engines(self, engine_factory):
+        return {
+            mode: engine_factory(skip_list_invariant, mode=mode)
+            for mode in ("scratch", "ditto", "naive")
+        }
+
+    def _assert_agree(self, engines, sl):
+        results = {m: e.run(sl) for m, e in engines.items()}
+        truth = results["scratch"]
+        assert results["ditto"] is truth, results
+        assert results["naive"] is truth, results
+        return truth
+
+    def test_scripted_insert_delete_sequence(self, engine_factory):
+        engines = self._engines(engine_factory)
+        sl = SkipList(seed=0xACE1)  # fixed tower heights: reproducible
+        assert self._assert_agree(engines, sl) is True
+        script = (
+            [("insert", k) for k in (5, 1, 9, 3, 7, 2, 8)]
+            + [("delete", 3), ("delete", 1), ("insert", 4), ("insert", 0),
+               ("delete", 9), ("delete", 42),  # missing key: no-op
+               ("insert", 6), ("delete", 5)]
+        )
+        for op, key in script:
+            getattr(sl, op)(key)
+            assert self._assert_agree(engines, sl) is True
+        assert list(sl) == sorted(set([5, 1, 9, 3, 7, 2, 8, 4, 0, 6])
+                                  - {3, 1, 9, 5})
+
+    def test_corruption_window_parity(self, engine_factory):
+        engines = self._engines(engine_factory)
+        sl = SkipList(seed=0xACE1)
+        for k in range(0, 40, 4):
+            sl.insert(k)
+        assert self._assert_agree(engines, sl) is True
+        # Break ordering at a mid key, verify all modes see it, repair.
+        sl.corrupt_value(20, 1)
+        assert self._assert_agree(engines, sl) is False
+        sl.corrupt_value(1, 20)
+        assert self._assert_agree(engines, sl) is True
+
+    def test_tower_heights_exercise_all_levels(self, engine_factory):
+        """Enough inserts that multi-level towers exist, so the parity
+        sweep covers the per-level invariant recursion, then drain."""
+        engines = self._engines(engine_factory)
+        sl = SkipList(seed=0xACE1)
+        for k in range(64):
+            sl.insert(k)
+            if k % 8 == 0:
+                assert self._assert_agree(engines, sl) is True
+        assert sl.level > 1  # the point of the test
+        assert self._assert_agree(engines, sl) is True
+        for k in range(64):
+            sl.delete(k)
+            if k % 8 == 0:
+                assert self._assert_agree(engines, sl) is True
+        assert self._assert_agree(engines, sl) is True
