@@ -11,13 +11,41 @@ that address is unrelated to any invariant checks".  Groups:
   zero reference count (filtered by the §4 refcount);
 * ``tracked-logging``    — stores that pass both filters and reach the log
   (the worst case; the log deduplicates unread duplicates).
+
+The ``barrier-shift-heavy`` group measures the range-coalescing overhaul:
+head inserts/pops on a referenced TrackedList under the coalesced barrier
+(one ``RangeLocation`` per op) versus the pre-overhaul per-slot protocol
+(one ``IndexLocation`` per shifted slot), including the engine drain and
+repair each cycle.  Run this module as a script to emit/gate the
+``BENCH_barrier.json`` perf-trajectory record:
+
+    python benchmarks/bench_barrier_overhead.py --emit BENCH_barrier.json \
+        --check benchmarks/BENCH_barrier.json
+
+The gate fails when the coalescing win erodes: the append ratio must stay
+at least 3x, at least 80% of the committed baseline's ratio, and the
+coalesced barrier must not be slower than the per-slot one.  Wall-clock
+seconds are recorded for trajectory plots but not gated against the
+committed file (they are machine-dependent); the within-run speedup is.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
+import time
+
 import pytest
 
-from repro import DittoEngine, TrackedObject, check, tracking_state
+from repro import (
+    DittoEngine,
+    TrackedList,
+    TrackedObject,
+    check,
+    reset_tracking,
+    tracking_state,
+)
 
 STORES = 20_000
 
@@ -76,3 +104,228 @@ def test_barrier_overhead(benchmark, variant):
         if engine is not None:
             engine.close()
         tracking_state().write_log  # keep symmetry; log cleans on consume
+
+
+# Shift-heavy workload: the coalescing overhaul's target. ---------------------
+
+#: Steady-state list size; every slot is read by the checksum check, so
+#: the whole list is referenced and every shift passes the §4 filters.
+SHIFT_LIST_SIZE = 512
+#: Head inserts (then head pops) per measured cycle.
+SHIFT_OPS = 256
+SHIFT_ROUNDS = 5
+
+
+@check
+def shift_checksum(v, i):
+    """Position-weighted sum of slots ``i..`` — reads every slot and the
+    length, so shifts dirty the whole suffix chain."""
+    if i >= len(v):
+        return 0
+    x = v[i]
+    rest = shift_checksum(v, i + 1)
+    return (i + 1) * x + rest
+
+
+@check
+def shift_watch(v):
+    return shift_checksum(v, 0)
+
+
+class _PerSlotList(TrackedList):
+    """The pre-overhaul barrier protocol: one ``IndexLocation`` append per
+    shifted slot (clamping/validation match the fixed semantics, so the
+    two variants compute identical states — only the logging differs).
+    Kept as the in-run A/B baseline the regression gate measures against."""
+
+    __slots__ = ()
+
+    def insert(self, index, value):
+        items = self._items
+        n = len(items)
+        if index < 0:
+            index += n
+            if index < 0:
+                index = 0
+        elif index > n:
+            index = n
+        if self._ditto_refcount > 0:
+            log = tracking_state().write_log
+            log.append(self._ditto_location("<len>"))
+            for i in range(index, n + 1):
+                log.append(self._ditto_location(i))
+        items.insert(index, value)
+
+    def pop(self, index=-1):
+        items = self._items
+        n = len(items)
+        if not n:
+            raise IndexError("pop from empty list")
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("pop index out of range")
+        if self._ditto_refcount > 0:
+            log = tracking_state().write_log
+            log.append(self._ditto_location("<len>"))
+            for i in range(index, n):
+                log.append(self._ditto_location(i))
+        return items.pop(index)
+
+
+def _shift_cycle(lst, engine, ops=SHIFT_OPS):
+    """One mutate+repair event cycle: ``ops`` head inserts, ``ops`` head
+    pops (back to the steady-state contents), then the incremental run
+    that drains the log and repairs the graph."""
+
+    def cycle():
+        for i in range(ops):
+            lst.insert(0, i)
+        for _ in range(ops):
+            lst.pop(0)
+        engine.run(lst)
+
+    return cycle
+
+
+_SHIFT_IMPLS = {"coalesced": TrackedList, "per-slot": _PerSlotList}
+
+
+@pytest.mark.parametrize("impl", sorted(_SHIFT_IMPLS))
+def test_shift_heavy_barrier(benchmark, impl):
+    benchmark.group = "barrier-shift-heavy"
+    benchmark.extra_info["variant"] = impl
+    lst = _SHIFT_IMPLS[impl](range(SHIFT_LIST_SIZE))
+    engine = DittoEngine(shift_watch)
+    engine.run(lst)  # build the graph (untimed)
+    try:
+        benchmark.pedantic(
+            _shift_cycle(lst, engine),
+            rounds=SHIFT_ROUNDS,
+            iterations=1,
+            warmup_rounds=1,
+        )
+    finally:
+        engine.close()
+
+
+# Standalone emit/gate entry point (CI's BENCH_barrier.json). -----------------
+
+
+def _measure_impl(impl_cls, list_size, ops, rounds):
+    """Best-of-``rounds`` cycle seconds plus the deterministic per-cycle
+    barrier append count (``WriteLog.logged``, i.e. pre-deduplication)."""
+    reset_tracking()
+    lst = impl_cls(range(list_size))
+    engine = DittoEngine(shift_watch)
+    try:
+        engine.run(lst)
+        cycle = _shift_cycle(lst, engine, ops)
+        log = tracking_state().write_log
+        logged_before = log.logged
+        cycle()  # warmup; also the counted cycle
+        appends = log.logged - logged_before
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            cycle()
+            best = min(best, time.perf_counter() - started)
+        return {"seconds": best, "appends": appends}
+    finally:
+        engine.close()
+        reset_tracking()
+
+
+def run_shift_benchmark(
+    list_size=SHIFT_LIST_SIZE, ops=SHIFT_OPS, rounds=SHIFT_ROUNDS
+):
+    sys.setrecursionlimit(200_000)
+    coalesced = _measure_impl(TrackedList, list_size, ops, rounds)
+    legacy = _measure_impl(_PerSlotList, list_size, ops, rounds)
+    return {
+        "benchmark": "barrier-shift-heavy",
+        "generated_by": "benchmarks/bench_barrier_overhead.py",
+        "params": {
+            "list_size": list_size,
+            "shift_ops": ops,
+            "rounds": rounds,
+        },
+        "coalesced": coalesced,
+        "legacy_per_slot": legacy,
+        "append_ratio": legacy["appends"] / coalesced["appends"],
+        "speedup": legacy["seconds"] / coalesced["seconds"],
+    }
+
+
+#: Gate thresholds (see the module docstring).
+MIN_APPEND_RATIO = 3.0
+MIN_SPEEDUP = 1.0
+BASELINE_RATIO_FRACTION = 0.8
+
+
+def check_against_baseline(result, baseline):
+    """Return a list of failure messages (empty when the gate passes)."""
+    failures = []
+    if result["append_ratio"] < MIN_APPEND_RATIO:
+        failures.append(
+            f"append_ratio {result['append_ratio']:.2f} < hard floor "
+            f"{MIN_APPEND_RATIO}"
+        )
+    if result["speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"coalesced barrier is slower than per-slot "
+            f"(speedup {result['speedup']:.2f} < {MIN_SPEEDUP})"
+        )
+    if baseline is not None:
+        floor = baseline["append_ratio"] * BASELINE_RATIO_FRACTION
+        if result["append_ratio"] < floor:
+            failures.append(
+                f"append_ratio {result['append_ratio']:.2f} regressed >20% "
+                f"vs baseline {baseline['append_ratio']:.2f}"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--emit", metavar="PATH", help="write BENCH_barrier.json here"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="gate against a committed BENCH_barrier.json",
+    )
+    parser.add_argument("--list-size", type=int, default=SHIFT_LIST_SIZE)
+    parser.add_argument("--ops", type=int, default=SHIFT_OPS)
+    parser.add_argument("--rounds", type=int, default=SHIFT_ROUNDS)
+    args = parser.parse_args(argv)
+
+    result = run_shift_benchmark(args.list_size, args.ops, args.rounds)
+    print(
+        f"barrier-shift-heavy: coalesced {result['coalesced']['appends']} "
+        f"appends / {result['coalesced']['seconds'] * 1000:.1f}ms per cycle,"
+        f" per-slot {result['legacy_per_slot']['appends']} appends / "
+        f"{result['legacy_per_slot']['seconds'] * 1000:.1f}ms "
+        f"(append_ratio {result['append_ratio']:.1f}x, "
+        f"speedup {result['speedup']:.2f}x)"
+    )
+    if args.emit:
+        with open(args.emit, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.emit}")
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_against_baseline(result, baseline)
+        if failures:
+            for failure in failures:
+                print(f"GATE FAILURE: {failure}", file=sys.stderr)
+            return 1
+        print(f"gate passed vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,13 @@ from .errors import (
     UnknownCheckError,
     VerificationError,
 )
-from .locations import FieldLocation, IndexLocation, LengthLocation, Location
+from .locations import (
+    FieldLocation,
+    IndexLocation,
+    LengthLocation,
+    Location,
+    RangeLocation,
+)
 from .memo_table import MemoTable
 from .node import ComputationNode
 from .order_maintenance import OrderList, Record
@@ -52,6 +58,7 @@ __all__ = [
     "MemoTable",
     "OptimisticMispredictionError",
     "OrderList",
+    "RangeLocation",
     "Record",
     "reset_tracking",
     "ResultTypeError",

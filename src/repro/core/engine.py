@@ -552,6 +552,11 @@ class DittoEngine:
         pending = tracking_state().write_log.consume(self._log_cid)
         dirty = self.table.map_locations_to_nodes(pending)
         self._phase_end("barrier_drain", start)
+        if self.tracing:
+            counters = tracking_state().barrier_counters()
+            counters["pending"] = len(pending)
+            counters["dirtied"] = len(dirty)
+            self._sink.instant("barrier_drain", time.perf_counter(), counters)
         root = self.table.lookup(self.entry, key)
         first_run = self._root is None
         self.in_incremental_run = not first_run

@@ -12,6 +12,12 @@ A location is a (container identity, coordinate) pair:
 * ``IndexLocation`` — one slot of an array/list, e.g. ``buckets[i]``.
 * ``LengthLocation`` — the length of an array/list (Java's
   ``buckets.length``); growing or shrinking a tracked list mutates it.
+* ``RangeLocation`` — a half-open run of slots ``[start, stop)``, the
+  write-side coalescing of shift-heavy mutations: one ``insert``/``pop``
+  logs a single range instead of one ``IndexLocation`` per shifted slot.
+  Ranges exist only in the write log; implicit arguments always name
+  individual slots, and the memo table expands ranges against its reverse
+  map at drain time.
 
 Identity semantics: two locations are the same iff they name the same slot
 of the *same* container object (``id()`` equality), matching the paper's
@@ -109,3 +115,42 @@ class LengthLocation(Location):
 
     def read(self) -> Any:
         return len(self.container)
+
+
+class RangeLocation(Location):
+    """The slot run ``container[start:stop]`` (half-open), written as one
+    coalesced barrier entry by shift-heavy bulk mutations.
+
+    Unlike the point locations, ranges are *not* interned in the
+    container's location cache — the set of (start, stop) pairs a workload
+    produces is unbounded, and each range is consumed once at the next
+    drain.  Structural equality/hashing still lets the write log
+    deduplicate identical pending ranges.
+    """
+
+    __slots__ = ("start", "stop")
+
+    def __init__(self, container: Any, start: int, stop: int):
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid slot range [{start}, {stop})")
+        self.start = start
+        self.stop = stop
+        super().__init__(container)
+
+    def _coord(self) -> Hashable:
+        return (self.start, self.stop)
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def covers(self, index: int) -> bool:
+        """True if slot ``index`` falls inside this range."""
+        return self.start <= index < self.stop
+
+    def read(self) -> Any:
+        """The current values of the covered slots (diagnostics only —
+        drains never read through a range)."""
+        return tuple(
+            self.container[i]
+            for i in range(self.start, min(self.stop, len(self.container)))
+        )

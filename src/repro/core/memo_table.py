@@ -13,11 +13,31 @@ writes no invariant check depends on.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional
 
 from .argkeys import ArgsKey
-from .locations import Location
+from .locations import IndexLocation, Location, RangeLocation
 from .node import ComputationNode
+
+
+def _merge_intervals(
+    intervals: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Coalesce half-open ``(start, stop)`` intervals into a minimal
+    disjoint cover.  Shift-heavy workloads log many overlapping ranges per
+    drain (``insert(0)`` at every length produces a new ``(0, n+1)``);
+    merging first makes the expansion cost proportional to the covered
+    span, not to span × pending ranges."""
+    intervals.sort()
+    merged: list[tuple[int, int]] = []
+    for start, stop in intervals:
+        if merged and start <= merged[-1][1]:
+            last_start, last_stop = merged[-1]
+            if stop > last_stop:
+                merged[-1] = (last_start, stop)
+        else:
+            merged.append((start, stop))
+    return merged
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..instrument.registry import CheckFunction
@@ -94,12 +114,46 @@ class MemoTable:
     def map_locations_to_nodes(
         self, locations: Iterable[Location]
     ) -> set[ComputationNode]:
-        """``map_locs_to_memo_table_entries`` from Figure 7."""
+        """``map_locs_to_memo_table_entries`` from Figure 7.
+
+        Point locations probe the reverse map directly.  Coalesced
+        :class:`RangeLocation` entries are expanded here — implicit
+        arguments always name individual slots, so a range can never hit
+        the reverse map as-is.  Ranges are first merged per container,
+        then each merged interval is expanded by whichever side is
+        smaller: probing one interned slot location per covered index, or
+        scanning the reverse map once when the span exceeds its size."""
         dirty: set[ComputationNode] = set()
+        ranges: dict[int, tuple[Any, list[tuple[int, int]]]] = {}
         for loc in locations:
+            if type(loc) is RangeLocation:
+                if loc.stop > loc.start:
+                    entry = ranges.setdefault(id(loc.container),
+                                              (loc.container, []))
+                    entry[1].append((loc.start, loc.stop))
+                continue
             dependents = self._reverse.get(loc)
             if dependents:
                 dirty.update(dependents)
+        for container, intervals in ranges.values():
+            for start, stop in _merge_intervals(intervals):
+                if stop - start <= len(self._reverse):
+                    cache = getattr(container, "_ditto_loc_cache", None)
+                    for index in range(start, stop):
+                        probe = None if cache is None else cache.get(index)
+                        if probe is None:
+                            probe = IndexLocation(container, index)
+                        dependents = self._reverse.get(probe)
+                        if dependents:
+                            dirty.update(dependents)
+                else:
+                    for key, dependents in self._reverse.items():
+                        if (
+                            type(key) is IndexLocation
+                            and key.container is container
+                            and start <= key.index < stop
+                        ):
+                            dirty.update(dependents)
         return dirty
 
     # Call edges. -------------------------------------------------------------

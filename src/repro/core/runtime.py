@@ -81,12 +81,20 @@ class Runtime:
         self._step()
         engine = self.engine
         if isinstance(obj, TrackedArray):
-            if isinstance(index, int) and index < 0:
-                index += len(obj)
             engine.stats.implicit_reads += 1
-            engine.table.record_implicit(
-                engine.current_node(), obj._ditto_location(index)
-            )
+            node = engine.current_node()
+            table = engine.table
+            if isinstance(index, int) and index < 0:
+                # A negative read depends on the *length* too: growing the
+                # list retargets obj[-1] without writing the old tail slot,
+                # so without this dependency the node would go stale.
+                table.record_implicit(node, obj._ditto_location("<len>"))
+                index += len(obj)
+                if index < 0:
+                    # Still out of range after normalization: raise the
+                    # natural IndexError without recording a phantom slot.
+                    return obj[index]
+            table.record_implicit(node, obj._ditto_location(index))
             return obj[index]
         if isinstance(obj, (str, bytes, tuple, frozenset, range)):
             return obj[index]

@@ -24,13 +24,42 @@ Mutations that pass both filters append their :class:`~repro.core.locations.
 Location` to the global :class:`WriteLog`.  Each engine keeps a cursor into
 the log and consumes newly-logged locations at the start of its next run;
 the log compacts itself once every registered engine has caught up.
+
+Hot-path layout
+---------------
+
+The barrier is the tax every mutation of the main program pays, so the
+common cases are flattened:
+
+* The monitored-field set and the write log's bound ``append`` are
+  snapshotted into module globals (``_monitored`` / ``_log_append``),
+  refreshed whenever monitoring changes or the global state is reset.  An
+  unmonitored attribute store costs one refcount check plus one frozenset
+  probe; a write to an unreferenced container costs the refcount check
+  alone (and is deliberately *not* counted — counting would tax the path
+  the filter exists to keep free).
+* Shift-heavy list mutations (``insert`` / ``pop`` not at the tail,
+  ``fill``) log a single coalesced :class:`~repro.core.locations.
+  RangeLocation` covering every shifted slot instead of one
+  ``IndexLocation`` per slot; the memo table expands ranges against its
+  reverse map at drain time.
+* Mutators validate their index *before* logging: a mutation that raises
+  (``pop`` from empty, out-of-range ``__setitem__``) leaves the write log
+  untouched, and ``insert`` clamps exactly as ``list.insert`` does before
+  computing which slots it logs.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Iterator
 
-from .locations import FieldLocation, IndexLocation, LengthLocation, Location
+from .locations import (
+    FieldLocation,
+    IndexLocation,
+    LengthLocation,
+    Location,
+    RangeLocation,
+)
 
 
 class WriteLog:
@@ -48,6 +77,14 @@ class WriteLog:
         self._cursors: dict[int, int] = {}
         self._next_cid = 0
         self._last_pos: dict[Location, int] = {}
+        #: Lifetime count of barrier events offered to the log (after the
+        #: refcount/monitored filters and the fault hook, before write
+        #: deduplication).  One coalesced range counts as one event.
+        self.logged = 0
+        #: Lifetime count of slots covered by coalesced ``RangeLocation``
+        #: entries — each such event would have cost this many per-slot
+        #: appends under the uncoalesced barrier.
+        self.coalesced = 0
         #: Test-only fault hook (see :mod:`repro.resilience.faults`): when
         #: set, every would-be append is offered to the hook first and is
         #: *dropped* if the hook returns True.  Simulates a lost write
@@ -74,6 +111,9 @@ class WriteLog:
             return
         if self.fault_hook is not None and self.fault_hook(location):
             return
+        self.logged += 1
+        if type(location) is RangeLocation:
+            self.coalesced += location.stop - location.start
         last = self._last_pos.get(location)
         if last is not None and last >= max(self._cursors.values()):
             return
@@ -120,10 +160,16 @@ class TrackingState:
         self.write_log = WriteLog()
         # field name -> number of engines monitoring it
         self._monitored_fields: dict[str, int] = {}
+        #: Lifetime count of attribute writes to *referenced* containers
+        #: that the monitored-field filter suppressed.  (Writes filtered by
+        #: the refcount alone are uncounted — see the module docstring.)
+        self.barrier_filtered = 0
 
     def monitor_fields(self, fields: Iterable[str]) -> None:
         for f in fields:
             self._monitored_fields[f] = self._monitored_fields.get(f, 0) + 1
+        if _state is self:
+            _rebind_fastpath()
 
     def unmonitor_fields(self, fields: Iterable[str]) -> None:
         for f in fields:
@@ -132,6 +178,8 @@ class TrackingState:
                 self._monitored_fields.pop(f, None)
             else:
                 self._monitored_fields[f] = n
+        if _state is self:
+            _rebind_fastpath()
 
     def is_monitored(self, field: str) -> bool:
         return field in self._monitored_fields
@@ -140,8 +188,29 @@ class TrackingState:
     def monitored_fields(self) -> frozenset[str]:
         return frozenset(self._monitored_fields)
 
+    def barrier_counters(self) -> dict[str, int]:
+        """The three barrier throughput counters, for the metrics bridge."""
+        return {
+            "barrier_logged": self.write_log.logged,
+            "barrier_filtered": self.barrier_filtered,
+            "barrier_coalesced": self.write_log.coalesced,
+        }
+
 
 _state = TrackingState()
+
+#: Hot-path snapshots of the global state (see the module docstring):
+#: ``_monitored`` is the current monitored-field set, ``_log_append`` the
+#: bound ``append`` of the current write log.  Rebound by
+#: :func:`_rebind_fastpath` whenever either changes identity or content.
+_monitored: frozenset[str] = frozenset()
+_log_append = _state.write_log.append
+
+
+def _rebind_fastpath() -> None:
+    global _monitored, _log_append
+    _monitored = _state.monitored_fields
+    _log_append = _state.write_log.append
 
 
 def tracking_state() -> TrackingState:
@@ -157,6 +226,7 @@ def reset_tracking() -> None:
     """
     global _state
     _state = TrackingState()
+    _rebind_fastpath()
 
 
 class TrackedObject:
@@ -174,12 +244,11 @@ class TrackedObject:
     _ditto_refcount = 0
 
     def __setattr__(self, name: str, value: Any) -> None:
-        if (
-            self._ditto_refcount > 0
-            and name[0] != "_"
-            and _state.is_monitored(name)
-        ):
-            _state.write_log.append(self._ditto_location(name))
+        if self._ditto_refcount > 0 and name[0] != "_":
+            if name in _monitored:
+                _log_append(self._ditto_location(name))
+            else:
+                _state.barrier_filtered += 1
         object.__setattr__(self, name, value)
 
     def _ditto_location(self, name: str) -> FieldLocation:
@@ -212,7 +281,12 @@ class TrackedArray:
     the Netcols grid, ``reserved_names``).  Reading is plain indexing; the
     instrumented check records :class:`IndexLocation` /
     :class:`LengthLocation` implicit arguments through the runtime.
+
+    Instances are slotted: the barrier fast path touches exactly three
+    attributes and never pays for a per-instance ``__dict__``.
     """
+
+    __slots__ = ("_items", "_ditto_refcount", "_ditto_loc_cache")
 
     def __init__(self, initial: Iterable[Any] | int, fill: Any = None):
         if isinstance(initial, int):
@@ -238,11 +312,14 @@ class TrackedArray:
         return location
 
     def __setitem__(self, index: int, value: Any) -> None:
+        items = self._items
         if self._ditto_refcount > 0:
             if index < 0:
-                index += len(self._items)
-            _state.write_log.append(self._ditto_location(index))
-        self._items[index] = value
+                index += len(items)
+            if not 0 <= index < len(items):
+                raise IndexError("list assignment index out of range")
+            _log_append(self._ditto_location(index))
+        items[index] = value
 
     def __len__(self) -> int:
         return len(self._items)
@@ -254,9 +331,12 @@ class TrackedArray:
         return f"TrackedArray({self._items!r})"
 
     def fill(self, value: Any) -> None:
-        """Set every slot to ``value`` (bulk store, one barrier per slot)."""
-        for i in range(len(self._items)):
-            self[i] = value
+        """Set every slot to ``value`` (bulk store, one coalesced range
+        barrier for the whole array)."""
+        items = self._items
+        if self._ditto_refcount > 0 and items:
+            _log_append(RangeLocation(self, 0, len(items)))
+        items[:] = [value] * len(items)
 
     def _ditto_incref(self) -> None:
         self._ditto_refcount += 1
@@ -268,34 +348,63 @@ class TrackedArray:
 class TrackedList(TrackedArray):
     """Growable tracked sequence.
 
-    Structural operations (append/pop/insert/remove) log the length location
-    and every element slot they shift, so a check that reads ``len`` or
-    iterates by index is correctly re-run.
+    Structural operations (append/pop/insert/remove) log the length
+    location plus the affected slots — a single interned point location
+    when only one slot changes (append, tail pop), a coalesced
+    :class:`RangeLocation` when slots shift.  Indexes are validated (and,
+    for ``insert``, clamped — matching ``list.insert``) *before* anything
+    is logged, so a raising mutator leaves the write log untouched.
     """
 
+    __slots__ = ()
+
     def append(self, value: Any) -> None:
+        items = self._items
         if self._ditto_refcount > 0:
-            _state.write_log.append(self._ditto_location("<len>"))
-            _state.write_log.append(self._ditto_location(len(self._items)))
-        self._items.append(value)
+            _log_append(self._ditto_location("<len>"))
+            _log_append(self._ditto_location(len(items)))
+        items.append(value)
 
     def pop(self, index: int = -1) -> Any:
+        items = self._items
+        n = len(items)
+        if not n:
+            raise IndexError("pop from empty list")
         if index < 0:
-            index += len(self._items)
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("pop index out of range")
         if self._ditto_refcount > 0:
-            _state.write_log.append(self._ditto_location("<len>"))
-            for i in range(index, len(self._items)):
-                _state.write_log.append(self._ditto_location(i))
-        return self._items.pop(index)
+            _log_append(self._ditto_location("<len>"))
+            if index == n - 1:
+                _log_append(self._ditto_location(index))
+            else:
+                # Slots index..n-1 all shift down; slot n-1 disappears but
+                # a reader of it (necessarily length-guarded pre-shrink)
+                # still depends on the old coordinate, so the range covers
+                # it too.
+                _log_append(RangeLocation(self, index, n))
+        return items.pop(index)
 
     def insert(self, index: int, value: Any) -> None:
+        items = self._items
+        n = len(items)
+        # Clamp exactly as list.insert does — *before* computing the slots
+        # to log, so an out-of-range index can't silently log an empty run
+        # while the underlying list still writes slot 0 or n.
         if index < 0:
-            index += len(self._items)
+            index += n
+            if index < 0:
+                index = 0
+        elif index > n:
+            index = n
         if self._ditto_refcount > 0:
-            _state.write_log.append(self._ditto_location("<len>"))
-            for i in range(index, len(self._items) + 1):
-                _state.write_log.append(self._ditto_location(i))
-        self._items.insert(index, value)
+            _log_append(self._ditto_location("<len>"))
+            if index == n:
+                _log_append(self._ditto_location(index))
+            else:
+                _log_append(RangeLocation(self, index, n + 1))
+        items.insert(index, value)
 
     def remove(self, value: Any) -> None:
         self.pop(self._items.index(value))

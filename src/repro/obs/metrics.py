@@ -363,6 +363,37 @@ class EngineMetrics:
                 f"Wall-clock seconds spent in the {phase} phase",
             ).set_total(seconds)
         self.graph_size.set(self.engine.graph_size)
+        self._refresh_barrier_counters(ns)
+
+    _BARRIER_HELP = {
+        "barrier_logged": (
+            "Barrier events offered to the write log (pre-deduplication; "
+            "one coalesced range counts once)"
+        ),
+        "barrier_filtered": (
+            "Writes to referenced containers suppressed by the "
+            "monitored-field filter"
+        ),
+        "barrier_coalesced": (
+            "Slots covered by coalesced range barriers (per-slot appends "
+            "avoided)"
+        ),
+    }
+
+    def _refresh_barrier_counters(self, ns: str) -> None:
+        """Mirror the process-global write-barrier counters.  These live on
+        the tracking state, not on EngineStats: the barrier is shared by
+        every engine in the process.  A ``reset_tracking()`` zeroes the
+        source while Prometheus counters must not decrease, so stale-high
+        mirrors are left in place until the source catches up."""
+        from ..core.tracked import tracking_state  # lazy: avoids cycle
+
+        for name, value in tracking_state().barrier_counters().items():
+            counter = self.registry.counter(
+                f"{ns}_{name}_total", self._BARRIER_HELP[name]
+            )
+            if value >= counter.value:
+                counter.set_total(value)
 
     def to_prometheus_text(self) -> str:
         self.refresh()

@@ -45,6 +45,7 @@ from ..structures import (
     DisjointHeapPair,
     DoublyLinkedList,
     HashTable,
+    IntVector,
     OrderedIntList,
     RedBlackTree,
     Rope,
@@ -59,6 +60,7 @@ from ..structures import (
     rbt_invariant,
     rope_invariant,
     skip_list_invariant,
+    vector_digest,
 )
 from .trace import CHECK_OP, Op
 
@@ -488,6 +490,67 @@ class DoublyLinkedListModel(StructureModel):
             lst.tail = prev
 
 
+def _raw_index(rng: random.Random) -> int:
+    """An index sampled well past either end of any reachable occupancy —
+    the barrier hot path must clamp (``insert``), raise cleanly without
+    logging (``pop``), or normalize (negative values).  The two confirmed
+    TrackedList staleness bugs lived exactly in this regime, which no
+    clamped ``_mod_index`` sampler ever reached."""
+    return rng.randrange(-160, 224)
+
+
+class IntVectorModel(StructureModel):
+    """Fuzzes the TrackedList barrier itself; see
+    :mod:`repro.structures.int_vector`.
+
+    Unlike every other model, the index arguments of ``insert`` and
+    ``pop`` are applied *raw* — out-of-range and negative values included.
+    ``apply`` stays total: a clamped ``insert`` is list semantics, and an
+    out-of-range ``pop`` is absorbed here (the raise itself is part of the
+    contract under test and has its own regression tests)."""
+
+    name = "int_vector"
+    entry = vector_digest
+    #: Sizes stay below this so recursive checks fit the default stack
+    #: even outside the recursion-limit-raising test harness.
+    MAX_LEN = 96
+    specs = (
+        OpSpec("append", 4, lambda rng: (rng.randrange(-20, 61),)),
+        OpSpec(
+            "insert", 4, lambda rng: (_raw_index(rng), rng.randrange(-20, 61))
+        ),
+        OpSpec("pop", 3, lambda rng: (_raw_index(rng),)),
+        OpSpec("corrupt", 1, _index_value),
+    )
+
+    def fresh(self) -> IntVector:
+        return IntVector([])
+
+    def check_args(self, v: IntVector) -> tuple:
+        return (v,)
+
+    def apply(self, v: IntVector, op: Op) -> Any:
+        if op.name == "append":
+            if len(v) >= self.MAX_LEN:
+                return None
+            return v.append(op.args[0])
+        if op.name == "insert":
+            if len(v) >= self.MAX_LEN:
+                return None
+            return v.insert(op.args[0], op.args[1])
+        if op.name == "pop":
+            try:
+                return v.pop(op.args[0])
+            except IndexError:
+                return None
+        if op.name == "corrupt":
+            if len(v) == 0:
+                return None
+            v[_mod_index(op.args[0], len(v))] = op.args[1]
+            return None
+        self._unknown(op)
+
+
 _ALPHABET = "abcdef"
 
 
@@ -550,6 +613,7 @@ MODELS: dict[str, StructureModel] = {
         SkipListModel(),
         DoublyLinkedListModel(),
         RopeModel(),
+        IntVectorModel(),
     )
 }
 

@@ -34,6 +34,12 @@ from .avl_tree import (
     check_avl_height,
 )
 from .binary_heap import BinaryHeap, check_heap_order, heap_invariant
+from .int_vector import (
+    IntVector,
+    vector_checksum_from,
+    vector_digest,
+    vector_tail,
+)
 from .btree import BTree, BTreeNode, btree_invariant
 from .disjointness import (
     DisjointHeapPair,
@@ -84,6 +90,7 @@ __all__ = [
     "HashTable",
     "heap_invariant",
     "IntListElem",
+    "IntVector",
     "is_ordered",
     "is_red_black",
     "OrderedIntList",
@@ -101,4 +108,7 @@ __all__ = [
     "SkipList",
     "skip_list_invariant",
     "SkipNode",
+    "vector_checksum_from",
+    "vector_digest",
+    "vector_tail",
 ]

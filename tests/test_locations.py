@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro import TrackedArray, TrackedObject
 from repro.core.locations import (
     FieldLocation,
     IndexLocation,
     LengthLocation,
+    RangeLocation,
 )
 
 
@@ -77,3 +80,50 @@ class TestLengthLocation:
     def test_distinct_from_index(self):
         a = TrackedArray(4)
         assert LengthLocation(a) != IndexLocation(a, 0)
+
+
+class TestRangeLocation:
+    def test_identity(self):
+        a = TrackedArray(8)
+        assert RangeLocation(a, 1, 5) == RangeLocation(a, 1, 5)
+        assert hash(RangeLocation(a, 1, 5)) == hash(RangeLocation(a, 1, 5))
+        assert RangeLocation(a, 1, 5) != RangeLocation(a, 1, 6)
+        assert RangeLocation(a, 1, 5) != RangeLocation(a, 2, 5)
+        assert RangeLocation(a, 1, 5) != RangeLocation(TrackedArray(8), 1, 5)
+
+    def test_distinct_from_point_locations(self):
+        a = TrackedArray(4)
+        assert RangeLocation(a, 0, 1) != IndexLocation(a, 0)
+        assert RangeLocation(a, 0, 1) != LengthLocation(a)
+
+    def test_covers_half_open(self):
+        a = TrackedArray(8)
+        r = RangeLocation(a, 2, 5)
+        assert len(r) == 3
+        assert not r.covers(1)
+        assert r.covers(2)
+        assert r.covers(4)
+        assert not r.covers(5)
+
+    def test_empty_range_covers_nothing(self):
+        a = TrackedArray(4)
+        r = RangeLocation(a, 3, 3)
+        assert len(r) == 0
+        assert not r.covers(3)
+
+    def test_invalid_bounds_rejected(self):
+        a = TrackedArray(4)
+        with pytest.raises(ValueError):
+            RangeLocation(a, -1, 2)
+        with pytest.raises(ValueError):
+            RangeLocation(a, 3, 1)
+
+    def test_read_returns_covered_values(self):
+        a = TrackedArray([10, 20, 30, 40])
+        assert RangeLocation(a, 1, 3).read() == (20, 30)
+        # Reads clamp to the current occupancy (diagnostics only).
+        assert RangeLocation(a, 2, 9).read() == (30, 40)
+
+    def test_usable_in_sets(self):
+        a = TrackedArray(4)
+        assert len({RangeLocation(a, 0, 2), RangeLocation(a, 0, 2)}) == 1

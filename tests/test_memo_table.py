@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from repro import ArgsKey, TrackedObject, check
+from repro import ArgsKey, TrackedArray, TrackedObject, check
 from repro.core import MemoTable
-from repro.core.locations import FieldLocation
+from repro.core.locations import FieldLocation, RangeLocation
+from repro.core.memo_table import _merge_intervals
 
 
 class Node(TrackedObject):
@@ -101,6 +102,88 @@ class TestImplicits:
         assert table.map_locations_to_nodes([l1]) == {a}
         assert table.map_locations_to_nodes([l1, l2]) == {a, b}
         assert table.map_locations_to_nodes([FieldLocation(h1, "other")]) == set()
+
+
+class TestRangeExpansion:
+    def _slot_readers(self, table, arr, slots):
+        nodes = {}
+        for slot in slots:
+            node = _node(table, some_check, slot)
+            table.record_implicit(node, arr._ditto_location(slot))
+            nodes[slot] = node
+        return nodes
+
+    def test_range_dirties_covered_slot_readers_only(self):
+        table = MemoTable()
+        arr = TrackedArray(10)
+        readers = self._slot_readers(table, arr, [0, 3, 5, 9])
+        dirty = table.map_locations_to_nodes([RangeLocation(arr, 2, 6)])
+        assert dirty == {readers[3], readers[5]}
+
+    def test_range_is_container_scoped(self):
+        table = MemoTable()
+        a, b = TrackedArray(5), TrackedArray(5)
+        readers = self._slot_readers(table, a, [1])
+        self._slot_readers(table, b, [1])
+        dirty = table.map_locations_to_nodes([RangeLocation(a, 0, 5)])
+        assert dirty == {readers[1]}
+
+    def test_wide_range_scans_reverse_map(self):
+        """A span larger than the reverse map takes the scan path and
+        finds the same dependents."""
+        table = MemoTable()
+        arr = TrackedArray(4)
+        readers = self._slot_readers(table, arr, [2])
+        dirty = table.map_locations_to_nodes([RangeLocation(arr, 0, 1000)])
+        assert dirty == {readers[2]}
+
+    def test_overlapping_ranges_merge_before_expansion(self):
+        table = MemoTable()
+        arr = TrackedArray(20)
+        readers = self._slot_readers(table, arr, [0, 7, 12])
+        pending = [
+            RangeLocation(arr, 0, 5),
+            RangeLocation(arr, 3, 8),
+            RangeLocation(arr, 11, 13),
+        ]
+        dirty = table.map_locations_to_nodes(pending)
+        assert dirty == {readers[0], readers[7], readers[12]}
+
+    def test_mixed_points_and_ranges(self):
+        table = MemoTable()
+        arr = TrackedArray(10)
+        h = Node()
+        readers = self._slot_readers(table, arr, [1, 8])
+        field_reader = _node(table, other_check, 99)
+        loc = FieldLocation(h, "value")
+        table.record_implicit(field_reader, loc)
+        dirty = table.map_locations_to_nodes(
+            [loc, RangeLocation(arr, 0, 2)]
+        )
+        assert dirty == {readers[1], field_reader}
+
+    def test_empty_range_dirties_nothing(self):
+        table = MemoTable()
+        arr = TrackedArray(5)
+        self._slot_readers(table, arr, [0])
+        assert table.map_locations_to_nodes([RangeLocation(arr, 3, 3)]) == set()
+
+
+class TestMergeIntervals:
+    def test_merges_overlaps_and_adjacency(self):
+        assert _merge_intervals([(5, 8), (0, 3), (2, 4), (8, 9)]) == [
+            (0, 4),
+            (5, 9),
+        ]
+
+    def test_disjoint_kept_sorted(self):
+        assert _merge_intervals([(4, 6), (0, 2)]) == [(0, 2), (4, 6)]
+
+    def test_containment(self):
+        assert _merge_intervals([(0, 10), (2, 3)]) == [(0, 10)]
+
+    def test_empty(self):
+        assert _merge_intervals([]) == []
 
 
 class TestEdges:

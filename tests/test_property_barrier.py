@@ -1,0 +1,187 @@
+"""Barrier-completeness properties.
+
+The contract the whole incrementalization rests on (paper §4): after any
+``TrackedList``/``TrackedArray`` mutation on a referenced container, every
+slot whose value differs from the pre-state — and the length, if it
+changed — is covered by some logged location (a point ``IndexLocation``/
+``LengthLocation`` or a coalesced ``RangeLocation``).  Conversely, a
+mutator that raises must leave the write log untouched.
+
+These properties are what the two confirmed staleness bugs violated: the
+unclamped ``insert`` wrote slot ``n`` without covering it, and failing
+``pop``/``__setitem__`` logged locations for writes that never happened.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import TrackedArray, TrackedList, tracking_state
+from repro.core.locations import (
+    IndexLocation,
+    LengthLocation,
+    RangeLocation,
+)
+
+#: (op name, argument strategies) — indexes deliberately range far past
+#: any reachable occupancy, negative included.
+_INDEX = st.integers(min_value=-40, max_value=40)
+_VALUE = st.integers(min_value=-50, max_value=50)
+
+_LIST_OPS = st.one_of(
+    st.tuples(st.just("append"), _VALUE),
+    st.tuples(st.just("insert"), _INDEX, _VALUE),
+    st.tuples(st.just("pop"), _INDEX),
+    st.tuples(st.just("setitem"), _INDEX, _VALUE),
+    st.tuples(st.just("remove"), _VALUE),
+    st.tuples(st.just("fill"), _VALUE),
+)
+
+
+def _apply(lst, op):
+    name = op[0]
+    if name == "append":
+        lst.append(op[1])
+    elif name == "insert":
+        lst.insert(op[1], op[2])
+    elif name == "pop":
+        lst.pop(op[1])
+    elif name == "setitem":
+        lst[op[1]] = op[2]
+    elif name == "remove":
+        lst.remove(op[1])
+    elif name == "fill":
+        lst.fill(op[1])
+    else:  # pragma: no cover - strategy bug
+        raise AssertionError(name)
+
+
+def _covered(logged, container, index):
+    for loc in logged:
+        if loc.container is not container:
+            continue
+        if isinstance(loc, IndexLocation) and loc.index == index:
+            return True
+        if isinstance(loc, RangeLocation) and loc.covers(index):
+            return True
+    return False
+
+
+def _assert_complete(logged, lst, before, after):
+    """Every observable difference between the two snapshots has barrier
+    coverage."""
+    if len(before) != len(after):
+        assert any(
+            isinstance(loc, LengthLocation) and loc.container is lst
+            for loc in logged
+        ), f"length changed {len(before)}->{len(after)} without <len> entry"
+    for i in range(min(len(before), len(after))):
+        if before[i] != after[i]:
+            assert _covered(logged, lst, i), (
+                f"slot {i} changed {before[i]!r}->{after[i]!r} uncovered; "
+                f"logged={logged!r}"
+            )
+    # Slots that came into or went out of existence were written/shifted
+    # at their old coordinates too.
+    for i in range(min(len(before), len(after)), max(len(before), len(after))):
+        assert _covered(logged, lst, i), (
+            f"boundary slot {i} uncovered; logged={logged!r}"
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    initial=st.lists(_VALUE, max_size=12),
+    ops=st.lists(_LIST_OPS, min_size=1, max_size=8),
+)
+def test_tracked_list_barrier_completeness(initial, ops):
+    lst = TrackedList(initial)
+    lst._ditto_incref()
+    log = tracking_state().write_log
+    cid = log.register()
+    try:
+        for op in ops:
+            before = list(lst)
+            try:
+                _apply(lst, op)
+            except (IndexError, ValueError):
+                assert list(lst) == before, f"failed {op} mutated the list"
+                assert log.consume(cid) == [], (
+                    f"failed {op} logged phantom locations"
+                )
+                continue
+            _assert_complete(log.consume(cid), lst, before, list(lst))
+    finally:
+        log.unregister(cid)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    size=st.integers(min_value=0, max_value=10),
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("setitem"), _INDEX, _VALUE),
+            st.tuples(st.just("fill"), _VALUE),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_tracked_array_barrier_completeness(size, ops):
+    arr = TrackedArray(size, fill=0)
+    arr._ditto_incref()
+    log = tracking_state().write_log
+    cid = log.register()
+    try:
+        for op in ops:
+            before = list(arr)
+            try:
+                if op[0] == "setitem":
+                    arr[op[1]] = op[2]
+                else:
+                    arr.fill(op[1])
+            except IndexError:
+                assert list(arr) == before
+                assert log.consume(cid) == []
+                continue
+            _assert_complete(log.consume(cid), arr, before, list(arr))
+    finally:
+        log.unregister(cid)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    initial=st.lists(_VALUE, max_size=10),
+    ops=st.lists(_LIST_OPS, min_size=1, max_size=8),
+)
+def test_list_semantics_match_plain_list(initial, ops):
+    """The tracked list must mutate exactly as ``list`` does — same
+    clamping on insert, same errors on invalid indexes — whether or not
+    the container is referenced."""
+    tracked = TrackedList(initial)
+    tracked._ditto_incref()
+    model = list(initial)
+    for op in ops:
+        name = op[0]
+        tracked_err = model_err = None
+        try:
+            _apply(tracked, op)
+        except (IndexError, ValueError) as exc:
+            tracked_err = type(exc).__name__
+        try:
+            if name == "append":
+                model.append(op[1])
+            elif name == "insert":
+                model.insert(op[1], op[2])
+            elif name == "pop":
+                model.pop(op[1])
+            elif name == "setitem":
+                model[op[1]] = op[2]
+            elif name == "remove":
+                model.remove(op[1])
+            elif name == "fill":
+                model[:] = [op[1]] * len(model)
+        except (IndexError, ValueError) as exc:
+            model_err = type(exc).__name__
+        assert tracked_err == model_err, (op, tracked_err, model_err)
+        assert list(tracked) == model, (op, list(tracked), model)

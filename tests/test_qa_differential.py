@@ -55,6 +55,21 @@ class TestFixedSeedCorpus:
         c = TraceGenerator("rope", seed=8, op_count=120).generate()
         assert a.ops != c.ops
 
+    def test_int_vector_corpus_exercises_hostile_indexes(self):
+        """The int_vector model must feed the barrier raw out-of-range and
+        negative indexes — the regime where both confirmed TrackedList
+        bugs lived.  Asserted on the pinned corpus seeds so the coverage
+        cannot silently regress."""
+        for seed in CORPUS_SEEDS:
+            trace = TraceGenerator(
+                "int_vector", seed=seed, op_count=CORPUS_OPS
+            ).generate()
+            indexed = [
+                op for op in trace.ops if op.name in ("insert", "pop")
+            ]
+            assert any(op.args[0] < 0 for op in indexed)
+            assert any(op.args[0] > 96 for op in indexed)  # past MAX_LEN
+
     def test_every_model_emits_corruption(self):
         """The corpus must exercise direct field writes, not just clean
         mutators: every model generates at least one corrupt-style op

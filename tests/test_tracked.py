@@ -10,6 +10,7 @@ from repro.core.locations import (
     FieldLocation,
     IndexLocation,
     LengthLocation,
+    RangeLocation,
 )
 from repro.core.tracked import WriteLog, is_tracked
 
@@ -22,6 +23,19 @@ class Cell(TrackedObject):
 
 def _monitor(*fields):
     tracking_state().monitor_fields(fields)
+
+
+def _covers_slot(logged, container, index):
+    """True if some logged location (point or coalesced range) names
+    ``container[index]``."""
+    for loc in logged:
+        if loc.container is not container:
+            continue
+        if isinstance(loc, IndexLocation) and loc.index == index:
+            return True
+        if isinstance(loc, RangeLocation) and loc.covers(index):
+            return True
+    return False
 
 
 class TestTrackedObjectBarrier:
@@ -127,17 +141,46 @@ class TestTrackedList:
         assert IndexLocation(lst, 0) in logged
         assert list(lst) == ["a"]
 
-    def test_pop_logs_shifted_slots(self):
+    def test_pop_covers_shifted_slots(self):
+        """A head pop shifts every remaining slot; the barrier must cover
+        all of them (since the coalescing overhaul, with one range entry
+        rather than per-slot appends)."""
         lst = TrackedList([1, 2, 3])
         lst._ditto_incref()
         cid = tracking_state().write_log.register()
         lst.pop(0)
         logged = tracking_state().write_log.consume(cid)
-        assert IndexLocation(lst, 0) in logged
-        assert IndexLocation(lst, 1) in logged
-        assert IndexLocation(lst, 2) in logged
+        for slot in (0, 1, 2):
+            assert _covers_slot(logged, lst, slot)
         assert LengthLocation(lst) in logged
         assert list(lst) == [2, 3]
+
+    def test_shift_ops_log_one_coalesced_range(self):
+        lst = TrackedList(range(100))
+        lst._ditto_incref()
+        cid = tracking_state().write_log.register()
+        lst.insert(0, -1)
+        logged = tracking_state().write_log.consume(cid)
+        assert logged == [LengthLocation(lst), RangeLocation(lst, 0, 101)]
+        lst.pop(0)
+        logged = tracking_state().write_log.consume(cid)
+        assert logged == [LengthLocation(lst), RangeLocation(lst, 0, 101)]
+
+    def test_tail_ops_log_point_locations(self):
+        """Append and tail pop touch exactly one slot — no range entry."""
+        lst = TrackedList([1, 2])
+        lst._ditto_incref()
+        cid = tracking_state().write_log.register()
+        lst.append(3)
+        assert tracking_state().write_log.consume(cid) == [
+            LengthLocation(lst),
+            IndexLocation(lst, 2),
+        ]
+        lst.pop()
+        assert tracking_state().write_log.consume(cid) == [
+            LengthLocation(lst),
+            IndexLocation(lst, 2),
+        ]
 
     def test_insert_and_remove(self):
         lst = TrackedList([1, 3])
@@ -149,6 +192,60 @@ class TestTrackedList:
     def test_pop_default_is_last(self):
         lst = TrackedList([1, 2])
         assert lst.pop() == 2
+
+    def test_insert_clamps_like_list_insert(self):
+        """``insert`` past either end clamps exactly as ``list.insert``
+        does — and (the confirmed staleness bug) the clamped slot must be
+        covered by the log, not skipped by an empty range."""
+        lst = TrackedList([1, 2])
+        lst._ditto_incref()
+        cid = tracking_state().write_log.register()
+        lst.insert(99, 3)
+        assert list(lst) == [1, 2, 3]
+        logged = tracking_state().write_log.consume(cid)
+        assert _covers_slot(logged, lst, 2)
+        assert LengthLocation(lst) in logged
+        lst.insert(-99, 0)
+        assert list(lst) == [0, 1, 2, 3]
+        logged = tracking_state().write_log.consume(cid)
+        for slot in range(4):
+            assert _covers_slot(logged, lst, slot)
+
+    def test_failed_mutations_leave_log_unchanged(self):
+        """Validation happens before logging: a raising mutator must not
+        emit phantom locations (the second confirmed bug — ``pop`` on an
+        empty list used to log ``<len>`` and ``IndexLocation(-1)``)."""
+        log = tracking_state().write_log
+        cid = log.register()
+        empty = TrackedList([])
+        empty._ditto_incref()
+        with pytest.raises(IndexError, match="pop from empty list"):
+            empty.pop()
+        assert log.consume(cid) == []
+        lst = TrackedList([1, 2])
+        lst._ditto_incref()
+        with pytest.raises(IndexError, match="pop index out of range"):
+            lst.pop(5)
+        with pytest.raises(IndexError, match="pop index out of range"):
+            lst.pop(-3)
+        with pytest.raises(IndexError, match="assignment index out of range"):
+            lst[7] = 9
+        with pytest.raises(IndexError, match="assignment index out of range"):
+            lst[-3] = 9
+        with pytest.raises(ValueError):
+            lst.remove(42)
+        assert log.consume(cid) == []
+        assert list(lst) == [1, 2]
+
+    def test_fill_logs_one_range(self):
+        arr = TrackedArray(5, fill=0)
+        arr._ditto_incref()
+        cid = tracking_state().write_log.register()
+        arr.fill(7)
+        assert tracking_state().write_log.consume(cid) == [
+            RangeLocation(arr, 0, 5)
+        ]
+        assert list(arr) == [7] * 5
 
 
 class TestWriteLog:
