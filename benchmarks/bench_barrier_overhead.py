@@ -46,6 +46,7 @@ from repro import (
     reset_tracking,
     tracking_state,
 )
+from repro.core.tracked import set_location_filter
 
 STORES = 20_000
 
@@ -209,6 +210,138 @@ def test_shift_heavy_barrier(benchmark, impl):
         engine.close()
 
 
+# Multi-check workload: the per-location refcount filter's target. ------------
+
+#: Chain length; the flag of the *head* is the only flag any check reads.
+MULTI_CHAIN = 256
+#: Flag stores per measured cycle, rotated over every node.
+MULTI_STORES = 2_000
+MULTI_ROUNDS = 5
+
+
+class Flagged(TrackedObject):
+    def __init__(self, value, flag, next=None):
+        self.value = value
+        self.flag = flag
+        self.next = next
+
+
+@check
+def chain_values_ok(p):
+    if p is None:
+        return True
+    if p.value < 0:
+        return False
+    return chain_values_ok(p.next)
+
+
+@check
+def multi_watch(p):
+    """Reads ``flag`` of the head only, then every ``value``/``next`` via
+    the callee — so ``flag`` joins the monitored-field set even though
+    all but one ``flag`` *location* has no dependent node."""
+    if p is None:
+        return True
+    if not p.flag:
+        return False
+    return chain_values_ok(p)
+
+
+def _build_chain(n=MULTI_CHAIN):
+    head = None
+    for i in range(n, 0, -1):
+        head = Flagged(i, True, head)
+    nodes = []
+    node = head
+    while node is not None:
+        nodes.append(node)
+        node = node.next
+    return head, nodes
+
+
+def _multi_cycle(nodes, engine, head, stores=MULTI_STORES):
+    """``stores`` flag stores rotated over the chain, then the repair run.
+    Only the head's flag location has a dependent node: the per-location
+    filter drops the other ~``(n-1)/n`` of the stores before the log."""
+
+    def cycle():
+        n = len(nodes)
+        for i in range(stores):
+            nodes[i % n].flag = i + 1  # truthy: the invariant stays True
+        engine.run(head)
+
+    return cycle
+
+
+def _measure_multi(location_filter, chain, stores, rounds):
+    reset_tracking()
+    set_location_filter(location_filter)
+    try:
+        head, nodes = _build_chain(chain)
+        engine = DittoEngine(multi_watch)
+        try:
+            engine.run(head)  # build the graph (untimed)
+            cycle = _multi_cycle(nodes, engine, head, stores)
+            state = tracking_state()
+            before = dict(state.barrier_counters())
+            cycle()  # warmup; also the counted cycle
+            after = state.barrier_counters()
+            best = float("inf")
+            for _ in range(rounds):
+                started = time.perf_counter()
+                cycle()
+                best = min(best, time.perf_counter() - started)
+            return {
+                "seconds": best,
+                "logged": after["barrier_logged"] - before["barrier_logged"],
+                "location_filtered": (
+                    after["barrier_location_filtered"]
+                    - before["barrier_location_filtered"]
+                ),
+            }
+        finally:
+            engine.close()
+    finally:
+        set_location_filter(True)
+        reset_tracking()
+
+
+@pytest.mark.parametrize("variant", ["location-filter-on", "location-filter-off"])
+def test_multi_check_barrier(benchmark, variant):
+    benchmark.group = "barrier-multi-check"
+    benchmark.extra_info["variant"] = variant
+    set_location_filter(variant == "location-filter-on")
+    head, nodes = _build_chain()
+    engine = DittoEngine(multi_watch)
+    engine.run(head)
+    try:
+        benchmark.pedantic(
+            _multi_cycle(nodes, engine, head),
+            rounds=MULTI_ROUNDS,
+            iterations=1,
+            warmup_rounds=1,
+        )
+    finally:
+        engine.close()
+        set_location_filter(True)
+
+
+def run_multi_check_benchmark(
+    chain=MULTI_CHAIN, stores=MULTI_STORES, rounds=MULTI_ROUNDS
+):
+    sys.setrecursionlimit(200_000)
+    filtered = _measure_multi(True, chain, stores, rounds)
+    unfiltered = _measure_multi(False, chain, stores, rounds)
+    return {
+        "params": {"chain": chain, "stores": stores, "rounds": rounds},
+        "filter_on": filtered,
+        "filter_off": unfiltered,
+        # Deterministic counter ratio: how many log appends the
+        # per-location filter removes from the same store sequence.
+        "logged_ratio": unfiltered["logged"] / max(filtered["logged"], 1),
+    }
+
+
 # Standalone emit/gate entry point (CI's BENCH_barrier.json). -----------------
 
 
@@ -261,6 +394,10 @@ def run_shift_benchmark(
 MIN_APPEND_RATIO = 3.0
 MIN_SPEEDUP = 1.0
 BASELINE_RATIO_FRACTION = 0.8
+#: Floor on the multi-check logged ratio: the per-location filter must
+#: remove at least 4 of every 5 log appends from the rotated-flag-store
+#: workload (the analytic value is ~MULTI_CHAIN, i.e. two orders higher).
+MIN_MULTI_LOGGED_RATIO = 5.0
 
 
 def check_against_baseline(result, baseline):
@@ -276,6 +413,12 @@ def check_against_baseline(result, baseline):
             f"coalesced barrier is slower than per-slot "
             f"(speedup {result['speedup']:.2f} < {MIN_SPEEDUP})"
         )
+    multi = result.get("multi_check")
+    if multi is not None and multi["logged_ratio"] < MIN_MULTI_LOGGED_RATIO:
+        failures.append(
+            f"multi-check logged_ratio {multi['logged_ratio']:.2f} < hard "
+            f"floor {MIN_MULTI_LOGGED_RATIO} (per-location filter eroded)"
+        )
     if baseline is not None:
         floor = baseline["append_ratio"] * BASELINE_RATIO_FRACTION
         if result["append_ratio"] < floor:
@@ -283,6 +426,15 @@ def check_against_baseline(result, baseline):
                 f"append_ratio {result['append_ratio']:.2f} regressed >20% "
                 f"vs baseline {baseline['append_ratio']:.2f}"
             )
+        base_multi = baseline.get("multi_check")
+        if multi is not None and base_multi is not None:
+            floor = base_multi["logged_ratio"] * BASELINE_RATIO_FRACTION
+            if multi["logged_ratio"] < floor:
+                failures.append(
+                    f"multi-check logged_ratio {multi['logged_ratio']:.2f} "
+                    f"regressed >20% vs baseline "
+                    f"{base_multi['logged_ratio']:.2f}"
+                )
     return failures
 
 
@@ -302,6 +454,7 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     result = run_shift_benchmark(args.list_size, args.ops, args.rounds)
+    result["multi_check"] = run_multi_check_benchmark()
     print(
         f"barrier-shift-heavy: coalesced {result['coalesced']['appends']} "
         f"appends / {result['coalesced']['seconds'] * 1000:.1f}ms per cycle,"
@@ -309,6 +462,13 @@ def main(argv=None):
         f"{result['legacy_per_slot']['seconds'] * 1000:.1f}ms "
         f"(append_ratio {result['append_ratio']:.1f}x, "
         f"speedup {result['speedup']:.2f}x)"
+    )
+    multi = result["multi_check"]
+    print(
+        f"barrier-multi-check: filter on {multi['filter_on']['logged']} "
+        f"logged / {multi['filter_on']['location_filtered']} filtered per "
+        f"cycle, filter off {multi['filter_off']['logged']} logged "
+        f"(logged_ratio {multi['logged_ratio']:.1f}x)"
     )
     if args.emit:
         with open(args.emit, "w") as fh:

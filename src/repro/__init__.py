@@ -17,6 +17,9 @@ Public API in three layers:
   option), a Prometheus-exportable metrics registry, and the
   repair-provenance explainer (``enable_provenance`` /
   ``explain_last_run``).
+* ``repro.lint`` — whole-program soundness analysis: interprocedural
+  check admissibility and write-barrier bypass detection
+  (``python -m repro.lint``, ``engine.lint()``, ``lint_paths``).
 
 Quickstart::
 
@@ -86,6 +89,7 @@ from .resilience import (
     InjectedFault,
     inject_faults,
 )
+from .lint import Diagnostic, LintReport, lint_paths
 from .obs import (
     ChromeTraceSink,
     EngineMetrics,
@@ -111,6 +115,7 @@ __all__ = [
     "ComputationNode",
     "CyclicCheckError",
     "DegradationPolicy",
+    "Diagnostic",
     "DittoEngine",
     "DittoError",
     "enable_provenance",
@@ -131,6 +136,8 @@ __all__ = [
     "guarded",
     "is_tracked",
     "JsonlSink",
+    "lint_paths",
+    "LintReport",
     "MetricsRegistry",
     "NullSink",
     "OptimisticMispredictionError",

@@ -114,11 +114,16 @@ class DittoEngine:
         paranoia: int = 0,
         degradation: Optional["DegradationPolicy"] = None,
         trace_sink: Optional[TraceSink] = None,
+        lint: str = "off",
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
         if paranoia < 0:
             raise ValueError(f"paranoia must be >= 0, got {paranoia!r}")
+        if lint not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"lint must be 'off', 'warn', or 'strict', got {lint!r}"
+            )
         #: Checks recurse once per structure element and the engine adds a
         #: few frames per invocation, so runs raise the interpreter
         #: recursion limit to at least this value (None disables; for very
@@ -155,12 +160,49 @@ class DittoEngine:
         self._current_phase = ""
 
         # Resolve the check's function closure and validate every member
-        # (analysis() raises CheckRestrictionError on a violation).
+        # (analysis() raises CheckRestrictionError on a violation), then
+        # build the interprocedural plan: the per-entry monitored-field set
+        # (checks + reachable helpers), helper read summaries for call-site
+        # attribution, and the lint diagnostics.
         self.functions: dict[int, CheckFunction] = closure_of(self.entry)
-        fields: set[str] = set()
-        for fn in self.functions.values():
-            fields.update(fn.analysis().fields_read)
-        self.monitored_fields = frozenset(fields)
+        #: How whole-program lint findings are handled at construction:
+        #: ``"off"`` builds the plan silently, ``"warn"`` counts findings
+        #: in the stats, ``"strict"`` additionally raises on error-severity
+        #: findings and trusts statically-verified helpers at runtime.
+        self.lint_mode = lint
+        self.plan = None
+        from ..lint.interproc import build_plan  # lazy: import cycle
+
+        try:
+            self.plan = build_plan(self.entry)
+        except CheckRestrictionError:
+            raise
+        except Exception:  # pragma: no cover - planner bug; stay usable
+            self.plan = None
+        #: Helper function -> HelperSummary for depth-1 read attribution.
+        self.helper_summaries: dict[Any, Any] = {}
+        #: Helpers accepted without registration (lint="strict" only).
+        self.verified_helpers: frozenset = frozenset()
+        if self.plan is not None:
+            self.monitored_fields = frozenset(self.plan.monitored_fields)
+            self.helper_summaries = self.plan.helper_summaries
+            if lint == "strict":
+                self.verified_helpers = self.plan.verified_helpers
+            if lint != "off":
+                report = self.plan.report()
+                self.stats.lint_runs += 1
+                self.stats.lint_errors += len(report.errors)
+                self.stats.lint_warnings += len(report.warnings)
+                if lint == "strict" and report.errors:
+                    raise CheckRestrictionError(
+                        self.entry.name,
+                        [d.format() for d in report.errors],
+                    )
+        else:
+            fields: set[str] = set()
+            for fn in self.functions.values():
+                fields.update(fn.analysis().fields_read)
+            self.monitored_fields = frozenset(fields)
         tracking_state().monitor_fields(self.monitored_fields)
         self._log_cid = tracking_state().write_log.register()
 
@@ -363,6 +405,31 @@ class DittoEngine:
                 )
             if node is not self._root:
                 assert node.caller_count() > 0, f"{node} unreachable"
+
+    def lint(self):
+        """Re-run the whole-program lint pass for this engine's entry point
+        and return the :class:`~repro.lint.rules.LintReport`.
+
+        The pass resolves against the *current* registry state, so it
+        reflects helpers registered (or rebound) after construction.  The
+        refreshed plan also replaces :attr:`plan` / :attr:`helper_summaries`
+        (and, under ``lint="strict"``, :attr:`verified_helpers`), keeping
+        runtime attribution in step with what was just verified.  Findings
+        are counted in :attr:`stats` (``lint_runs`` / ``lint_errors`` /
+        ``lint_warnings``) and never raise — gating is the constructor's
+        job."""
+        from ..lint.interproc import build_plan  # lazy: import cycle
+
+        plan = build_plan(self.entry)
+        self.plan = plan
+        self.helper_summaries = plan.helper_summaries
+        if self.lint_mode == "strict":
+            self.verified_helpers = plan.verified_helpers
+        report = plan.report()
+        self.stats.lint_runs += 1
+        self.stats.lint_errors += len(report.errors)
+        self.stats.lint_warnings += len(report.warnings)
+        return report
 
     def audit(self, raise_on_failure: bool = True) -> "AuditReport":
         """Run the :class:`~repro.resilience.auditor.GraphAuditor` over the

@@ -34,12 +34,22 @@ from typing import Any, Hashable
 
 class Location:
     """Abstract heap location.  Hashable, with identity-based container
-    equality.  Concrete subclasses define ``coordinate``."""
+    equality.  Concrete subclasses define ``coordinate``.
 
-    __slots__ = ("container", "_hash")
+    ``refcount`` is the per-location analog of the paper's §4 container
+    reference count: the number of live implicit-argument entries, across
+    all engines, naming exactly this location.  Point locations are
+    interned per container (``_ditto_location``), so the write barrier can
+    consult the count of the very instance the memo tables increment and
+    skip logging stores no computation node reads (see
+    :mod:`repro.core.tracked`).
+    """
+
+    __slots__ = ("container", "refcount", "_hash")
 
     def __init__(self, container: Any):
         self.container = container
+        self.refcount = 0
         self._hash = hash((type(self).__name__, id(container), self._coord()))
 
     def _coord(self) -> Hashable:

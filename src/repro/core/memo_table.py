@@ -89,9 +89,16 @@ class MemoTable:
             self._reverse[location] = dependents
         dependents.add(node)
         container = location.container
-        incref = getattr(container, "_ditto_incref", None)
-        if incref is not None:
-            incref()
+        # Location-attributed incref when the container supports it (the
+        # per-location barrier refinement); plain container incref as the
+        # duck-typed fallback for custom tracked containers.
+        incref_loc = getattr(container, "_ditto_incref_loc", None)
+        if incref_loc is not None:
+            incref_loc(location)
+        else:
+            incref = getattr(container, "_ditto_incref", None)
+            if incref is not None:
+                incref()
 
     def clear_implicits(self, node: ComputationNode) -> None:
         """Drop all of ``node``'s implicit arguments (before re-execution or
@@ -102,9 +109,14 @@ class MemoTable:
                 dependents.discard(node)
                 if not dependents:
                     del self._reverse[location]
-            decref = getattr(location.container, "_ditto_decref", None)
-            if decref is not None:
-                decref()
+            container = location.container
+            decref_loc = getattr(container, "_ditto_decref_loc", None)
+            if decref_loc is not None:
+                decref_loc(location)
+            else:
+                decref = getattr(container, "_ditto_decref", None)
+                if decref is not None:
+                    decref()
         node.implicits.clear()
 
     def nodes_reading(self, location: Location) -> set[ComputationNode]:

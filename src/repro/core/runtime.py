@@ -131,14 +131,48 @@ class Runtime:
 
     def helper(self, func: Any, *args: Any) -> Any:
         self._step()
-        self.engine.stats.helper_calls += 1
-        if self.engine.strict and not is_pure_helper(func):
+        engine = self.engine
+        engine.stats.helper_calls += 1
+        if (
+            engine.strict
+            and not is_pure_helper(func)
+            and func not in engine.verified_helpers
+        ):
             raise TrackingError(
                 f"check called unregistered helper "
                 f"{getattr(func, '__name__', func)!r}; register it with "
                 f"repro.register_pure_helper if it is pure"
             )
+        summary = engine.helper_summaries.get(func)
+        if summary is not None:
+            self._attribute_helper_reads(summary, args)
         return func(*args)
+
+    def _attribute_helper_reads(self, summary: Any, args: tuple) -> None:
+        """Charge a lint-summarized helper's depth-1 heap reads to the
+        calling node.
+
+        The static analyzer (``repro.lint.purity``) proved the helper reads
+        at most ``param.field`` / ``len(param)`` — shallower than the check
+        itself may — so recording those locations here keeps Definition 1's
+        implicit-argument set sound even though the helper body runs
+        uninstrumented."""
+        engine = self.engine
+        node = engine.current_node()
+        table = engine.table
+        nargs = len(args)
+        for index, fields in summary.arg_fields_read.items():
+            if index < nargs and isinstance(args[index], TrackedObject):
+                obj = args[index]
+                for fld in fields:
+                    engine.stats.implicit_reads += 1
+                    table.record_implicit(node, obj._ditto_location(fld))
+        for index in summary.arg_len_read:
+            if index < nargs and isinstance(args[index], TrackedArray):
+                engine.stats.implicit_reads += 1
+                table.record_implicit(
+                    node, args[index]._ditto_location("<len>")
+                )
 
     def method(self, receiver: Any, name: str, *args: Any) -> Any:
         self._step()

@@ -115,6 +115,11 @@ class EngineStats:
     #: caught a divergent incremental result.
     verify_checks: int = 0
     verify_mismatches: int = 0
+    #: Whole-program lint passes (:meth:`DittoEngine.lint` plus the
+    #: construction-time pass) and the findings they produced.
+    lint_runs: int = 0
+    lint_errors: int = 0
+    lint_warnings: int = 0
     #: Per-phase wall-clock accumulators (seconds over the engine's
     #: lifetime); one per entry of :data:`PHASES`.
     time_barrier_drain: float = 0.0
@@ -162,6 +167,9 @@ class EngineStats:
         "audit_failures",
         "verify_checks",
         "verify_mismatches",
+        "lint_runs",
+        "lint_errors",
+        "lint_warnings",
     )
 
     #: The wall-clock accumulators (floats; excluded from snapshots — a

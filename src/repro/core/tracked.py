@@ -19,6 +19,21 @@ Both of the paper's Section 4 barrier optimizations are implemented:
    live implicit-argument entries (across all engines) that name one of its
    locations.  A write to a container with a zero count affects no
    computation node and is not logged.
+3. **Per-location refinement** — the container count says *some* location
+   of the container is read, not *which*.  Engine-managed implicit entries
+   additionally bump a per-:class:`~repro.core.locations.Location` count on
+   the interned location itself (``_ditto_incref_loc``), mirrored into the
+   container's ``_ditto_locrefs``.  A store to a monitored field of a
+   referenced container whose own location count is zero is provably
+   unread and is skipped (counted in ``barrier_location_filtered``).  The
+   filter is exact only while every container reference is
+   location-attributed: code that bumps the coarse count directly
+   (``_ditto_incref``) leaves ``_ditto_refcount != _ditto_locrefs`` and the
+   barrier falls back to logging every monitored store, preserving the
+   pre-refinement behaviour.  Coalesced range barriers always log — a
+   range spans many point locations and is not interned.
+   :func:`set_location_filter` disables the refinement for A/B
+   measurements (``benchmarks/bench_barrier_overhead.py``).
 
 Mutations that pass both filters append their :class:`~repro.core.locations.
 Location` to the global :class:`WriteLog`.  Each engine keeps a cursor into
@@ -164,6 +179,11 @@ class TrackingState:
         #: that the monitored-field filter suppressed.  (Writes filtered by
         #: the refcount alone are uncounted — see the module docstring.)
         self.barrier_filtered = 0
+        #: Lifetime count of monitored writes to *referenced* containers
+        #: that the per-location refinement suppressed: the store passed
+        #: both §4 filters but no live implicit argument names the exact
+        #: location being written.
+        self.barrier_location_filtered = 0
 
     def monitor_fields(self, fields: Iterable[str]) -> None:
         for f in fields:
@@ -189,11 +209,12 @@ class TrackingState:
         return frozenset(self._monitored_fields)
 
     def barrier_counters(self) -> dict[str, int]:
-        """The three barrier throughput counters, for the metrics bridge."""
+        """The barrier throughput counters, for the metrics bridge."""
         return {
             "barrier_logged": self.write_log.logged,
             "barrier_filtered": self.barrier_filtered,
             "barrier_coalesced": self.write_log.coalesced,
+            "barrier_location_filtered": self.barrier_location_filtered,
         }
 
 
@@ -211,6 +232,26 @@ def _rebind_fastpath() -> None:
     global _monitored, _log_append
     _monitored = _state.monitored_fields
     _log_append = _state.write_log.append
+
+
+#: Per-location refinement toggle (module docstring, optimization 3).
+_location_filter = True
+
+
+def set_location_filter(enabled: bool) -> bool:
+    """Enable/disable the per-location barrier refinement.  Returns the
+    previous setting.  Exists for A/B benchmarking and for reproducing the
+    coarse (container-count only) §4 behaviour; leave it on in normal use.
+    """
+    global _location_filter
+    previous = _location_filter
+    _location_filter = bool(enabled)
+    return previous
+
+
+def location_filter_enabled() -> bool:
+    """True when the per-location barrier refinement is active."""
+    return _location_filter
 
 
 def tracking_state() -> TrackingState:
@@ -242,11 +283,20 @@ class TrackedObject:
     """
 
     _ditto_refcount = 0
+    _ditto_locrefs = 0
 
     def __setattr__(self, name: str, value: Any) -> None:
         if self._ditto_refcount > 0 and name[0] != "_":
             if name in _monitored:
-                _log_append(self._ditto_location(name))
+                location = self._ditto_location(name)
+                if (
+                    location.refcount > 0
+                    or self._ditto_refcount != self._ditto_locrefs
+                    or not _location_filter
+                ):
+                    _log_append(location)
+                else:
+                    _state.barrier_location_filtered += 1
             else:
                 _state.barrier_filtered += 1
         object.__setattr__(self, name, value)
@@ -273,6 +323,30 @@ class TrackedObject:
     def _ditto_decref(self) -> None:
         object.__setattr__(self, "_ditto_refcount", self._ditto_refcount - 1)
 
+    def _ditto_incref_loc(self, location: Location) -> None:
+        """Location-attributed incref: bump the coarse container count *and*
+        the per-location count of the canonical (interned) location, keeping
+        ``_ditto_locrefs`` in step so the barrier knows the counts are
+        exact.  ``location`` need not be the interned instance — it is
+        canonicalized (and adopted as canonical if the slot has none yet)
+        through the location cache."""
+        cache = self.__dict__.get("_ditto_loc_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_ditto_loc_cache", cache)
+        location = cache.setdefault(location.coordinate, location)
+        location.refcount += 1
+        object.__setattr__(self, "_ditto_locrefs", self._ditto_locrefs + 1)
+        object.__setattr__(self, "_ditto_refcount", self._ditto_refcount + 1)
+
+    def _ditto_decref_loc(self, location: Location) -> None:
+        cache = self.__dict__.get("_ditto_loc_cache")
+        if cache is not None:
+            location = cache.get(location.coordinate, location)
+        location.refcount -= 1
+        object.__setattr__(self, "_ditto_locrefs", self._ditto_locrefs - 1)
+        object.__setattr__(self, "_ditto_refcount", self._ditto_refcount - 1)
+
 
 class TrackedArray:
     """Fixed-length array with write barriers on element stores.
@@ -286,7 +360,8 @@ class TrackedArray:
     attributes and never pays for a per-instance ``__dict__``.
     """
 
-    __slots__ = ("_items", "_ditto_refcount", "_ditto_loc_cache")
+    __slots__ = ("_items", "_ditto_refcount", "_ditto_locrefs",
+                 "_ditto_loc_cache")
 
     def __init__(self, initial: Iterable[Any] | int, fill: Any = None):
         if isinstance(initial, int):
@@ -294,6 +369,7 @@ class TrackedArray:
         else:
             self._items = list(initial)
         self._ditto_refcount = 0
+        self._ditto_locrefs = 0
         self._ditto_loc_cache: dict[Any, Location] = {}
 
     def __getitem__(self, index: int) -> Any:
@@ -318,7 +394,15 @@ class TrackedArray:
                 index += len(items)
             if not 0 <= index < len(items):
                 raise IndexError("list assignment index out of range")
-            _log_append(self._ditto_location(index))
+            location = self._ditto_location(index)
+            if (
+                location.refcount > 0
+                or self._ditto_refcount != self._ditto_locrefs
+                or not _location_filter
+            ):
+                _log_append(location)
+            else:
+                _state.barrier_location_filtered += 1
         items[index] = value
 
     def __len__(self) -> int:
@@ -332,16 +416,44 @@ class TrackedArray:
 
     def fill(self, value: Any) -> None:
         """Set every slot to ``value`` (bulk store, one coalesced range
-        barrier for the whole array)."""
+        barrier for the whole array).  Ranges are never location-filtered —
+        they are not interned and span many point counts."""
         items = self._items
         if self._ditto_refcount > 0 and items:
             _log_append(RangeLocation(self, 0, len(items)))
         items[:] = [value] * len(items)
 
+    def _ditto_log_point(self, location: Location) -> None:
+        """Log a point mutation unless the per-location refinement proves
+        no live implicit argument reads it (see the module docstring)."""
+        if (
+            location.refcount > 0
+            or self._ditto_refcount != self._ditto_locrefs
+            or not _location_filter
+        ):
+            _log_append(location)
+        else:
+            _state.barrier_location_filtered += 1
+
     def _ditto_incref(self) -> None:
         self._ditto_refcount += 1
 
     def _ditto_decref(self) -> None:
+        self._ditto_refcount -= 1
+
+    def _ditto_incref_loc(self, location: Location) -> None:
+        """See ``TrackedObject._ditto_incref_loc``."""
+        location = self._ditto_loc_cache.setdefault(
+            location.coordinate, location
+        )
+        location.refcount += 1
+        self._ditto_locrefs += 1
+        self._ditto_refcount += 1
+
+    def _ditto_decref_loc(self, location: Location) -> None:
+        location = self._ditto_loc_cache.get(location.coordinate, location)
+        location.refcount -= 1
+        self._ditto_locrefs -= 1
         self._ditto_refcount -= 1
 
 
@@ -361,8 +473,8 @@ class TrackedList(TrackedArray):
     def append(self, value: Any) -> None:
         items = self._items
         if self._ditto_refcount > 0:
-            _log_append(self._ditto_location("<len>"))
-            _log_append(self._ditto_location(len(items)))
+            self._ditto_log_point(self._ditto_location("<len>"))
+            self._ditto_log_point(self._ditto_location(len(items)))
         items.append(value)
 
     def pop(self, index: int = -1) -> Any:
@@ -375,9 +487,9 @@ class TrackedList(TrackedArray):
         if not 0 <= index < n:
             raise IndexError("pop index out of range")
         if self._ditto_refcount > 0:
-            _log_append(self._ditto_location("<len>"))
+            self._ditto_log_point(self._ditto_location("<len>"))
             if index == n - 1:
-                _log_append(self._ditto_location(index))
+                self._ditto_log_point(self._ditto_location(index))
             else:
                 # Slots index..n-1 all shift down; slot n-1 disappears but
                 # a reader of it (necessarily length-guarded pre-shrink)
@@ -399,9 +511,9 @@ class TrackedList(TrackedArray):
         elif index > n:
             index = n
         if self._ditto_refcount > 0:
-            _log_append(self._ditto_location("<len>"))
+            self._ditto_log_point(self._ditto_location("<len>"))
             if index == n:
-                _log_append(self._ditto_location(index))
+                self._ditto_log_point(self._ditto_location(index))
             else:
                 _log_append(RangeLocation(self, index, n + 1))
         items.insert(index, value)

@@ -93,7 +93,13 @@ class CheckAnalysis:
     reads_len: bool = False
     #: Names invoked via plain calls (check callees and helpers).
     called_names: set[str] = field(default_factory=set)
-    #: Global names read (documented as assumed-constant bindings).
+    #: Method names invoked on receiver expressions (``x.method(...)``).
+    #: Recorded so the interprocedural linter can validate their purity;
+    #: the per-function pass cannot resolve the receiver type.
+    methods_called: set[str] = field(default_factory=set)
+    #: Global names read.  Bindings are validated at registration time:
+    #: a definitely-mutable binding raises; unresolvable names are assumed
+    #: to be late-bound constants (the linter warns about them).
     globals_read: set[str] = field(default_factory=set)
     violations: list[str] = field(default_factory=list)
 
@@ -104,10 +110,37 @@ class CheckAnalysis:
 
 def analyze_check(func: "CheckFunction") -> CheckAnalysis:
     """Analyze ``func``; raises :class:`CheckRestrictionError` on violations."""
+    from .registry import CheckFunction
+
+    def is_check_name(name: str) -> bool:
+        return isinstance(func.lookup_name(name), CheckFunction)
+
     tree = func.tree()
     analysis = CheckAnalysis(name=func.name)
     _check_signature(tree, analysis)
-    visitor = _Visitor(func, analysis)
+    run_admissibility(tree, analysis, is_check_name)
+    _validate_globals(func, analysis)
+    if analysis.violations:
+        raise CheckRestrictionError(func.name, analysis.violations)
+    return analysis
+
+
+def run_admissibility(
+    tree: ast.FunctionDef,
+    analysis: CheckAnalysis,
+    is_check_name,
+) -> CheckAnalysis:
+    """Run the taint/admissibility fixpoint over ``tree``, accumulating
+    reads and violations into ``analysis`` (without raising).
+
+    ``is_check_name`` decides whether a plain-name call targets another
+    ``@check`` function — the taint sources of the optimistic-memoization
+    restriction.  Live registration resolves through the function's
+    closure/globals; the file-mode linter supplies a predicate built from
+    the module table, which is what makes this pass reusable without
+    importing the linted code.
+    """
+    visitor = _Visitor(tree, analysis, is_check_name)
     # Fixpoint over the taint set (taint can flow around loop back-edges);
     # violations are reported only on the final, stable pass.
     previous: set[str] = set()
@@ -121,9 +154,68 @@ def analyze_check(func: "CheckFunction") -> CheckAnalysis:
     visitor.begin_pass(report=True)
     for stmt in tree.body:
         visitor.visit(stmt)
-    if analysis.violations:
-        raise CheckRestrictionError(func.name, analysis.violations)
     return analysis
+
+
+#: Built-in value types whose instances can never change under a check's
+#: feet — safe constant bindings for a check's global reads.
+_IMMUTABLE_SCALARS = (
+    type(None), bool, int, float, complex, str, bytes, range,
+)
+
+#: ``classify_binding`` verdicts that are acceptable for ``globals_read``.
+SAFE_BINDINGS = frozenset({"immutable", "callable", "tracked", "unresolved"})
+
+
+def classify_binding(value: object) -> str:
+    """Classify the object a check's global name is bound to.
+
+    Returns one of:
+
+    * ``"immutable"``  — scalar constants, tuples/frozensets of such;
+    * ``"callable"``   — functions, builtins, classes, ``CheckFunction``
+      (calls are validated separately; the *binding* is treated as stable
+      module structure, matching the paper's static call graph);
+    * ``"tracked"``    — ``TrackedObject``/``TrackedArray`` instances
+      (sentinels like a red-black tree's NIL: reads of their fields go
+      through the instrumented barrier-monitored path, so mutation is
+      visible to the engine);
+    * ``"mutable"``    — lists, dicts, sets, bytearrays, and untracked
+      instances: mutation would be invisible to the write barriers.
+    """
+    from ..core.tracked import TrackedArray, TrackedObject
+    from .registry import CheckFunction
+
+    if isinstance(value, _IMMUTABLE_SCALARS):
+        return "immutable"
+    if isinstance(value, (tuple, frozenset)):
+        if all(classify_binding(v) == "immutable" for v in value):
+            return "immutable"
+        return "mutable"
+    if isinstance(value, (TrackedObject, TrackedArray)):
+        return "tracked"
+    if isinstance(value, (CheckFunction, type)) or callable(value):
+        return "callable"
+    return "mutable"
+
+
+def _validate_globals(func: "CheckFunction", analysis: CheckAnalysis) -> None:
+    """Registration-time satellite of the DIT004 lint rule: a check whose
+    ``globals_read`` resolves (through closure cells or module globals —
+    ``CheckFunction.lookup_name``) to a definitely-mutable binding is
+    rejected outright.  Unresolvable names are assumed late-bound
+    constants; the linter downgrades those to a warning instead."""
+    for name in sorted(analysis.globals_read):
+        value = func.lookup_name(name)
+        if value is None:
+            continue  # unresolved, or bound to None (immutable either way)
+        if classify_binding(value) == "mutable":
+            analysis.violations.append(
+                f"reads global {name!r} bound to a mutable "
+                f"{type(value).__name__}; checks may only read immutable "
+                f"constants, callables, or tracked sentinels — mutations "
+                f"of this binding would be invisible to the write barriers"
+            )
 
 
 def _check_signature(tree: ast.FunctionDef, analysis: CheckAnalysis) -> None:
@@ -143,10 +235,15 @@ def _check_signature(tree: ast.FunctionDef, analysis: CheckAnalysis) -> None:
 class _Visitor(ast.NodeVisitor):
     """Single-function walker computing taint, reads, and violations."""
 
-    def __init__(self, func: "CheckFunction", analysis: CheckAnalysis):
-        self.func = func
+    def __init__(
+        self,
+        tree: ast.FunctionDef,
+        analysis: CheckAnalysis,
+        is_check_name,
+    ):
         self.analysis = analysis
-        self.tree = func.tree()
+        self.tree = tree
+        self.is_check_name = is_check_name
         self.params = {a.arg for a in self.tree.args.args}
         self.locals_hint = {
             n.id
@@ -169,11 +266,8 @@ class _Visitor(ast.NodeVisitor):
             self.analysis.violations.append(f"line {line}: {message}")
 
     def _is_check_call(self, node: ast.Call) -> bool:
-        from .registry import CheckFunction
-
         if isinstance(node.func, ast.Name):
-            target = self.func.lookup_name(node.func.id)
-            return isinstance(target, CheckFunction)
+            return bool(self.is_check_name(node.func.id))
         return False
 
     def _expr_tainted(self, node: ast.AST) -> bool:
@@ -336,6 +430,11 @@ class _Visitor(ast.NodeVisitor):
         elif isinstance(node.func, ast.Attribute):
             # Method call: the receiver expression is visited (its reads
             # count); the method attribute itself is not a field read.
+            # The name is recorded so the interprocedural linter can
+            # validate the method's purity against the registry — the
+            # per-function pass cannot resolve the receiver's type (the
+            # runtime's strict ``method`` dispatch remains the backstop).
+            self.analysis.methods_called.add(node.func.attr)
             self.visit(node.func.value)
             for arg in node.args:
                 self.visit(arg)

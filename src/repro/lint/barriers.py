@@ -1,0 +1,338 @@
+"""Barrier-bypass detection (the DIT1xx mutator-side rules).
+
+The write barrier lives in ``TrackedObject.__setattr__`` and the tracked
+containers' mutators (paper §4).  Any store that reaches the heap without
+going through them silently desynchronizes the computation graph — the
+engine keeps serving memoized results for locations that changed.  The
+dynamic system can only catch this probabilistically (paranoia
+re-execution, or the QA fuzzer happening to drive the bypassing mutator);
+this pass catches it statically by scanning every function and method in a
+module for the known bypass shapes:
+
+* ``object.__setattr__(x, "field", v)`` / ``object.__delattr__`` —
+  the canonical bypass: skips the subclass ``__setattr__`` entirely.
+  Exempt inside ``__init__`` (construction precedes tracking; the tracked
+  base itself is also exempt — it is the barrier) and for
+  ``_ditto*``-named bookkeeping methods.  Severity is ``error`` when the
+  stored field is monitored by some check, ``warning`` otherwise (today's
+  unmonitored field is tomorrow's invariant input).
+* ``x.__dict__["field"] = v`` and ``x.__dict__.update(...)`` /
+  ``vars(x)[...] = v`` — same hole through the instance dict (DIT102).
+* ``setattr(x, name, v)`` with a *dynamic* name — goes through the
+  barrier, but the monitored-field check cannot be evaluated statically,
+  so the store is flagged for human review (DIT103).  Constant-name
+  ``setattr`` is equivalent to a plain store and is not flagged.
+* mutation of a tracked container's raw backing list (``x._items``) — an
+  in-place ``append``/``pop``/slot store on the alias skips the logging
+  mutators of ``TrackedArray``/``TrackedList`` (DIT104, error); merely
+  taking the alias is a warning-severity escape.
+* a store to a *check-monitored field name* from a class without barriers
+  (DIT105, warning): the store itself is harmless — strict engines refuse
+  to read untracked objects — but it usually means a structure class
+  forgot to derive from the tracked base.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .rules import Diagnostic
+
+#: The raw backing attribute of the tracked containers.
+BACKING_FIELDS = frozenset({"_items"})
+
+#: Container methods that mutate in place (flagged on backing aliases).
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "clear",
+        "sort",
+        "reverse",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "popitem",
+    }
+)
+
+#: Classes that *are* the barrier implementation — their own internals
+#: legitimately touch ``object.__setattr__`` and ``self._items``.
+_BARRIER_IMPL_CLASSES = frozenset(
+    {"TrackedObject", "TrackedArray", "TrackedList"}
+)
+
+
+def _contains_dunder_dict(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == "__dict__"
+        for sub in ast.walk(node)
+    ) or any(
+        isinstance(sub, ast.Call)
+        and isinstance(sub.func, ast.Name)
+        and sub.func.id == "vars"
+        for sub in ast.walk(node)
+    )
+
+
+def _attr_in_chain(node: ast.AST, names: frozenset[str]) -> bool:
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr in names
+        for sub in ast.walk(node)
+    )
+
+
+class _Scanner(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: str,
+        tracked_classes: set[str],
+        monitored_fields: set[str],
+    ):
+        self.path = path
+        self.tracked_classes = tracked_classes
+        self.monitored = monitored_fields
+        self.diagnostics: list[Diagnostic] = []
+        self.class_stack: list[str] = []
+        self.method_stack: list[str] = []
+
+    # Context tracking. ------------------------------------------------------
+
+    @property
+    def _class(self) -> str | None:
+        return self.class_stack[-1] if self.class_stack else None
+
+    @property
+    def _function(self) -> str | None:
+        if not self.method_stack:
+            return None
+        name = self.method_stack[-1]
+        return f"{self._class}.{name}" if self._class else name
+
+    @property
+    def _exempt(self) -> bool:
+        """Construction and barrier bookkeeping are allowed to bypass."""
+        if self._class in _BARRIER_IMPL_CLASSES:
+            return True
+        if self.method_stack:
+            name = self.method_stack[-1]
+            if name == "__init__" or name.startswith("_ditto"):
+                return True
+        return False
+
+    @property
+    def _in_tracked_class(self) -> bool:
+        return self._class is not None and self._class in self.tracked_classes
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.method_stack.append(node.name)
+        self.generic_visit(node)
+        self.method_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    # Findings. --------------------------------------------------------------
+
+    def _emit(
+        self, code: str, node: ast.AST, message: str, severity: str = ""
+    ) -> None:
+        self.diagnostics.append(Diagnostic(
+            code,
+            message,
+            file=self.path,
+            line=getattr(node, "lineno", 0),
+            function=self._function,
+            severity=severity,
+        ))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # object.__setattr__(x, name, v) / object.__delattr__(x, name)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in {"object", "super"}
+            and func.attr in {"__setattr__", "__delattr__"}
+            and not self._exempt
+        ):
+            self._flag_setattr_bypass(node, func.attr)
+        # x.__dict__.update(...) / x.__dict__.setdefault(...)
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+            and _contains_dunder_dict(func.value)
+            and not self._exempt
+        ):
+            self._emit(
+                "DIT102",
+                node,
+                f"mutates the instance __dict__ via .{func.attr}(); the "
+                f"store never reaches the write barrier",
+            )
+        # alias.append(...) on a raw backing list
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+            and _attr_in_chain(func.value, BACKING_FIELDS)
+            and not self._exempt
+            and self._class not in _BARRIER_IMPL_CLASSES
+        ):
+            self._emit(
+                "DIT104",
+                node,
+                f"calls .{func.attr}() on the raw backing list of a "
+                f"tracked container; use the tracked mutators so the "
+                f"write is logged",
+            )
+        # setattr(x, name, v) with a dynamic name
+        elif (
+            isinstance(func, ast.Name)
+            and func.id == "setattr"
+            and len(node.args) >= 2
+        ):
+            name_arg = node.args[1]
+            if not isinstance(name_arg, ast.Constant):
+                self._emit(
+                    "DIT103",
+                    node,
+                    "setattr() with a dynamic field name; the barrier "
+                    "fires, but the monitored-field set cannot be checked "
+                    "statically",
+                )
+        self.generic_visit(node)
+
+    def _flag_setattr_bypass(self, node: ast.Call, how: str) -> None:
+        if len(node.args) < 2:
+            return
+        name_arg = node.args[1]
+        if isinstance(name_arg, ast.Constant) and isinstance(
+            name_arg.value, str
+        ):
+            field = name_arg.value
+            if field.startswith("_"):
+                return  # private bookkeeping is never monitored
+            if field in self.monitored:
+                self._emit(
+                    "DIT101",
+                    node,
+                    f"object.{how}(..., {field!r}) bypasses the write "
+                    f"barrier on a field monitored by an invariant check; "
+                    f"the computation graph will silently go stale",
+                )
+            else:
+                self._emit(
+                    "DIT101",
+                    node,
+                    f"object.{how}(..., {field!r}) bypasses the write "
+                    f"barrier (field not currently monitored)",
+                    severity="warning",
+                )
+        else:
+            self._emit(
+                "DIT103",
+                node,
+                f"object.{how}() with a dynamic field name bypasses the "
+                f"write barrier",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store_target(target)
+        # y = x._items — the alias escapes; later mutations are invisible.
+        if (
+            isinstance(node.value, ast.Attribute)
+            and node.value.attr in BACKING_FIELDS
+            and not self._exempt
+            and self._class not in _BARRIER_IMPL_CLASSES
+        ):
+            self._emit(
+                "DIT104",
+                node,
+                "aliases the raw backing list of a tracked container; "
+                "mutations through the alias evade the write barrier",
+                severity="warning",
+            )
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store_target(target)
+        self.generic_visit(node)
+
+    def _check_store_target(self, target: ast.AST) -> None:
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            return
+        if self._exempt:
+            return
+        # x.__dict__["f"] = v
+        if isinstance(target, ast.Subscript) and _contains_dunder_dict(
+            target.value
+        ):
+            self._emit(
+                "DIT102",
+                target,
+                "store through the instance __dict__ evades the write "
+                "barrier",
+            )
+            return
+        # x._items[i] = v / x._items += [...]
+        if _attr_in_chain(target, BACKING_FIELDS) and (
+            self._class not in _BARRIER_IMPL_CLASSES
+        ):
+            # A plain read of ._items (repr, len) is fine; only stores
+            # through the alias chain are bypasses.
+            if isinstance(target, ast.Subscript) or (
+                isinstance(target, ast.Attribute)
+                and target.attr in BACKING_FIELDS
+            ):
+                self._emit(
+                    "DIT104",
+                    target,
+                    "store through the raw backing list of a tracked "
+                    "container evades the write barrier",
+                )
+            return
+        # Plain self.field = v in a class without barriers.
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self._class is not None
+            and not self._in_tracked_class
+            and not target.attr.startswith("_")
+            and target.attr in self.monitored
+            and self.method_stack
+            and self.method_stack[-1] != "__init__"
+        ):
+            self._emit(
+                "DIT105",
+                target,
+                f"stores check-monitored field {target.attr!r} on class "
+                f"{self._class!r}, which has no write barrier; derive it "
+                f"from TrackedObject if checks should observe it",
+            )
+
+
+def scan_module(
+    tree: ast.Module,
+    path: str,
+    tracked_classes: set[str],
+    monitored_fields: set[str],
+) -> list[Diagnostic]:
+    """Run the barrier-bypass pass over one parsed module."""
+    scanner = _Scanner(path, tracked_classes, monitored_fields)
+    scanner.visit(tree)
+    return scanner.diagnostics

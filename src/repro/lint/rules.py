@@ -1,0 +1,236 @@
+"""Rule catalogue, diagnostics, and report model for ``repro.lint``.
+
+Rule codes are stable API: tools (CI gates, ``# noqa:`` suppressions,
+editor integrations) key on them, so codes are never renumbered or reused.
+The ``DIT0xx`` block covers the *check side* — interprocedural
+admissibility of ``@check`` functions and everything they transitively
+call (paper §3.5, Definition 2).  The ``DIT1xx`` block covers the *mutator
+side* — stores that would evade the write barriers of §4, which the
+dynamic system can only catch probabilistically (paranoia re-execution or
+the QA fuzzer happening to hit the divergence).
+
+Severities: ``error`` findings are soundness holes — the incremental
+result can silently diverge from a from-scratch execution; the CLI exits
+non-zero and strict engine registration refuses the check.  ``warning``
+findings are unprovable-but-plausible constructs the analyzer cannot
+verify (unresolvable call targets, dynamic attribute names); they are
+reported but do not gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+ERROR = "error"
+WARNING = "warning"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: a stable code, a default severity, and a summary."""
+
+    code: str
+    name: str
+    severity: str
+    summary: str
+
+
+#: The shipped rule catalogue, keyed by code.  See ``docs/architecture.md``
+#: §10 for the full rationale of each rule.
+RULES: dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        # Check-side interprocedural admissibility (DIT0xx). ----------------
+        Rule(
+            "DIT001",
+            "impure-helper",
+            ERROR,
+            "helper reachable from a check has side effects",
+        ),
+        Rule(
+            "DIT002",
+            "unverifiable-call",
+            WARNING,
+            "call target cannot be resolved or statically verified",
+        ),
+        Rule(
+            "DIT003",
+            "untracked-helper-read",
+            ERROR,
+            "helper reads heap locations the engine cannot attribute",
+        ),
+        Rule(
+            "DIT004",
+            "mutable-global",
+            ERROR,
+            "check or helper reads a global bound to a mutable value",
+        ),
+        Rule(
+            "DIT005",
+            "unverifiable-method",
+            WARNING,
+            "method call purity cannot be statically verified",
+        ),
+        Rule(
+            "DIT006",
+            "registered-pure-lie",
+            ERROR,
+            "function registered as pure fails the purity analysis",
+        ),
+        Rule(
+            "DIT007",
+            "check-restriction",
+            ERROR,
+            "check violates the admissible language subset",
+        ),
+        # Mutator-side barrier-bypass detection (DIT1xx). --------------------
+        Rule(
+            "DIT101",
+            "setattr-bypass",
+            ERROR,
+            "object.__setattr__/__delattr__ store evades the write barrier",
+        ),
+        Rule(
+            "DIT102",
+            "dict-store-bypass",
+            ERROR,
+            "store through __dict__/vars() evades the write barrier",
+        ),
+        Rule(
+            "DIT103",
+            "dynamic-setattr",
+            WARNING,
+            "dynamic-name setattr cannot be checked against monitored fields",
+        ),
+        Rule(
+            "DIT104",
+            "raw-backing-alias",
+            ERROR,
+            "raw backing list of a tracked container mutated in place",
+        ),
+        Rule(
+            "DIT105",
+            "untracked-monitored-store",
+            WARNING,
+            "monitored field name stored on a class without write barriers",
+        ),
+    )
+}
+
+
+@dataclass
+class Diagnostic:
+    """One finding: a rule violation at a source position."""
+
+    code: str
+    message: str
+    file: str | None = None
+    line: int = 0
+    function: str | None = None
+    severity: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.severity:
+            self.severity = RULES[self.code].severity
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.code]
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "name": self.rule.name,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "function": self.function,
+        }
+
+    def format(self) -> str:
+        where = self.file if self.file else "<live>"
+        position = f"{where}:{self.line}" if self.line else where
+        scope = f" [{self.function}]" if self.function else ""
+        return f"{position}: {self.code} {self.severity}: {self.message}{scope}"
+
+
+class LintReport:
+    """An ordered collection of diagnostics with gate/exit semantics."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self.diagnostics: list[Diagnostic] = list(diagnostics)
+        #: Number of files the run examined (file mode only).
+        self.files_linted = 0
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity findings are present."""
+        return not self.errors
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def exit_code(self, strict_warnings: bool = False) -> int:
+        if self.errors:
+            return 1
+        if strict_warnings and self.warnings:
+            return 1
+        return 0
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                d.file or "",
+                d.line,
+                _SEVERITY_ORDER.get(d.severity, 9),
+                d.code,
+            ),
+        )
+
+    def format_text(self) -> str:
+        lines = [d.format() for d in self.sorted()]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": 1,
+                "files_linted": self.files_linted,
+                "summary": {
+                    "errors": len(self.errors),
+                    "warnings": len(self.warnings),
+                },
+                "diagnostics": [d.to_dict() for d in self.sorted()],
+            },
+            indent=2,
+            sort_keys=True,
+        ) + "\n"

@@ -378,6 +378,11 @@ class EngineMetrics:
             "Slots covered by coalesced range barriers (per-slot appends "
             "avoided)"
         ),
+        "barrier_location_filtered": (
+            "Monitored writes to referenced containers suppressed by the "
+            "per-location refinement (no live implicit argument reads the "
+            "exact location)"
+        ),
     }
 
     def _refresh_barrier_counters(self, ns: str) -> None:

@@ -1,0 +1,33 @@
+"""Lint fixture: the raw backing list of a tracked container.
+
+Expected findings:
+
+* DIT104 *error*   — ``sneak_append`` mutates ``xs._items`` in place;
+* DIT104 *error*   — ``sneak_store`` assigns a slot through the alias;
+* DIT104 *warning* — ``grab`` merely takes the alias (escape);
+* nothing for ``peek_len`` — a plain read of ``._items`` is not a store.
+"""
+
+from repro import TrackedList, check
+
+
+@check
+def has_items(xs):
+    return len(xs) >= 0
+
+
+def sneak_append(xs, value):
+    xs._items.append(value)
+
+
+def sneak_store(xs, index, value):
+    xs._items[index] = value
+
+
+def grab(xs):
+    raw = xs._items
+    return raw
+
+
+def peek_len(xs):
+    return len(xs._items)

@@ -1,0 +1,35 @@
+"""Lint fixture: ``object.__setattr__`` stores that evade the barrier.
+
+Expected findings:
+
+* DIT101 *error*   — ``bypass_value`` stores ``value``, which ``cell_ok``
+  monitors;
+* DIT101 *warning* — ``bypass_color`` stores ``color``, monitored by no
+  check (today);
+* nothing for ``Cell.__init__`` (construction precedes tracking) or for
+  the ``_generation`` store (private bookkeeping is never monitored).
+"""
+
+from repro import TrackedObject, check
+
+
+class Cell(TrackedObject):
+    def __init__(self, value):
+        object.__setattr__(self, "value", value)
+
+
+@check
+def cell_ok(cell):
+    return cell is None or cell.value >= 0
+
+
+def bypass_value(cell, value):
+    object.__setattr__(cell, "value", value)
+
+
+def bypass_color(cell, color):
+    object.__setattr__(cell, "color", color)
+
+
+def bump_generation(cell, gen):
+    object.__setattr__(cell, "_generation", gen)

@@ -1,0 +1,20 @@
+"""Lint fixture: a check outside the admissible language subset.
+
+Expected findings: DIT007 *error* on ``normalize_and_check`` — it stores
+to an object field (checks must be side-effect free; Definition 2).
+At import time this module would raise ``CheckRestrictionError``; the
+file-mode linter reports the same violation as a diagnostic instead.
+"""
+
+from repro import TrackedObject, check
+
+
+class Slot(TrackedObject):
+    def __init__(self, value):
+        self.value = value
+
+
+@check
+def normalize_and_check(slot):
+    slot.value = abs(slot.value)
+    return slot.value >= 0

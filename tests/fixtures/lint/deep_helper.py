@@ -1,0 +1,25 @@
+"""Lint fixture: a helper whose heap reads cannot be attributed.
+
+Expected findings: DIT003 *error* on ``left_value`` — it reads the nested
+chain ``pair.left.value``; only depth-1 reads (``param.field``) can be
+recorded as implicit arguments at the call site.
+"""
+
+from repro import TrackedObject, check
+
+
+class Pair(TrackedObject):
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+
+def left_value(pair):
+    return pair.left.value
+
+
+@check
+def pair_ok(pair):
+    if pair is None:
+        return True
+    return left_value(pair) >= 0

@@ -1,0 +1,25 @@
+"""Lint fixture: stores through the instance ``__dict__``.
+
+Expected findings: DIT102 *error* in ``poke`` (subscript store) and in
+``merge`` (``__dict__.update``).
+"""
+
+from repro import TrackedObject, check
+
+
+class Box(TrackedObject):
+    def __init__(self, value):
+        self.value = value
+
+
+@check
+def box_ok(box):
+    return box is None or box.value is not None
+
+
+def poke(box, value):
+    box.__dict__["value"] = value
+
+
+def merge(box, fields):
+    box.__dict__.update(fields)

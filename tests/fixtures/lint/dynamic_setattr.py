@@ -1,0 +1,27 @@
+"""Lint fixture: ``setattr`` with a dynamic field name.
+
+Expected findings: DIT103 *warning* in ``set_field`` (the barrier fires,
+but the monitored-field set cannot be checked statically).  The
+constant-name ``setattr`` in ``set_value`` is equivalent to a plain store
+and produces nothing.
+"""
+
+from repro import TrackedObject, check
+
+
+class Record(TrackedObject):
+    def __init__(self, value):
+        self.value = value
+
+
+@check
+def record_ok(record):
+    return record is None or record.value >= 0
+
+
+def set_field(record, name, value):
+    setattr(record, name, value)
+
+
+def set_value(record, value):
+    setattr(record, "value", value)

@@ -1,0 +1,23 @@
+"""Lint fixture: a check reaches a helper with side effects.
+
+Expected findings: DIT001 *error* on ``bump`` (store to an attribute of a
+non-owned object).  ``bump`` is not registered pure, so this is DIT001,
+not DIT006.
+"""
+
+from repro import TrackedObject, check
+
+
+class Counter(TrackedObject):
+    def __init__(self):
+        self.count = 0
+
+
+def bump(counter):
+    counter.count = counter.count + 1
+    return counter.count
+
+
+@check
+def count_ok(counter):
+    return bump(counter) > 0

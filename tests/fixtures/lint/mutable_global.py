@@ -1,0 +1,23 @@
+"""Lint fixture: a check reads a global bound to a mutable list.
+
+Expected findings: DIT004 *error* on ``in_range`` (reads ``LIMITS``, a
+list — mutations would be invisible to the write barriers).  The
+immutable ``SCALE`` read produces nothing.
+"""
+
+from repro import TrackedObject, check
+
+LIMITS = [0, 100]
+SCALE = 10
+
+
+class Reading(TrackedObject):
+    def __init__(self, value):
+        self.value = value
+
+
+@check
+def in_range(reading):
+    if reading is None:
+        return True
+    return LIMITS[0] <= reading.value * SCALE <= LIMITS[1]

@@ -1,0 +1,26 @@
+"""Lint fixture: ``# noqa`` suppression.  Expect NO findings.
+
+Both bypasses are real (same shapes as ``bypass_setattr.py``) but each
+offending line carries a suppression comment: a code-specific
+``# noqa: DIT101`` and a bare ``# noqa``.
+"""
+
+from repro import TrackedObject, check
+
+
+class Quiet(TrackedObject):
+    def __init__(self, value):
+        self.value = value
+
+
+@check
+def quiet_ok(q):
+    return q is None or q.value >= 0
+
+
+def sanctioned_bypass(q, value):
+    object.__setattr__(q, "value", value)  # noqa: DIT101
+
+
+def sanctioned_dict_poke(q, value):
+    q.__dict__["value"] = value  # noqa

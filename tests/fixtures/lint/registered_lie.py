@@ -1,0 +1,25 @@
+"""Lint fixture: a helper registered pure that is not.
+
+Expected findings: DIT006 *error* on ``absorb`` — decorated with
+``register_pure_helper`` yet it stores to its parameter.  The
+registration upgrades what would be DIT001 into the harsher
+"registered-pure lie".
+"""
+
+from repro import TrackedObject, check, register_pure_helper
+
+
+class Tally(TrackedObject):
+    def __init__(self):
+        self.total = 0
+
+
+@register_pure_helper
+def absorb(tally, amount):
+    tally.total = tally.total + amount
+    return tally.total
+
+
+@check
+def tally_ok(tally):
+    return absorb(tally, 0) >= 0

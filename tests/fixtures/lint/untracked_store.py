@@ -1,0 +1,30 @@
+"""Lint fixture: a barrier-less class stores a check-monitored field name.
+
+Expected findings: DIT105 *warning* in ``PlainCache.refresh`` (stores
+``value``, which ``value_ok`` monitors, on a class that does not derive
+from a tracked base).  The ``__init__`` store and the store on the
+*tracked* class produce nothing.
+"""
+
+from repro import TrackedObject, check
+
+
+class Tracked(TrackedObject):
+    def __init__(self, value):
+        self.value = value
+
+    def set(self, value):
+        self.value = value
+
+
+@check
+def value_ok(t):
+    return t is None or t.value >= 0
+
+
+class PlainCache:
+    def __init__(self):
+        self.value = 0
+
+    def refresh(self, value):
+        self.value = value

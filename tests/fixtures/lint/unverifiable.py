@@ -1,0 +1,28 @@
+"""Lint fixture: calls the analyzer cannot resolve or verify.
+
+Expected findings:
+
+* DIT002 *warning* — ``item_ok`` calls ``mystery_predicate``, which is
+  not defined in the linted files;
+* DIT005 *warning* — ``item_ok`` calls the unregistered method
+  ``.digest()``.
+"""
+
+from repro import TrackedObject, check
+
+
+class Item(TrackedObject):
+    def __init__(self, value):
+        self.value = value
+
+    def digest(self):
+        return hash(self.value)
+
+
+@check
+def item_ok(item):
+    if item is None:
+        return True
+    if not mystery_predicate(item.value):
+        return False
+    return item.digest() >= 0

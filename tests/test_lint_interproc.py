@@ -1,0 +1,260 @@
+"""Live-mode interprocedural admissibility: ``build_plan``, the engine's
+``lint=`` modes, per-check monitored-field tightening, helper read
+attribution at runtime, and verified-helper trust under strict mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CheckRestrictionError,
+    DittoEngine,
+    TrackedObject,
+    check,
+    register_pure_helper,
+    tracking_state,
+)
+from repro.core.errors import TrackingError
+from repro.lint import EntryPlan, build_plan
+
+
+class Elem(TrackedObject):
+    def __init__(self, value, next=None):
+        self.value = value
+        self.next = next
+
+
+class Labeled(TrackedObject):
+    def __init__(self, label, weight):
+        self.label = label
+        self.weight = weight
+
+
+# Helpers under test (module level so inspect.getsource works). ---------------
+
+
+def depth1_reader(e):
+    return e.value >= 0
+
+
+def len_reader(e):
+    return e.value
+
+
+def impure_toucher(e):
+    e.value = e.value + 1
+    return e.value
+
+
+def deep_reader(e):
+    return e.next.value
+
+
+@check
+def uses_depth1(e):
+    if e is None:
+        return True
+    if not depth1_reader(e):
+        return False
+    return uses_depth1(e.next)
+
+
+@check
+def uses_impure(e):
+    return e is None or impure_toucher(e) > 0
+
+
+@check
+def uses_deep(e):
+    return e is None or deep_reader(e) >= 0
+
+
+@check
+def reads_labels(r):
+    return r is None or r.label is not None
+
+
+# build_plan. ------------------------------------------------------------------
+
+
+def test_plan_shape_and_clean_entry():
+    plan = build_plan(uses_depth1)
+    assert isinstance(plan, EntryPlan)
+    assert plan.ok
+    assert plan.report().exit_code() == 0
+    # The helper's depth-1 read is coverable: it appears in the summary
+    # and the helper is statically verified.
+    assert depth1_reader in plan.helper_summaries
+    summary = plan.helper_summaries[depth1_reader]
+    assert summary.arg_fields_read == {0: {"value"}}
+    assert depth1_reader in plan.verified_helpers
+
+
+def test_plan_monitored_fields_are_per_entry():
+    plan_list = build_plan(uses_depth1)
+    plan_label = build_plan(reads_labels)
+    assert "value" in plan_list.monitored_fields
+    assert "next" in plan_list.monitored_fields
+    assert "label" not in plan_list.monitored_fields
+    assert plan_label.monitored_fields == frozenset({"label"})
+
+
+def test_plan_flags_impure_helper():
+    plan = build_plan(uses_impure)
+    assert not plan.ok
+    codes = plan.report().codes()
+    assert "DIT001" in codes
+    assert impure_toucher not in plan.verified_helpers
+
+
+def test_plan_flags_deep_helper():
+    plan = build_plan(uses_deep)
+    assert "DIT003" in plan.report().codes()
+    assert deep_reader not in plan.verified_helpers
+
+
+# Engine integration. ----------------------------------------------------------
+
+
+def test_engine_monitors_only_its_entry_fields(engine_factory):
+    engine = engine_factory(reads_labels)
+    assert engine.monitored_fields == frozenset({"label"})
+    state = tracking_state()
+    head = Labeled("a", 1)
+    before = state.barrier_counters()["barrier_logged"]
+    head.weight = 2  # not monitored by this entry: filtered
+    assert state.barrier_counters()["barrier_logged"] == before
+    engine.run(head)
+    head.label = "b"  # monitored and live: logged
+    assert state.barrier_counters()["barrier_logged"] == before + 1
+
+
+def test_engine_lint_off_builds_plan_silently(engine_factory):
+    engine = engine_factory(uses_impure)
+    assert engine.stats.lint_runs == 0
+    assert engine.plan is not None and not engine.plan.ok
+
+
+def test_engine_lint_warn_counts_findings(engine_factory):
+    engine = engine_factory(uses_impure, lint="warn")
+    assert engine.stats.lint_runs == 1
+    assert engine.stats.lint_errors >= 1
+
+
+def test_engine_lint_strict_rejects_errors():
+    with pytest.raises(CheckRestrictionError):
+        DittoEngine(uses_impure, lint="strict")
+
+
+def test_engine_lint_strict_accepts_clean_entry(engine_factory):
+    engine = engine_factory(uses_depth1, lint="strict")
+    assert engine.stats.lint_errors == 0
+    head = Elem(1, Elem(2))
+    assert engine.run(head) is True
+
+
+def test_engine_rejects_bad_lint_mode():
+    with pytest.raises(ValueError):
+        DittoEngine(uses_depth1, lint="pedantic")
+
+
+def test_engine_lint_method_counts_and_reports(engine_factory):
+    engine = engine_factory(uses_impure)
+    report = engine.lint()
+    assert "DIT001" in report.codes()
+    assert engine.stats.lint_runs == 1
+    assert engine.stats.lint_errors == len(report.errors)
+    report2 = engine.lint()
+    assert engine.stats.lint_runs == 2
+    assert report2.codes() == report.codes()
+
+
+# Runtime attribution of helper reads. -----------------------------------------
+
+
+def test_helper_depth1_read_attributed_as_implicit(engine_factory):
+    """The engine must re-execute when a field only the *helper* reads
+    changes — the lint summary makes the helper's read an implicit
+    argument of the calling node."""
+    engine = engine_factory(uses_depth1, lint="strict")
+    head = Elem(1, Elem(2, Elem(3)))
+    assert engine.run(head) is True
+    head.next.value = -5  # read by depth1_reader, not by the check body
+    assert engine.run(head) is False
+    head.next.value = 2
+    assert engine.run(head) is True
+
+
+def test_verified_helper_trusted_only_under_strict_lint(engine_factory):
+    # strict runtime + lint off: unregistered helper is rejected.
+    engine = engine_factory(uses_depth1, strict=True)
+    with pytest.raises(TrackingError):
+        engine.run(Elem(1))
+    # strict runtime + lint strict: the statically-verified helper passes.
+    engine2 = engine_factory(uses_depth1, strict=True, lint="strict")
+    assert engine2.run(Elem(1, Elem(2))) is True
+
+
+def test_registered_helper_still_trusted(engine_factory):
+    register_pure_helper(depth1_reader)
+    try:
+        engine = engine_factory(uses_depth1, strict=True)
+        assert engine.run(Elem(1)) is True
+    finally:
+        from repro.instrument.transform import _PURE_HELPERS
+
+        _PURE_HELPERS.discard(depth1_reader)
+
+
+# Registration-time satellites (analysis.py). ----------------------------------
+
+
+def test_methods_called_recorded_in_analysis():
+    @check
+    def calls_method(x):
+        return x is None or x.digest() >= 0
+
+    analysis = calls_method.analysis()
+    assert analysis.methods_called == {"digest"}
+
+
+def test_mutable_global_rejected_at_registration():
+    bad_global = [1, 2, 3]
+
+    with pytest.raises(CheckRestrictionError) as exc_info:
+        @check
+        def reads_mutable(x):
+            return x is None or x.value == bad_global[0]
+
+        reads_mutable.analysis()
+    assert "mutable" in str(exc_info.value)
+
+
+def test_closure_cell_immutable_global_accepted():
+    limit = 10
+
+    @check
+    def reads_cell(x):
+        return x is None or x.value <= limit
+
+    assert reads_cell.analysis().ok
+
+
+def test_tracked_sentinel_global_accepted():
+    nil = Elem(0)
+
+    @check
+    def reads_sentinel(x):
+        if x is nil:
+            return True
+        return x is None or x.value >= 0
+
+    assert reads_sentinel.analysis().ok
+
+
+def test_unresolved_global_assumed_late_bound():
+    @check
+    def reads_late(x):
+        return x is None or x.value <= LATE_CONSTANT  # noqa: F821
+
+    assert reads_late.analysis().ok
