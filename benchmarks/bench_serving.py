@@ -1,0 +1,109 @@
+"""Serving-layer benchmark: 1000-tenant open-loop mixed load.
+
+Drives :func:`repro.serving.traffic.run_traffic` — an open-loop
+mutate/check stream over >=1000 isolated tenant engines, with a seeded
+sprinkle of pathological tenants (poisoned checks, crawling checks) so
+shedding, breakers, and deadlines all engage — and emits/gates the
+``BENCH_serving.json`` perf-trajectory record:
+
+    python benchmarks/bench_serving.py --emit BENCH_serving.json \
+        --check benchmarks/BENCH_serving.json
+
+Gate shape mirrors ``bench_barrier_overhead.py``: hard floors first
+(>=1000 tenants, every submission answered, breakers tripped, deadlines
+enforced, load shed — the robustness envelope must demonstrably engage),
+then a >20% p99-latency regression check against the committed baseline.
+The p99 here is dominated by queueing behind deliberately-slow tenants
+(sleep-bound, so comparatively machine-stable), not by raw CPU speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.serving import TrafficConfig, run_traffic
+
+#: Acceptance floor: the bench must exercise a real multi-tenant load.
+MIN_TENANTS = 1000
+#: p99 may regress at most this factor vs the committed baseline.
+MAX_P99_REGRESSION = 1.2
+
+
+def check_against_baseline(result, baseline):
+    """Return a list of failure messages (empty when the gate passes)."""
+    failures = []
+    if result["tenants"] < MIN_TENANTS:
+        failures.append(
+            f"tenants {result['tenants']} < hard floor {MIN_TENANTS}"
+        )
+    if result["checks_completed"] != result["checks_submitted"]:
+        failures.append(
+            f"silent drop: {result['checks_submitted']} submitted but "
+            f"{result['checks_completed']} completed"
+        )
+    if result["breaker_trips"] < 1:
+        failures.append("breaker_trips == 0 (breakers never engaged)")
+    if result["deadline_hits"] < 1:
+        failures.append("deadline_hits == 0 (deadlines never engaged)")
+    if result["shed_rate"] <= 0:
+        failures.append("shed_rate == 0 (bounded admission never engaged)")
+    if baseline is not None:
+        ceiling = baseline["p99_ms"] * MAX_P99_REGRESSION
+        if result["p99_ms"] > ceiling:
+            failures.append(
+                f"p99 {result['p99_ms']:.2f}ms regressed >20% vs baseline "
+                f"{baseline['p99_ms']:.2f}ms"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--emit", metavar="PATH", help="write BENCH_serving.json here"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="gate against a committed BENCH_serving.json",
+    )
+    parser.add_argument("--tenants", type=int, default=None)
+    parser.add_argument("--checks", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    overrides = {"seed": args.seed}
+    if args.tenants is not None:
+        overrides["tenants"] = args.tenants
+    if args.checks is not None:
+        overrides["checks"] = args.checks
+    result = run_traffic(TrafficConfig(**overrides))
+    print(
+        f"serving: {result['tenants']} tenants, "
+        f"{result['checks_completed']} checks in "
+        f"{result['serve_seconds']:.2f}s — p50 {result['p50_ms']:.2f}ms, "
+        f"p99 {result['p99_ms']:.2f}ms, shed {result['shed_rate']:.1%}, "
+        f"{result['breaker_trips']} breaker trip(s), "
+        f"{result['deadline_hits']} deadline hit(s)"
+    )
+    if args.emit:
+        with open(args.emit, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.emit}")
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_against_baseline(result, baseline)
+        if failures:
+            for failure in failures:
+                print(f"GATE FAILURE: {failure}", file=sys.stderr)
+            return 1
+        print(f"gate passed vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

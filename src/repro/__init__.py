@@ -20,6 +20,12 @@ Public API in three layers:
 * ``repro.lint`` — whole-program soundness analysis: interprocedural
   check admissibility and write-barrier bypass detection
   (``python -m repro.lint``, ``engine.lint()``, ``lint_paths``).
+* ``repro.serving`` — a hardened multi-tenant front end: an
+  ``EnginePool`` hosting many isolated engines (one private
+  ``TrackingState`` each) behind striped locks, with bounded admission,
+  per-tenant circuit breakers, and cooperative soft deadlines.  Imported
+  on demand (``from repro.serving import EnginePool``), not re-exported
+  here.
 
 Quickstart::
 
@@ -47,11 +53,13 @@ Quickstart::
 
 from .core import (
     ArgsKey,
+    CheckDeadlineExceeded,
     CheckRestrictionError,
     ComputationNode,
     CyclicCheckError,
     DittoEngine,
     DittoError,
+    EngineBusyError,
     EngineStateError,
     EngineStats,
     FallbackEvent,
@@ -61,10 +69,12 @@ from .core import (
     ResultTypeError,
     RunReport,
     StepLimitExceeded,
+    TenantIsolationError,
     TrackedArray,
     TrackedList,
     TrackedObject,
     TrackingError,
+    TrackingState,
     UnknownCheckError,
     VerificationError,
     is_tracked,
@@ -83,10 +93,14 @@ from .guard import InvariantGuard, InvariantViolation, guarded
 from .resilience import (
     AuditFinding,
     AuditReport,
+    BreakerOpenError,
+    BreakerPolicy,
+    CircuitBreaker,
     DegradationPolicy,
     FaultPlan,
     GraphAuditor,
     InjectedFault,
+    KeyedBreakers,
     inject_faults,
 )
 from .lint import Diagnostic, LintReport, lint_paths
@@ -108,10 +122,14 @@ __all__ = [
     "ArgsKey",
     "AuditFinding",
     "AuditReport",
+    "BreakerOpenError",
+    "BreakerPolicy",
     "check",
+    "CheckDeadlineExceeded",
     "CheckFunction",
     "CheckRestrictionError",
     "ChromeTraceSink",
+    "CircuitBreaker",
     "ComputationNode",
     "CyclicCheckError",
     "DegradationPolicy",
@@ -119,6 +137,7 @@ __all__ = [
     "DittoEngine",
     "DittoError",
     "enable_provenance",
+    "EngineBusyError",
     "EngineMetrics",
     "EngineStateError",
     "EngineStats",
@@ -136,6 +155,7 @@ __all__ = [
     "guarded",
     "is_tracked",
     "JsonlSink",
+    "KeyedBreakers",
     "lint_paths",
     "LintReport",
     "MetricsRegistry",
@@ -149,11 +169,13 @@ __all__ = [
     "ResultTypeError",
     "RunReport",
     "StepLimitExceeded",
+    "TenantIsolationError",
     "TraceSink",
     "TrackedArray",
     "TrackedList",
     "TrackedObject",
     "TrackingError",
+    "TrackingState",
     "tracking_state",
     "UnknownCheckError",
     "VerificationError",

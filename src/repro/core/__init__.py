@@ -3,15 +3,18 @@
 from .argkeys import ArgsKey, is_primitive
 from .engine import DittoEngine
 from .errors import (
+    CheckDeadlineExceeded,
     CheckRestrictionError,
     CyclicCheckError,
     DittoError,
+    EngineBusyError,
     EngineStateError,
     GraphAuditError,
     InstrumentationError,
     OptimisticMispredictionError,
     ResultTypeError,
     StepLimitExceeded,
+    TenantIsolationError,
     TrackingError,
     UnknownCheckError,
     VerificationError,
@@ -31,6 +34,7 @@ from .tracked import (
     TrackedArray,
     TrackedList,
     TrackedObject,
+    TrackingState,
     WriteLog,
     is_tracked,
     reset_tracking,
@@ -39,11 +43,13 @@ from .tracked import (
 
 __all__ = [
     "ArgsKey",
+    "CheckDeadlineExceeded",
     "CheckRestrictionError",
     "ComputationNode",
     "CyclicCheckError",
     "DittoEngine",
     "DittoError",
+    "EngineBusyError",
     "EngineStateError",
     "EngineStats",
     "FallbackEvent",
@@ -64,10 +70,12 @@ __all__ = [
     "ResultTypeError",
     "RunReport",
     "StepLimitExceeded",
+    "TenantIsolationError",
     "TrackedArray",
     "TrackedList",
     "TrackedObject",
     "TrackingError",
+    "TrackingState",
     "tracking_state",
     "UnknownCheckError",
     "VerificationError",

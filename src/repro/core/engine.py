@@ -36,22 +36,26 @@ in the check's call-graph closure.
 from __future__ import annotations
 
 import sys
+import threading
 import time
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..instrument.registry import CheckFunction, check as as_check, closure_of
 from ..instrument.transform import instrument, instrumented_source
 from .argkeys import ArgsKey, is_primitive
 from .errors import (
+    CheckDeadlineExceeded,
     CheckRestrictionError,
     CyclicCheckError,
     DittoError,
+    EngineBusyError,
     EngineStateError,
     GraphAuditError,
     InstrumentationError,
     OptimisticMispredictionError,
     ResultTypeError,
     StepLimitExceeded,
+    TenantIsolationError,
     TrackingError,
     UnknownCheckError,
     VerificationError,
@@ -61,7 +65,7 @@ from .node import ComputationNode
 from .order_maintenance import OrderList
 from .runtime import Runtime
 from .stats import PHASES, EngineStats, RunReport
-from .tracked import tracking_state
+from .tracked import TrackingState, tracking_state
 from ..obs.trace import NullSink, TraceSink
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -84,6 +88,7 @@ _UNRECOVERABLE = (
     EngineStateError,
     InstrumentationError,
     ResultTypeError,
+    TenantIsolationError,
     TrackingError,
     UnknownCheckError,
 )
@@ -115,6 +120,9 @@ class DittoEngine:
         degradation: Optional["DegradationPolicy"] = None,
         trace_sink: Optional[TraceSink] = None,
         lint: str = "off",
+        tracking: Optional[TrackingState] = None,
+        step_hook: Optional[Callable[["DittoEngine"], None]] = None,
+        step_hook_interval: int = 128,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -143,8 +151,25 @@ class DittoEngine:
         #: the classic behaviour (step-limit rebuilds, everything else is
         #: forwarded to the main program).
         self.degradation = degradation
+        if step_hook_interval < 1:
+            raise ValueError(
+                f"step_hook_interval must be >= 1, got {step_hook_interval!r}"
+            )
+        #: The write-barrier isolation domain this engine consumes from.
+        #: Defaults to the process-wide state; the serving layer binds each
+        #: tenant's engines to a private :class:`TrackingState` so tenants
+        #: cannot observe each other's barriers or fault hooks.
+        self.tracking = tracking if tracking is not None else tracking_state()
+        #: Cooperative cancellation hook: called with the engine every
+        #: ``step_hook_interval`` runtime steps during instrumented
+        #: execution.  Raising :class:`CheckDeadlineExceeded` from it
+        #: aborts the run transactionally (graph discarded, exception
+        #: forwarded); the serving layer uses this for soft deadlines.
+        self.step_hook = step_hook
+        self.step_hook_interval = step_hook_interval
+        self._hook_countdown = step_hook_interval
         self.stats = EngineStats()
-        self.table = MemoTable()
+        self.table = MemoTable(self.tracking)
         self.order = OrderList()
         self.runtime = Runtime(self)
         # Observability (repro.obs).  ``tracing`` is the single boolean the
@@ -203,8 +228,8 @@ class DittoEngine:
             for fn in self.functions.values():
                 fields.update(fn.analysis().fields_read)
             self.monitored_fields = frozenset(fields)
-        tracking_state().monitor_fields(self.monitored_fields)
-        self._log_cid = tracking_state().write_log.register()
+        self.tracking.monitor_fields(self.monitored_fields)
+        self._log_cid = self.tracking.write_log.register()
 
         # Compile instrumented versions (Figure 3) of every check function.
         self._compiled: dict[int, Any] = {}
@@ -223,7 +248,12 @@ class DittoEngine:
         self.steps = 0
         self.in_incremental_run = False
         self._final_retry = False
+        # Busy guard: the lock makes the check-and-set atomic across
+        # threads; the flag additionally catches same-thread re-entrancy
+        # (a check body calling back into its own engine) and is what
+        # tests/introspection read.
         self._running = False
+        self._run_lock = threading.Lock()
         self._tick = 0
         self._to_propagate: set[ComputationNode] = set()
         self._failed: set[ComputationNode] = set()
@@ -280,32 +310,44 @@ class DittoEngine:
         graph discard plus a trustworthy from-scratch answer."""
         if self._closed:
             raise EngineStateError("engine has been closed")
-        if self._running:
-            raise EngineStateError("re-entrant DittoEngine.run() call")
-        self.last_phase_times = {}
-        if self.mode == "scratch":
-            self.stats.runs += 1
-            self.stats.full_runs += 1
-            start = self._phase_begin("exec")
-            try:
-                return self.entry.original(*args)
-            finally:
-                self._phase_end("exec", start)
-                self.last_duration = time.perf_counter() - start
-        self._running = True
-        start = time.perf_counter()
-        aborted = True
+        # Atomic busy guard: the non-blocking lock rejects a second thread,
+        # the flag rejects same-thread re-entrancy (a check body calling
+        # back into its own engine would corrupt the memo graph mid-run).
+        if self._running or not self._run_lock.acquire(blocking=False):
+            raise EngineBusyError(
+                f"DittoEngine.run() for check {self.entry.name!r} called "
+                f"while a run is already executing; check() is not "
+                f"re-entrant and engines must be externally serialized "
+                f"across threads (see repro.serving for a pooled front end)"
+            )
         try:
-            result = self._run_resilient(args)
-            aborted = False
-            return result
+            self._running = True
+            self.last_phase_times = {}
+            self._hook_countdown = self.step_hook_interval
+            if self.mode == "scratch":
+                self.stats.runs += 1
+                self.stats.full_runs += 1
+                start = self._phase_begin("exec")
+                try:
+                    return self.entry.original(*args)
+                finally:
+                    self._phase_end("exec", start)
+                    self.last_duration = time.perf_counter() - start
+            start = time.perf_counter()
+            aborted = True
+            try:
+                result = self._run_resilient(args)
+                aborted = False
+                return result
+            finally:
+                self.last_duration = time.perf_counter() - start
+                if self.recorder is not None:
+                    self.recorder.end_run(
+                        self.last_duration, self.last_phase_times, aborted
+                    )
         finally:
             self._running = False
-            self.last_duration = time.perf_counter() - start
-            if self.recorder is not None:
-                self.recorder.end_run(
-                    self.last_duration, self.last_phase_times, aborted
-                )
+            self._run_lock.release()
 
     def run_with_report(self, *args: Any) -> RunReport:
         """Like :meth:`run`, also returning per-run statistics."""
@@ -333,15 +375,15 @@ class DittoEngine:
         self._to_propagate.clear()
         self._failed.clear()
         # Discard pending log entries; the next run re-reads everything.
-        tracking_state().write_log.consume(self._log_cid)
+        self.tracking.write_log.consume(self._log_cid)
 
     def close(self) -> None:
         """Release global tracking resources held by this engine."""
         if self._closed:
             return
         self.invalidate()
-        tracking_state().write_log.unregister(self._log_cid)
-        tracking_state().unmonitor_fields(self.monitored_fields)
+        self.tracking.write_log.unregister(self._log_cid)
+        self.tracking.unmonitor_fields(self.monitored_fields)
         self._closed = True
 
     def __enter__(self) -> "DittoEngine":
@@ -472,7 +514,7 @@ class DittoEngine:
             self._cooldown_remaining -= 1
             self.stats.runs += 1
             self.stats.degraded_runs += 1
-            tracking_state().write_log.consume(self._log_cid)
+            self.tracking.write_log.consume(self._log_cid)
             start = self._phase_begin("degraded")
             try:
                 return self.entry.original(*args)
@@ -485,10 +527,23 @@ class DittoEngine:
             # §3.5 second remedy: discard and re-run from scratch (always
             # on, with or without a policy).
             return self._fallback("step_limit", args, exc)
+        except CheckDeadlineExceeded:
+            # Cooperative cancellation (soft deadline): transactionally
+            # discard the partially-repaired graph and forward.  The caller
+            # decides whether to retry (the next run rebuilds from
+            # scratch), degrade, or reject — see :mod:`repro.serving`.
+            self.invalidate()
+            self.stats.deadline_aborts += 1
+            raise
         except _NEVER_CAUGHT:
             self.invalidate()
             raise
         except _UNRECOVERABLE:
+            # Deterministic usage errors are forwarded, not retried — but
+            # one thrown mid-repair (e.g. a check body re-entering its own
+            # engine) leaves the graph partially repaired: discard it so
+            # the next run starts from a consistent state.
+            self.invalidate()
             raise
         except BaseException as exc:
             if policy is None or not policy.fallback_on_exception:
@@ -523,41 +578,58 @@ class DittoEngine:
         if policy is not None:
             cooldown = policy.cooldown_for(self._consecutive_fallbacks + 1)
         rebuilt = False
-        if cooldown > 0:
-            # The graph would only go stale during the scratch window, so
-            # don't bother rebuilding it; the run after the window does.
-            result = self.entry.original(*args)
-        else:
-            try:
-                result = self._incrementalize(args)
-                rebuilt = True
-            except _NEVER_CAUGHT:
-                self.invalidate()
-                raise
-            except _UNRECOVERABLE:
-                self.invalidate()
-                raise
-            except BaseException:
-                # Even the instrumented rebuild fails: distrust the whole
-                # machinery and fall back to the original check.  If that
-                # raises as well the failure is genuine and propagates.
-                self.invalidate()
-                if policy is None or not policy.fallback_on_exception:
-                    raise
+        try:
+            if cooldown > 0:
+                # The graph would only go stale during the scratch window,
+                # so don't bother rebuilding it; the run after the window
+                # does.
                 result = self.entry.original(*args)
-                cooldown = policy.cooldown_for(
-                    max(self._consecutive_fallbacks + 1, 2)
-                )
-        self._consecutive_fallbacks += 1
-        self._cooldown_remaining = cooldown
-        self._phase_end("fallback", start)
-        self.stats.record_fallback(
-            reason=reason,
-            duration=time.perf_counter() - start,
-            rebuilt=rebuilt,
-            cooldown=int(cooldown) if cooldown != float("inf") else -1,
-            detail=repr(cause),
-        )
+            else:
+                try:
+                    result = self._incrementalize(args)
+                    rebuilt = True
+                except CheckDeadlineExceeded:
+                    # The rebuild itself blew the soft deadline: count the
+                    # abort and forward — converting it into yet another
+                    # fallback would run uncancellable original code.
+                    self.invalidate()
+                    self.stats.deadline_aborts += 1
+                    raise
+                except _NEVER_CAUGHT:
+                    self.invalidate()
+                    raise
+                except _UNRECOVERABLE:
+                    self.invalidate()
+                    raise
+                except BaseException:
+                    # Even the instrumented rebuild fails: distrust the
+                    # whole machinery and fall back to the original check.
+                    # If that raises as well the failure is genuine and
+                    # propagates.
+                    self.invalidate()
+                    if policy is None or not policy.fallback_on_exception:
+                        raise
+                    result = self.entry.original(*args)
+                    cooldown = policy.cooldown_for(
+                        max(self._consecutive_fallbacks + 1, 2)
+                    )
+        finally:
+            # Exception safety: even when the fallback itself raises (a
+            # genuine check failure, or a deadline abort mid-rebuild), the
+            # failure streak still lengthens, the cooldown still engages,
+            # the phase timer closes, and the episode is recorded.
+            # Otherwise a raising fallback would freeze the backoff state
+            # and leak the open "fallback" phase into the next run.
+            self._consecutive_fallbacks += 1
+            self._cooldown_remaining = cooldown
+            self._phase_end("fallback", start)
+            self.stats.record_fallback(
+                reason=reason,
+                duration=time.perf_counter() - start,
+                rebuilt=rebuilt,
+                cooldown=int(cooldown) if cooldown != float("inf") else -1,
+                detail=repr(cause),
+            )
         return result
 
     def _paranoia_check(self, result: Any, args: tuple) -> Any:
@@ -616,11 +688,11 @@ class DittoEngine:
     def _incrementalize(self, args: tuple) -> Any:
         key = ArgsKey(args)
         start = self._phase_begin("barrier_drain")
-        pending = tracking_state().write_log.consume(self._log_cid)
+        pending = self.tracking.write_log.consume(self._log_cid)
         dirty = self.table.map_locations_to_nodes(pending)
         self._phase_end("barrier_drain", start)
         if self.tracing:
-            counters = tracking_state().barrier_counters()
+            counters = self.tracking.barrier_counters()
             counters["pending"] = len(pending)
             counters["dirtied"] = len(dirty)
             self._sink.instant("barrier_drain", time.perf_counter(), counters)

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional
 from .argkeys import ArgsKey
 from .locations import IndexLocation, Location, RangeLocation
 from .node import ComputationNode
+from .tracked import TrackingState, adopt_container
 
 
 def _merge_intervals(
@@ -44,11 +45,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class MemoTable:
-    """Computation graph storage for one engine."""
+    """Computation graph storage for one engine.
 
-    def __init__(self) -> None:
+    ``tracking`` is the engine's isolation domain: every container this
+    table takes an implicit-argument reference into is adopted by that
+    domain first (its barriers then log to the domain's write log).  A
+    bare ``MemoTable()`` performs no adoption — containers keep logging to
+    the process-default state, the pre-isolation behaviour unit tests rely
+    on."""
+
+    def __init__(self, tracking: Optional[TrackingState] = None) -> None:
         self._entries: dict[tuple[int, ArgsKey], ComputationNode] = {}
         self._reverse: dict[Location, set[ComputationNode]] = {}
+        self.tracking = tracking
 
     # Entry lookup. ----------------------------------------------------------
 
@@ -82,13 +91,24 @@ class MemoTable:
         reverse map and the container's reference count."""
         if location in node.implicits:
             return
+        container = location.container
+        if self.tracking is not None:
+            # First reference into the container binds its barriers to this
+            # engine's isolation domain (raises TenantIsolationError on a
+            # live cross-domain share).  Must happen before ANY bookkeeping:
+            # a location recorded in node.implicits without its matching
+            # incref would be decref'd by clear_implicits on the aborted
+            # run, silently draining the rightful owner's reference counts
+            # (and with them its barrier filters) one failed attempt at a
+            # time — until a retry found refcount 0 and adopted the
+            # structure out from under its owner.
+            adopt_container(container, self.tracking)
         node.implicits.add(location)
         dependents = self._reverse.get(location)
         if dependents is None:
             dependents = set()
             self._reverse[location] = dependents
         dependents.add(node)
-        container = location.container
         # Location-attributed incref when the container supports it (the
         # per-location barrier refinement); plain container incref as the
         # duck-typed fallback for custom tracked containers.

@@ -56,6 +56,14 @@ class Runtime:
             raise StepLimitExceeded(
                 f"incremental run exceeded {engine.step_limit} steps"
             )
+        if engine.step_hook is not None:
+            # Cooperative cancellation: every ``step_hook_interval`` steps
+            # the hook gets a chance to abort the run (soft deadlines in
+            # the serving layer raise CheckDeadlineExceeded from here).
+            engine._hook_countdown -= 1
+            if engine._hook_countdown <= 0:
+                engine._hook_countdown = engine.step_hook_interval
+                engine.step_hook(engine)
 
     def get_attr(self, obj: Any, name: str) -> Any:
         self._step()

@@ -40,19 +40,42 @@ Location` to the global :class:`WriteLog`.  Each engine keeps a cursor into
 the log and consumes newly-logged locations at the start of its next run;
 the log compacts itself once every registered engine has caught up.
 
+Isolation domains
+-----------------
+
+Tracking state is *scoped*, not global: every :class:`TrackingState` is an
+independent isolation domain with its own write log and monitored-field
+set.  A process-default state (:func:`tracking_state`) preserves the
+classic single-heap behaviour — engines constructed without an explicit
+``tracking=`` argument all share it — while the multi-tenant serving layer
+(:mod:`repro.serving`) gives every tenant a private state, so a barrier
+fired under tenant A is physically unobservable by tenant B: it lands in a
+different log, is deduplicated against different cursors, and is dropped
+by a different fault hook.
+
+Each tracked container is *adopted* by the state of the first engine whose
+memo table takes a reference into it (``_ditto_state``); its barriers log
+to that state from then on.  An engine bound to a different state that
+tries to read an owned container raises
+:class:`~repro.core.errors.TenantIsolationError` while the owner still
+holds references — silent cross-wiring is never an outcome.  Ownership is
+re-assignable once every reference is released (or the owning state is
+retired by :func:`reset_tracking`), so structures migrate cleanly between
+sequentially-used engines.
+
 Hot-path layout
 ---------------
 
 The barrier is the tax every mutation of the main program pays, so the
 common cases are flattened:
 
-* The monitored-field set and the write log's bound ``append`` are
-  snapshotted into module globals (``_monitored`` / ``_log_append``),
-  refreshed whenever monitoring changes or the global state is reset.  An
-  unmonitored attribute store costs one refcount check plus one frozenset
-  probe; a write to an unreferenced container costs the refcount check
-  alone (and is deliberately *not* counted — counting would tax the path
-  the filter exists to keep free).
+* Each state snapshots its monitored-field set and its write log's bound
+  ``append`` into the ``monitored`` / ``log_append`` attributes, refreshed
+  whenever monitoring changes.  An unmonitored attribute store costs one
+  refcount check, one owner-state load, and one frozenset probe; a write
+  to an unreferenced container costs the refcount check alone (and is
+  deliberately *not* counted — counting would tax the path the filter
+  exists to keep free).
 * Shift-heavy list mutations (``insert`` / ``pop`` not at the tail,
   ``fill``) log a single coalesced :class:`~repro.core.locations.
   RangeLocation` covering every shifted slot instead of one
@@ -165,10 +188,14 @@ class WriteLog:
 
 
 class TrackingState:
-    """Process-global tracking state shared by all engines.
+    """One write-barrier isolation domain.
 
-    Holds the write log and the union of monitored field names.  Tests call
-    :func:`reset_tracking` to start from a clean slate.
+    Holds a write log and the union of the monitored field names of the
+    engines bound to it.  The process keeps one *default* state
+    (:func:`tracking_state`) that engines use unless constructed with an
+    explicit ``tracking=`` argument; the serving layer creates one state
+    per tenant.  Tests call :func:`reset_tracking` to start the default
+    domain from a clean slate.
     """
 
     def __init__(self) -> None:
@@ -184,12 +211,19 @@ class TrackingState:
         #: both §4 filters but no live implicit argument names the exact
         #: location being written.
         self.barrier_location_filtered = 0
+        #: Set by :func:`reset_tracking` on the state it replaces: engines
+        #: bound to a retired state must not be used, and containers it
+        #: still owns may be re-adopted by a live state.
+        self.retired = False
+        #: Hot-path snapshots (module docstring): the current monitored
+        #: field set and the bound ``append`` of this state's write log.
+        self.monitored: frozenset[str] = frozenset()
+        self.log_append = self.write_log.append
 
     def monitor_fields(self, fields: Iterable[str]) -> None:
         for f in fields:
             self._monitored_fields[f] = self._monitored_fields.get(f, 0) + 1
-        if _state is self:
-            _rebind_fastpath()
+        self._refresh()
 
     def unmonitor_fields(self, fields: Iterable[str]) -> None:
         for f in fields:
@@ -198,8 +232,11 @@ class TrackingState:
                 self._monitored_fields.pop(f, None)
             else:
                 self._monitored_fields[f] = n
-        if _state is self:
-            _rebind_fastpath()
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self.monitored = frozenset(self._monitored_fields)
+        self.log_append = self.write_log.append
 
     def is_monitored(self, field: str) -> bool:
         return field in self._monitored_fields
@@ -218,20 +255,8 @@ class TrackingState:
         }
 
 
+#: The process-default isolation domain (see :func:`tracking_state`).
 _state = TrackingState()
-
-#: Hot-path snapshots of the global state (see the module docstring):
-#: ``_monitored`` is the current monitored-field set, ``_log_append`` the
-#: bound ``append`` of the current write log.  Rebound by
-#: :func:`_rebind_fastpath` whenever either changes identity or content.
-_monitored: frozenset[str] = frozenset()
-_log_append = _state.write_log.append
-
-
-def _rebind_fastpath() -> None:
-    global _monitored, _log_append
-    _monitored = _state.monitored_fields
-    _log_append = _state.write_log.append
 
 
 #: Per-location refinement toggle (module docstring, optimization 3).
@@ -255,19 +280,22 @@ def location_filter_enabled() -> bool:
 
 
 def tracking_state() -> TrackingState:
-    """Return the process-global :class:`TrackingState`."""
+    """Return the process-default :class:`TrackingState` (the domain used
+    by engines constructed without an explicit ``tracking=``)."""
     return _state
 
 
 def reset_tracking() -> None:
-    """Discard all tracking state (write log, monitored fields).
+    """Discard the default tracking state (write log, monitored fields).
 
     Intended for test isolation; engines created before a reset must not be
-    used afterwards.
+    used afterwards.  The replaced state is marked ``retired`` so tracked
+    containers it still owns can be re-adopted by the fresh state.  States
+    created explicitly (per-tenant serving domains) are unaffected.
     """
     global _state
+    _state.retired = True
     _state = TrackingState()
-    _rebind_fastpath()
 
 
 class TrackedObject:
@@ -284,21 +312,27 @@ class TrackedObject:
 
     _ditto_refcount = 0
     _ditto_locrefs = 0
+    #: Owning isolation domain, set on adoption by the first memo table
+    #: that takes a reference; ``None`` means the process-default state.
+    _ditto_state: "TrackingState | None" = None
 
     def __setattr__(self, name: str, value: Any) -> None:
         if self._ditto_refcount > 0 and name[0] != "_":
-            if name in _monitored:
+            state = self._ditto_state
+            if state is None:
+                state = _state
+            if name in state.monitored:
                 location = self._ditto_location(name)
                 if (
                     location.refcount > 0
                     or self._ditto_refcount != self._ditto_locrefs
                     or not _location_filter
                 ):
-                    _log_append(location)
+                    state.log_append(location)
                 else:
-                    _state.barrier_location_filtered += 1
+                    state.barrier_location_filtered += 1
             else:
-                _state.barrier_filtered += 1
+                state.barrier_filtered += 1
         object.__setattr__(self, name, value)
 
     def _ditto_location(self, name: str) -> FieldLocation:
@@ -361,7 +395,7 @@ class TrackedArray:
     """
 
     __slots__ = ("_items", "_ditto_refcount", "_ditto_locrefs",
-                 "_ditto_loc_cache")
+                 "_ditto_loc_cache", "_ditto_state")
 
     def __init__(self, initial: Iterable[Any] | int, fill: Any = None):
         if isinstance(initial, int):
@@ -371,6 +405,7 @@ class TrackedArray:
         self._ditto_refcount = 0
         self._ditto_locrefs = 0
         self._ditto_loc_cache: dict[Any, Location] = {}
+        self._ditto_state: "TrackingState | None" = None
 
     def __getitem__(self, index: int) -> Any:
         return self._items[index]
@@ -395,14 +430,17 @@ class TrackedArray:
             if not 0 <= index < len(items):
                 raise IndexError("list assignment index out of range")
             location = self._ditto_location(index)
+            state = self._ditto_state
+            if state is None:
+                state = _state
             if (
                 location.refcount > 0
                 or self._ditto_refcount != self._ditto_locrefs
                 or not _location_filter
             ):
-                _log_append(location)
+                state.log_append(location)
             else:
-                _state.barrier_location_filtered += 1
+                state.barrier_location_filtered += 1
         items[index] = value
 
     def __len__(self) -> int:
@@ -420,20 +458,30 @@ class TrackedArray:
         they are not interned and span many point counts."""
         items = self._items
         if self._ditto_refcount > 0 and items:
-            _log_append(RangeLocation(self, 0, len(items)))
+            self._ditto_log_range(RangeLocation(self, 0, len(items)))
         items[:] = [value] * len(items)
 
     def _ditto_log_point(self, location: Location) -> None:
         """Log a point mutation unless the per-location refinement proves
         no live implicit argument reads it (see the module docstring)."""
+        state = self._ditto_state
+        if state is None:
+            state = _state
         if (
             location.refcount > 0
             or self._ditto_refcount != self._ditto_locrefs
             or not _location_filter
         ):
-            _log_append(location)
+            state.log_append(location)
         else:
-            _state.barrier_location_filtered += 1
+            state.barrier_location_filtered += 1
+
+    def _ditto_log_range(self, location: Location) -> None:
+        """Log a coalesced range barrier into the owning domain's log."""
+        state = self._ditto_state
+        if state is None:
+            state = _state
+        state.log_append(location)
 
     def _ditto_incref(self) -> None:
         self._ditto_refcount += 1
@@ -495,7 +543,7 @@ class TrackedList(TrackedArray):
                 # a reader of it (necessarily length-guarded pre-shrink)
                 # still depends on the old coordinate, so the range covers
                 # it too.
-                _log_append(RangeLocation(self, index, n))
+                self._ditto_log_range(RangeLocation(self, index, n))
         return items.pop(index)
 
     def insert(self, index: int, value: Any) -> None:
@@ -515,7 +563,7 @@ class TrackedList(TrackedArray):
             if index == n:
                 self._ditto_log_point(self._ditto_location(index))
             else:
-                _log_append(RangeLocation(self, index, n + 1))
+                self._ditto_log_range(RangeLocation(self, index, n + 1))
         items.insert(index, value)
 
     def remove(self, value: Any) -> None:
@@ -528,3 +576,33 @@ class TrackedList(TrackedArray):
 def is_tracked(obj: Any) -> bool:
     """True if ``obj`` participates in write-barrier tracking."""
     return isinstance(obj, (TrackedObject, TrackedArray))
+
+
+def adopt_container(container: Any, state: TrackingState) -> None:
+    """Bind ``container``'s barriers to the isolation domain ``state``.
+
+    Called by the memo table before it takes its first reference into a
+    container.  An unowned container (or one whose previous owner released
+    every reference or was retired) is adopted; a container still owned by
+    a *different* live domain raises
+    :class:`~repro.core.errors.TenantIsolationError` — the cross-tenant
+    sharing the serving layer must never silently permit.  Containers
+    without the ``_ditto_state`` slot (custom duck-typed tracked types)
+    keep logging to the default domain.
+    """
+    owner = getattr(container, "_ditto_state", None)
+    if owner is state:
+        return
+    if (
+        owner is None
+        or owner.retired
+        or getattr(container, "_ditto_refcount", 0) == 0
+    ):
+        try:
+            container._ditto_state = state
+        except AttributeError:
+            pass
+        return
+    from .errors import TenantIsolationError
+
+    raise TenantIsolationError(container, owner, state)

@@ -12,7 +12,6 @@ from typing import Callable, Optional
 
 from .core.engine import DittoEngine
 from .core.node import ComputationNode
-from .core.tracked import tracking_state
 
 
 def _default_label(node: ComputationNode) -> str:
@@ -100,7 +99,7 @@ def pending_writes_text(engine: DittoEngine, max_entries: int = 25) -> str:
     when the guarded body raises, so a violation introduced just before
     the crash is preserved in the diagnostics instead of being lost with
     the skipped exit check."""
-    pending = tracking_state().write_log.peek(engine._log_cid)
+    pending = engine.tracking.write_log.peek(engine._log_cid)
     if not pending:
         return "<no pending writes>"
     lines = [

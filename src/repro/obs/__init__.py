@@ -28,6 +28,7 @@ from .metrics import (
     DEFAULT_SIZE_BUCKETS,
     Counter,
     EngineMetrics,
+    PoolMetrics,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -50,6 +51,7 @@ __all__ = [
     "disable_provenance",
     "enable_provenance",
     "EngineMetrics",
+    "PoolMetrics",
     "explain_last_run",
     "Gauge",
     "Histogram",

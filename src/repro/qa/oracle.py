@@ -273,9 +273,7 @@ class Oracle:
         if target is None:
             return
         if kind == "drop_writes":
-            from ..core.tracked import tracking_state
-
-            if tracking_state().write_log.fault_hook is not None:
+            if target.tracking.write_log.fault_hook is not None:
                 return  # one write-log hook at a time; later arms are no-ops
             plan = FaultPlan(drop_writes=amount)
         elif kind == "corrupt_returns":

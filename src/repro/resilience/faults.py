@@ -29,7 +29,6 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..core.node import ComputationNode
-from ..core.tracked import tracking_state
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.engine import DittoEngine
@@ -111,7 +110,10 @@ class FaultInjector:
     def __enter__(self) -> "FaultInjector":
         plan = self.plan
         if plan.drop_writes > 0:
-            log = tracking_state().write_log
+            # Arm on the target engine's own isolation domain: a fault
+            # plan for one tenant must be invisible to every other
+            # tenant's write log (the chaos harness relies on this).
+            log = self.engine.tracking.write_log
             if log.fault_hook is not None:
                 raise RuntimeError("another fault hook is already armed")
             log.fault_hook = self._maybe_drop
@@ -129,7 +131,7 @@ class FaultInjector:
             return
         self._armed = False
         if self.plan.drop_writes > 0:
-            tracking_state().write_log.fault_hook = None
+            self.engine.tracking.write_log.fault_hook = None
         if self._saved_compiled:
             self.engine._compiled.update(self._saved_compiled)
             self._saved_compiled = {}

@@ -1,0 +1,63 @@
+"""Hardened multi-tenant serving layer: many engines, one process.
+
+DITTO's promise is that invariant checks stay cheap enough to run
+*continuously* — but continuously in a deployment means thousands of
+independent structures checked concurrently under mixed mutate/check
+traffic.  This package is the front end that makes one process survive
+that: an :class:`EnginePool` hosting one isolated
+:class:`~repro.core.engine.DittoEngine` per tenant behind a threaded
+executor, with
+
+* **isolation** — every tenant gets a private
+  :class:`~repro.core.tracked.TrackingState`; a write barrier fired under
+  tenant A is unobservable by tenant B (cross-domain structure sharing
+  raises :class:`~repro.core.errors.TenantIsolationError` instead of
+  silently cross-wiring logs);
+* **lock striping** — tenants are pinned to shards by key hash; one
+  shard's slow check never blocks the other shards;
+* **soft deadlines** — a cooperative step hook cancels over-budget runs
+  (:class:`~repro.core.errors.CheckDeadlineExceeded`), then the pool
+  degrades the call to a fresh capped retry or rejects it; total cost
+  never exceeds 2x the deadline;
+* **per-tenant circuit breakers** —
+  :class:`~repro.resilience.degradation.CircuitBreaker` per key, so a
+  persistently-failing tenant is shed at admission instead of burning
+  workers, with half-open probes to recover;
+* **bounded admission** — a full pool sheds load with explicit
+  ``rejected`` results, never silent drops;
+* **observability** — ``pool.stats()`` plus
+  :class:`~repro.obs.metrics.PoolMetrics`.
+
+:mod:`repro.serving.chaos` proves the isolation claim by fault-injecting
+random tenants across hundreds of rounds while diffing the untouched
+tenants against a solo-engine oracle; :mod:`repro.serving.traffic` drives
+an open-loop mixed load for the ``BENCH_serving.json`` record.
+"""
+
+from .chaos import ChaosConfig, ChaosResult, run_chaos
+from .pool import EnginePool, PoolConfig
+from .results import (
+    BREAKER_OPEN,
+    DEADLINE,
+    ERROR,
+    OK,
+    REJECTED,
+    CheckResult,
+)
+from .traffic import TrafficConfig, run_traffic
+
+__all__ = [
+    "BREAKER_OPEN",
+    "ChaosConfig",
+    "ChaosResult",
+    "CheckResult",
+    "DEADLINE",
+    "ERROR",
+    "EnginePool",
+    "OK",
+    "PoolConfig",
+    "REJECTED",
+    "TrafficConfig",
+    "run_chaos",
+    "run_traffic",
+]

@@ -1,0 +1,107 @@
+"""CLI for the serving layer's robustness campaigns.
+
+``python -m repro.serving chaos`` runs one seeded fault-injection
+campaign (:func:`repro.serving.chaos.run_chaos`) and exits non-zero on
+any isolation breach, missing fault coverage, or deadline-contract
+violation; ``--artifact`` writes the :meth:`ChaosResult.to_json` record
+(the CI chaos-matrix job uploads it on failure so a red run replays
+locally from its seed).  ``python -m repro.serving traffic`` runs the
+open-loop load campaign and prints/writes the ``BENCH_serving.json``
+record (gating lives in ``benchmarks/bench_serving.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from .chaos import FAULT_KINDS, ChaosConfig, run_chaos
+from .traffic import TrafficConfig, run_traffic
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving", description=__doc__.split("\n")[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign (isolation proof)"
+    )
+    chaos.add_argument("--structure", default="ordered_list")
+    chaos.add_argument("--tenants", type=int, default=8)
+    chaos.add_argument("--rounds", type=int, default=200)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--deadline", type=float, default=0.05,
+        help="soft budget (seconds) used by deadline faults",
+    )
+    chaos.add_argument(
+        "--max-queue", type=int, default=64,
+        help="pool admission bound (shed dimension of the CI matrix)",
+    )
+    chaos.add_argument(
+        "--fault-kinds", default=None, metavar="K1,K2,...",
+        help=f"subset of {','.join(FAULT_KINDS)} (default: all)",
+    )
+    chaos.add_argument(
+        "--artifact", metavar="PATH",
+        help="write the ChaosResult JSON record (divergence artifact)",
+    )
+
+    traffic = sub.add_parser(
+        "traffic", help="open-loop load campaign (BENCH_serving record)"
+    )
+    traffic.add_argument("--tenants", type=int, default=1000)
+    traffic.add_argument("--checks", type=int, default=4000)
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument("--json", metavar="PATH", dest="json_path")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "chaos":
+        kinds = (
+            tuple(k for k in args.fault_kinds.split(",") if k)
+            if args.fault_kinds
+            else FAULT_KINDS
+        )
+        result = run_chaos(ChaosConfig(
+            structure=args.structure,
+            tenants=args.tenants,
+            rounds=args.rounds,
+            seed=args.seed,
+            deadline=args.deadline,
+            max_queue=args.max_queue,
+            fault_kinds=kinds,
+        ))
+        print(result.summary())
+        for divergence in result.divergences[:10]:
+            print(f"DIVERGENCE: {divergence}", file=sys.stderr)
+        if args.artifact:
+            with open(args.artifact, "w") as fh:
+                json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.artifact}")
+        return 0 if result.ok else 1
+
+    result = run_traffic(TrafficConfig(
+        tenants=args.tenants, checks=args.checks, seed=args.seed
+    ))
+    print(
+        f"traffic: {result['tenants']} tenants, "
+        f"{result['checks_completed']} checks — "
+        f"p50 {result['p50_ms']:.2f}ms, p99 {result['p99_ms']:.2f}ms, "
+        f"shed {result['shed_rate']:.1%}"
+    )
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

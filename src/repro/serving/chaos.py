@@ -1,0 +1,328 @@
+"""Chaos harness: prove tenant isolation under injected faults.
+
+The pool's central robustness claim is *blast-radius containment*: a
+fault striking tenant A — dropped write barriers, corrupted cached
+returns, exceptions mid-repair or mid-drain, poisoned hook code, deadline
+blowouts — must be completely unobservable by tenant B.  This harness
+proves it by construction:
+
+* a fixed subset of tenants is designated **victims** up front (from the
+  seed); every round injects at least one fault into a victim;
+* the remaining **clean** tenants are never faulted, and after every
+  round each clean tenant's check outcome (value *or* exception type) is
+  compared against a solo oracle: a private replica structure receiving
+  the identical mutation stream, checked by the *uninstrumented* entry
+  point.  Any difference is a divergence — an isolation breach;
+* deadline faults additionally assert the 2x-budget contract: the
+  wall-clock cost of a deadlined call, degrade retry included, is
+  recorded as a ratio of its budget and the maximum must stay <= 2.
+
+Everything is synchronous and seeded, so a failure replays exactly;
+:class:`ChaosResult.to_json` is the CI divergence artifact.  (Thread-level
+interleaving is exercised separately by the soak test — mixing it in here
+would make the byte-identical comparison nondeterministic.)
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..instrument.registry import check as as_check
+from ..qa.models import get_model
+from ..qa.trace import CHECK
+from ..resilience.degradation import BreakerPolicy
+from ..resilience.faults import FaultPlan, inject_faults
+from .pool import EnginePool, PoolConfig
+from .results import ERROR, OK
+
+#: Fault kinds the harness can inject (per round: one kind, one victim).
+FAULT_KINDS = (
+    "drop_writes",      # FaultPlan: write barriers silently dropped
+    "corrupt_returns",  # FaultPlan: cached return values corrupted
+    "raise_calls",      # FaultPlan: exceptions thrown mid-repair
+    "poison_hook",      # step hook raises inside instrumented execution
+    "mid_drain",        # write-log consume() raises mid-drain
+    "deadline",         # slow check blows its soft deadline
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded configuration for one chaos campaign."""
+
+    structure: str = "ordered_list"
+    tenants: int = 8
+    rounds: int = 200
+    seed: int = 0
+    #: Fraction of tenants designated as fault victims (at least one).
+    victim_fraction: float = 0.35
+    #: Soft deadline used by ``deadline`` faults, in seconds.  Must dwarf
+    #: ``probe_sleep`` so hook-granularity slop cannot push a degraded
+    #: call past 2x this budget.
+    deadline: float = 0.05
+    #: Per-hook-tick sleep the ``deadline`` fault injects to simulate a
+    #: slow check.
+    probe_sleep: float = 0.002
+    fault_kinds: tuple = FAULT_KINDS
+    #: Pool sizing (admission is kept ample: shedding is load behaviour,
+    #: exercised by :mod:`repro.serving.traffic`, not an isolation fault).
+    shards: int = 4
+    max_queue: int = 64
+
+    def __post_init__(self) -> None:
+        if self.tenants < 2:
+            raise ValueError("chaos needs >= 2 tenants (1 victim + 1 clean)")
+        if not 0.0 < self.victim_fraction < 1.0:
+            raise ValueError("victim_fraction must be in (0, 1)")
+        unknown = set(self.fault_kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of :func:`run_chaos` — the CI artifact on failure."""
+
+    config: ChaosConfig
+    rounds: int = 0
+    victims: list = field(default_factory=list)
+    clean: list = field(default_factory=list)
+    faults_injected: dict = field(default_factory=dict)
+    status_counts: dict = field(default_factory=dict)
+    #: Isolation breaches: clean-tenant outcomes differing from the solo
+    #: oracle.  Must be empty.
+    divergences: list = field(default_factory=list)
+    #: max(duration / budget) over every deadline-faulted call.
+    max_overrun_ratio: float = 0.0
+    deadline_calls: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults_injected.values())
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.rounds == self.config.rounds
+            and not self.divergences
+            and self.total_faults >= self.rounds
+            and self.max_overrun_ratio <= 2.0
+        )
+
+    def summary(self) -> str:
+        return (
+            f"chaos[{self.config.structure} seed={self.config.seed}]: "
+            f"{self.rounds} rounds, {self.total_faults} faults "
+            f"({dict(sorted(self.faults_injected.items()))}), "
+            f"{len(self.divergences)} divergence(s), "
+            f"max overrun {self.max_overrun_ratio:.2f}x -> "
+            f"{'OK' if self.ok else 'FAIL'}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "structure": self.config.structure,
+            "seed": self.config.seed,
+            "tenants": self.config.tenants,
+            "rounds": self.rounds,
+            "victims": list(self.victims),
+            "faults_injected": dict(self.faults_injected),
+            "status_counts": dict(self.status_counts),
+            "divergences": list(self.divergences),
+            "max_overrun_ratio": self.max_overrun_ratio,
+            "deadline_calls": self.deadline_calls,
+            "ok": self.ok,
+        }
+
+
+def _outcome_of_call(fn: Any, args: tuple) -> tuple:
+    """Normalized outcome: ``("value", repr)`` or ``("raise", type)``."""
+    try:
+        return ("value", repr(fn(*args)))
+    except Exception as exc:  # noqa: BLE001 - outcome capture by design
+        return ("raise", type(exc).__name__)
+
+
+def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosResult:
+    """Run one seeded chaos campaign; see the module docstring."""
+    config = config if config is not None else ChaosConfig()
+    rng = random.Random(config.seed)
+    model = get_model(config.structure)
+    original = as_check(model.entry).original
+    result = ChaosResult(config=config)
+
+    pool = EnginePool(PoolConfig(
+        shards=config.shards,
+        workers=config.shards,
+        max_queue=config.max_queue,
+        deadline=None,               # deadlines only on deadline faults
+        on_deadline="degrade",
+        deadline_extension=1.5,      # 0.5x budget of scheduling slack
+        breaker=BreakerPolicy(
+            failure_threshold=3,
+            recovery_time=0.02,      # victims recover within the campaign
+            max_recovery_time=0.25,
+            half_open_probes=1,
+        ),
+        step_hook_interval=1,        # per-step ticks: tight cancellation
+    ))
+    try:
+        keys = [f"tenant-{i}" for i in range(config.tenants)]
+        victim_count = max(1, int(config.tenants * config.victim_fraction))
+        victims = rng.sample(keys, victim_count)
+        victim_set = set(victims)
+        result.victims = victims
+        result.clean = [k for k in keys if k not in victim_set]
+
+        structures = {}
+        replicas = {}
+        tenant_rngs = {}
+        for i, key in enumerate(keys):
+            pool.register(key, model.entry)
+            structures[key] = model.fresh()
+            tenant_rngs[key] = random.Random(config.seed * 1_000_003 + i)
+            if key not in victim_set:
+                replicas[key] = model.fresh()
+
+        for _round in range(config.rounds):
+            # 1. Identical per-tenant mutation streams (clean tenants'
+            # replicas receive byte-identical ops).
+            for key in keys:
+                ops = [
+                    op
+                    for op in model.random_ops(tenant_rngs[key])
+                    if op.name != CHECK
+                ]
+                for op in ops:
+                    pool.mutate(key, model.apply, structures[key], op)
+                    if key not in victim_set:
+                        model.apply(replicas[key], op)
+
+            # 2. Fault one victim.
+            victim = rng.choice(victims)
+            kind = rng.choice(config.fault_kinds)
+            _inject_and_check(pool, model, structures, victim, kind,
+                              config, result)
+            result.faults_injected[kind] = (
+                result.faults_injected.get(kind, 0) + 1
+            )
+
+            # 3. Check every tenant; diff the clean ones vs the oracle.
+            for key in keys:
+                if key == victim:
+                    continue  # already checked under its fault
+                args = pool.mutate(key, model.check_args, structures[key])
+                res = pool.check(key, *args)
+                result.status_counts[res.status] = (
+                    result.status_counts.get(res.status, 0) + 1
+                )
+                if key in victim_set:
+                    continue  # tainted in an earlier round: not compared
+                if res.status == OK:
+                    actual = ("value", repr(res.value))
+                elif res.status == ERROR:
+                    actual = ("raise", type(res.error).__name__)
+                else:
+                    actual = ("status", res.status)
+                expected = _outcome_of_call(
+                    original, model.check_args(replicas[key])
+                )
+                if actual != expected:
+                    result.divergences.append({
+                        "round": _round,
+                        "tenant": key,
+                        "fault": {"victim": victim, "kind": kind},
+                        "expected": list(expected),
+                        "actual": list(actual),
+                    })
+            result.rounds += 1
+    finally:
+        pool.close()
+    return result
+
+
+def _inject_and_check(
+    pool: EnginePool,
+    model: Any,
+    structures: dict,
+    victim: str,
+    kind: str,
+    config: ChaosConfig,
+    result: ChaosResult,
+) -> None:
+    """Arm ``kind`` against ``victim`` and run its check under the fault.
+
+    The victim's outcome is recorded but never compared — once faulted, a
+    tenant's own results are undefined by design (stale graphs after
+    dropped barriers are expected).  What matters is what the *other*
+    tenants observe: nothing."""
+    args = pool.mutate(victim, model.check_args, structures[victim])
+
+    def _record(res: Any) -> None:
+        result.status_counts[res.status] = (
+            result.status_counts.get(res.status, 0) + 1
+        )
+
+    if kind in ("drop_writes", "corrupt_returns", "raise_calls"):
+        plan = {
+            "drop_writes": FaultPlan(drop_writes=4),
+            "corrupt_returns": FaultPlan(corrupt_returns=2),
+            "raise_calls": FaultPlan(raise_on_calls=frozenset({1, 3})),
+        }[kind]
+        engine = pool.engine(victim)
+        if (kind == "drop_writes"
+                and engine.tracking.write_log.fault_hook is not None):
+            _record(pool.check(victim, *args))  # hook busy: plain check
+            return
+        with inject_faults(engine, plan):
+            _record(pool.check(victim, *args))
+        return
+
+    if kind == "poison_hook":
+        def _poison() -> None:
+            raise RuntimeError("chaos: poisoned step hook")
+
+        pool.set_step_probe(victim, _poison)
+        try:
+            _record(pool.check(victim, *args))
+        finally:
+            pool.set_step_probe(victim, None)
+        return
+
+    if kind == "mid_drain":
+        log = pool.tracking(victim).write_log
+        orig_consume = log.consume
+
+        def _boom(cid: int) -> list:
+            log.consume = orig_consume  # one-shot
+            raise RuntimeError("chaos: exception mid-drain")
+
+        log.consume = _boom
+        try:
+            _record(pool.check(victim, *args))
+        finally:
+            log.consume = orig_consume
+        return
+
+    if kind == "deadline":
+        # Force a full rebuild (worst case) and make every step slow, so
+        # the run genuinely cannot finish inside the budget.
+        pool.engine(victim).invalidate()
+        pool.set_step_probe(
+            victim, lambda: time.sleep(config.probe_sleep)
+        )
+        try:
+            res = pool.check(victim, *args, deadline=config.deadline)
+        finally:
+            pool.set_step_probe(victim, None)
+        _record(res)
+        result.deadline_calls += 1
+        ratio = res.duration / config.deadline
+        if ratio > result.max_overrun_ratio:
+            result.max_overrun_ratio = ratio
+        return
+
+    raise ValueError(f"unknown fault kind {kind!r}")

@@ -1,0 +1,528 @@
+"""The engine pool: many isolated engines behind striped locks.
+
+One :class:`EnginePool` hosts one :class:`~repro.core.engine.DittoEngine`
+per registered tenant.  Every tenant gets a **private**
+:class:`~repro.core.tracked.TrackingState` — its own write log, monitored
+field set, and barrier counters — so no barrier fired by one tenant's
+mutations can reach another tenant's log (the memo table enforces this at
+adoption time; see :class:`~repro.core.errors.TenantIsolationError`).
+
+Concurrency model
+-----------------
+
+Tenants are pinned to **shards** by key hash, one lock per shard.  A
+tenant's mutations and checks are serialized by its shard lock (the
+engine is single-threaded by design — :class:`~repro.core.errors.
+EngineBusyError` guards the invariant), while tenants on different
+shards proceed in parallel.  The pool never holds a global lock around a
+check, so one slow tenant stalls at most its shard.
+
+Robustness envelope, applied at every :meth:`EnginePool.check` call in
+admission order:
+
+1. **bounded admission** — at most ``max_queue`` calls in flight; the
+   next one is shed with an explicit ``rejected`` result;
+2. **circuit breaker** — a tenant with too many consecutive failures is
+   shed with ``breaker_open`` until its half-open probe succeeds;
+3. **soft deadline** — a cooperative step hook aborts over-budget runs;
+   the pool then retries once with the *total* budget capped at
+   ``deadline_extension`` x the deadline (strictly below 2x so the
+   documented "never more than twice the budget" contract survives
+   scheduling noise), or rejects immediately (``on_deadline="reject"``).
+
+Every outcome is an explicit :class:`~repro.serving.results.CheckResult`;
+the pool never raises from ``check()`` and never drops a call silently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..core.engine import DittoEngine
+from ..core.errors import CheckDeadlineExceeded, EngineStateError
+from ..core.tracked import TrackingState
+from ..resilience.degradation import BreakerPolicy, KeyedBreakers
+from .results import (
+    BREAKER_OPEN,
+    DEADLINE,
+    ERROR,
+    OK,
+    REJECTED,
+    CheckResult,
+)
+
+#: Control flow that must pass through the pool untouched (and must not
+#: count against the tenant's breaker).
+_NEVER_CAUGHT = (KeyboardInterrupt, SystemExit, GeneratorExit)
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Pure configuration for an :class:`EnginePool`."""
+
+    #: Lock stripes; tenants are pinned by ``crc32(key) % shards``.
+    shards: int = 8
+    #: Worker threads behind :meth:`EnginePool.submit`.
+    workers: int = 8
+    #: Bounded admission: maximum checks in flight (queued + running)
+    #: before the pool sheds with ``rejected``.
+    max_queue: int = 64
+    #: Default soft deadline per check in seconds (None = unbounded;
+    #: per-call override via ``check(..., deadline=...)``).
+    deadline: Optional[float] = None
+    #: What to do when a run blows its deadline: ``"degrade"`` retries
+    #: once from scratch under the remaining capped budget, ``"reject"``
+    #: returns a ``deadline`` result immediately.
+    on_deadline: str = "degrade"
+    #: Total-budget cap for the degrade retry, as a multiple of the
+    #: deadline.  Kept strictly below 2.0 so the pool's "a deadlined call
+    #: never costs more than 2x its budget" contract holds even with
+    #: hook-granularity and scheduler slop on top.
+    deadline_extension: float = 1.75
+    #: Per-tenant circuit breaker configuration (None disables breakers).
+    breaker: Optional[BreakerPolicy] = field(default_factory=BreakerPolicy)
+    #: Steps between cooperative-cancellation hook ticks (smaller =
+    #: tighter deadline enforcement, more hook overhead).
+    step_hook_interval: int = 128
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be > 0 or None")
+        if self.on_deadline not in ("degrade", "reject"):
+            raise ValueError(
+                f"on_deadline must be 'degrade' or 'reject', "
+                f"got {self.on_deadline!r}"
+            )
+        if not 1.0 <= self.deadline_extension < 2.0:
+            raise ValueError(
+                "deadline_extension must be in [1.0, 2.0) — at 2.0 or "
+                "above the 2x total-budget contract cannot be kept"
+            )
+        if self.step_hook_interval < 1:
+            raise ValueError("step_hook_interval must be >= 1")
+
+
+class _TenantSlot:
+    """One tenant: its isolation domain, engine, and shard pin."""
+
+    __slots__ = (
+        "key", "shard", "tracking", "engine", "deadline_at", "step_probe",
+    )
+
+    def __init__(
+        self, key: Any, shard: int, tracking: TrackingState,
+        engine: DittoEngine,
+    ):
+        self.key = key
+        self.shard = shard
+        self.tracking = tracking
+        self.engine = engine
+        #: Absolute (pool-clock) time the current run must finish by;
+        #: None outside runs / for unbounded runs.  Written only while
+        #: the tenant's shard lock is held.
+        self.deadline_at: Optional[float] = None
+        #: Test/chaos instrumentation: called at every hook tick of this
+        #: tenant's runs (before the deadline test).  Exceptions it
+        #: raises propagate exactly like check exceptions.
+        self.step_probe: Optional[Callable[[], None]] = None
+
+
+class EnginePool:
+    """A process-local pool of isolated per-tenant DITTO engines."""
+
+    def __init__(
+        self,
+        config: Optional[PoolConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config if config is not None else PoolConfig()
+        self._clock = clock
+        self._slots: Dict[Any, _TenantSlot] = {}
+        self._registry_lock = threading.Lock()
+        self._shard_locks = [
+            threading.RLock() for _ in range(self.config.shards)
+        ]
+        self._admission = threading.Semaphore(self.config.max_queue)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        self.breakers = (
+            KeyedBreakers(self.config.breaker, clock)
+            if self.config.breaker is not None
+            else None
+        )
+        # Lifetime counters (stats() mirrors these; PoolMetrics exports
+        # them).  One lock, touched once or twice per call.
+        self._stats_lock = threading.Lock()
+        self._in_flight = 0
+        self._counts = {
+            "checks": 0,
+            "checks_ok": 0,
+            "checks_error": 0,
+            "checks_degraded": 0,
+            "deadline_hits": 0,
+            "shed": 0,
+            "breaker_shed": 0,
+            "mutations": 0,
+        }
+
+    # Registration. ----------------------------------------------------------
+
+    def register(
+        self,
+        key: Any,
+        entry: Any,
+        mode: str = "ditto",
+        **engine_kwargs: Any,
+    ) -> DittoEngine:
+        """Create ``key``'s isolated engine for check ``entry``.
+
+        Extra keyword arguments go to the :class:`DittoEngine`
+        constructor (``degradation=...``, ``paranoia=...``, &c.).
+        Returns the engine (callers rarely need it; tests do).
+        """
+        if self._closed:
+            raise EngineStateError("pool has been closed")
+        shard = self._shard_of(key)
+        tracking = TrackingState()
+        slot_ref: list[_TenantSlot] = []
+
+        def _hook(engine: DittoEngine) -> None:
+            slot = slot_ref[0]
+            probe = slot.step_probe
+            if probe is not None:
+                probe()
+            deadline_at = slot.deadline_at
+            if deadline_at is not None and self._clock() >= deadline_at:
+                raise CheckDeadlineExceeded(
+                    f"tenant {slot.key!r} exceeded its soft deadline"
+                )
+
+        engine = DittoEngine(
+            entry,
+            mode=mode,
+            tracking=tracking,
+            step_hook=_hook,
+            step_hook_interval=self.config.step_hook_interval,
+            **engine_kwargs,
+        )
+        slot = _TenantSlot(key, shard, tracking, engine)
+        slot_ref.append(slot)
+        with self._registry_lock:
+            if key in self._slots:
+                engine.close()
+                raise ValueError(f"tenant {key!r} is already registered")
+            self._slots[key] = slot
+        return engine
+
+    def unregister(self, key: Any) -> None:
+        """Remove ``key`` and close its engine (releasing its reference
+        counts, so its structures stop logging barriers)."""
+        with self._registry_lock:
+            slot = self._slots.pop(key, None)
+        if slot is None:
+            return
+        with self._shard_locks[slot.shard]:
+            slot.engine.close()
+        if self.breakers is not None:
+            self.breakers.remove(key)
+
+    def _slot(self, key: Any) -> _TenantSlot:
+        with self._registry_lock:
+            slot = self._slots.get(key)
+        if slot is None:
+            raise KeyError(f"unknown tenant {key!r}")
+        return slot
+
+    def _shard_of(self, key: Any) -> int:
+        data = key if isinstance(key, bytes) else str(key).encode()
+        return zlib.crc32(data) % self.config.shards
+
+    def engine(self, key: Any) -> DittoEngine:
+        return self._slot(key).engine
+
+    def tracking(self, key: Any) -> TrackingState:
+        return self._slot(key).tracking
+
+    def tenants(self) -> list:
+        with self._registry_lock:
+            return list(self._slots)
+
+    def set_step_probe(
+        self, key: Any, probe: Optional[Callable[[], None]]
+    ) -> None:
+        """Install (or clear) a per-tenant hook-tick probe — chaos and
+        tests use this to simulate slow or poisoned checks."""
+        self._slot(key).step_probe = probe
+
+    # Mutation. --------------------------------------------------------------
+
+    def mutate(self, key: Any, fn: Callable[..., Any], *args: Any,
+               **kwargs: Any) -> Any:
+        """Run a mutation against ``key``'s structures under its shard
+        lock, serialized with the tenant's checks.  Barriers fired inside
+        land in the tenant's private write log."""
+        slot = self._slot(key)
+        with self._shard_locks[slot.shard]:
+            result = fn(*args, **kwargs)
+        with self._stats_lock:
+            self._counts["mutations"] += 1
+        return result
+
+    # Checking. --------------------------------------------------------------
+
+    def check(
+        self,
+        key: Any,
+        *args: Any,
+        deadline: Optional[float] = None,
+    ) -> CheckResult:
+        """Run ``key``'s invariant check through the robustness envelope.
+
+        Never raises (short of interpreter control flow): every outcome —
+        including shed load, open breakers, deadline blowouts, and check
+        exceptions — comes back as a :class:`CheckResult`.
+        """
+        t0 = self._clock()
+        early = self._admit(key, t0)
+        if early is not None:
+            return early
+        return self._check_admitted(key, args, deadline, t0)
+
+    def _admit(self, key: Any, t0: float) -> Optional[CheckResult]:
+        """Admission control, run in the *arrival* thread (so open-loop
+        submitters shed at arrival, not when a worker gets around to the
+        call).  Returns a terminal result to shed, or None on admission —
+        in which case one admission slot is held and
+        :meth:`_check_admitted` MUST run to release it."""
+        if self._closed:
+            with self._stats_lock:
+                self._counts["checks"] += 1
+                self._counts["checks_error"] += 1
+            return CheckResult(
+                key, ERROR, error=EngineStateError("pool has been closed"),
+            )
+        with self._registry_lock:
+            known = key in self._slots
+        if not known:
+            with self._stats_lock:
+                self._counts["checks"] += 1
+                self._counts["checks_error"] += 1
+            return CheckResult(
+                key, ERROR, error=KeyError(f"unknown tenant {key!r}"),
+            )
+        # Bounded admission: full pool => explicit shed.
+        if not self._admission.acquire(blocking=False):
+            with self._stats_lock:
+                self._counts["checks"] += 1
+                self._counts["shed"] += 1
+            return CheckResult(
+                key, REJECTED, duration=self._clock() - t0,
+                detail={"max_queue": self.config.max_queue},
+            )
+        with self._stats_lock:
+            self._in_flight += 1
+        return None
+
+    def _check_admitted(
+        self,
+        key: Any,
+        args: tuple,
+        deadline: Optional[float],
+        t0: float,
+    ) -> CheckResult:
+        # One admission slot is held (see _admit); always released here.
+        breaker = None
+        admitted_by_breaker = False
+        try:
+            try:
+                slot = self._slot(key)
+            except KeyError as exc:  # unregistered between admit and run
+                with self._stats_lock:
+                    self._counts["checks"] += 1
+                    self._counts["checks_error"] += 1
+                return CheckResult(key, ERROR, error=exc)
+            if deadline is None:
+                deadline = self.config.deadline
+            # Circuit breaker: persistently-failing tenant => shed.
+            if self.breakers is not None:
+                breaker = self.breakers.get(key)
+                if not breaker.allow():
+                    with self._stats_lock:
+                        self._counts["checks"] += 1
+                        self._counts["breaker_shed"] += 1
+                    return CheckResult(
+                        key, BREAKER_OPEN,
+                        duration=self._clock() - t0,
+                        retry_after=breaker.retry_after(),
+                    )
+                admitted_by_breaker = True
+            # Shard lock, then the run itself under its soft deadline.
+            lock = self._shard_locks[slot.shard]
+            with lock:
+                queue_time = self._clock() - t0
+                result = self._run_under_deadline(
+                    slot, args, deadline, t0, queue_time
+                )
+            if breaker is not None:
+                admitted_by_breaker = False
+                if result.status == OK:
+                    breaker.record_success()
+                else:
+                    breaker.record_failure()
+            with self._stats_lock:
+                self._counts["checks"] += 1
+                if result.status == OK:
+                    self._counts["checks_ok"] += 1
+                    if result.degraded:
+                        self._counts["checks_degraded"] += 1
+                elif result.status == DEADLINE:
+                    self._counts["deadline_hits"] += 1
+                else:
+                    self._counts["checks_error"] += 1
+            return result
+        except _NEVER_CAUGHT:
+            # Exception safety: the breaker slot is withdrawn, not
+            # counted — teardown is not a tenant failure.
+            if breaker is not None and admitted_by_breaker:
+                breaker.release()
+            raise
+        finally:
+            with self._stats_lock:
+                self._in_flight -= 1
+            self._admission.release()
+
+    def _run_under_deadline(
+        self,
+        slot: _TenantSlot,
+        args: tuple,
+        deadline: Optional[float],
+        t0: float,
+        queue_time: float,
+    ) -> CheckResult:
+        # Shard lock held.  deadline_at is absolute pool-clock time; the
+        # engine's step hook compares against it cooperatively.
+        start = self._clock()
+        slot.deadline_at = (
+            start + deadline if deadline is not None else None
+        )
+        degraded = False
+        try:
+            try:
+                value = slot.engine.run(*args)
+            except CheckDeadlineExceeded as exc:
+                if self.config.on_deadline == "reject" or deadline is None:
+                    return CheckResult(
+                        slot.key, DEADLINE, error=exc,
+                        duration=self._clock() - t0, queue_time=queue_time,
+                        detail={"deadline": deadline},
+                    )
+                # Degrade: one retry — the engine invalidated its graph,
+                # so this is a from-scratch (but still instrumented,
+                # hence still cancellable) rebuild.  The *total* budget
+                # is capped strictly below 2x the deadline.
+                degraded = True
+                slot.deadline_at = (
+                    start + self.config.deadline_extension * deadline
+                )
+                try:
+                    value = slot.engine.run(*args)
+                except CheckDeadlineExceeded as exc2:
+                    return CheckResult(
+                        slot.key, DEADLINE, error=exc2, degraded=True,
+                        duration=self._clock() - t0, queue_time=queue_time,
+                        detail={"deadline": deadline, "retried": True},
+                    )
+        except _NEVER_CAUGHT:
+            raise
+        except BaseException as exc:
+            return CheckResult(
+                slot.key, ERROR, error=exc, degraded=degraded,
+                duration=self._clock() - t0, queue_time=queue_time,
+            )
+        finally:
+            slot.deadline_at = None
+        return CheckResult(
+            slot.key, OK, value=value, degraded=degraded,
+            duration=self._clock() - t0, queue_time=queue_time,
+        )
+
+    def submit(
+        self, key: Any, *args: Any, deadline: Optional[float] = None
+    ) -> "Future[CheckResult]":
+        """Asynchronous :meth:`check` on the pool's worker threads.
+
+        Admission control runs *here*, in the submitting thread: an
+        open-loop producer outpacing the workers gets immediate
+        ``rejected`` futures once ``max_queue`` calls are in flight,
+        instead of buffering unboundedly inside the executor."""
+        t0 = self._clock()
+        early = self._admit(key, t0)
+        if early is not None:
+            future: "Future[CheckResult]" = Future()
+            future.set_result(early)
+            return future
+        if self._executor is None:
+            with self._registry_lock:
+                if self._executor is None:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.config.workers,
+                        thread_name_prefix="repro-pool",
+                    )
+        try:
+            return self._executor.submit(
+                self._check_admitted, key, args, deadline, t0
+            )
+        except BaseException:
+            # The admission slot must not leak if the executor refuses.
+            with self._stats_lock:
+                self._in_flight -= 1
+            self._admission.release()
+            raise
+
+    # Health. ----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Point-in-time pool health: lifetime counters plus occupancy
+        gauges plus aggregate breaker state."""
+        with self._stats_lock:
+            out = dict(self._counts)
+            out["queue_depth"] = self._in_flight
+        with self._registry_lock:
+            out["tenants"] = len(self._slots)
+        out["shards"] = self.config.shards
+        out["workers"] = self.config.workers
+        if self.breakers is not None:
+            out.update(self.breakers.stats())
+        return out
+
+    def close(self) -> None:
+        """Close every engine and stop the workers.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        executor = self._executor
+        if executor is not None:
+            executor.shutdown(wait=True)
+        with self._registry_lock:
+            slots = list(self._slots.values())
+            self._slots.clear()
+        for slot in slots:
+            with self._shard_locks[slot.shard]:
+                slot.engine.close()
+
+    def __enter__(self) -> "EnginePool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,80 @@
+"""Result envelope for pool check calls.
+
+Every admission decision the pool makes is visible in the result status —
+a shed call yields an explicit ``rejected`` result, a breaker-gated call
+an explicit ``breaker_open`` one.  Nothing is ever dropped silently: the
+caller can always tell *why* it has no answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: The check ran and produced a value (which may be ``False`` — an
+#: invariant violation is a successful *check*, not a serving failure).
+OK = "ok"
+#: The check (or the engine machinery) raised; ``error`` holds it.
+ERROR = "error"
+#: Shed at admission: the pool's bounded queue was full.
+REJECTED = "rejected"
+#: The run blew its soft deadline (including any degrade retry).
+DEADLINE = "deadline"
+#: Shed at admission: the tenant's circuit breaker is open.
+BREAKER_OPEN = "breaker_open"
+
+STATUSES = (OK, ERROR, REJECTED, DEADLINE, BREAKER_OPEN)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one :meth:`~repro.serving.pool.EnginePool.check` call."""
+
+    tenant: Any
+    status: str
+    #: The check's return value (``status == "ok"`` only).
+    value: Any = None
+    #: The exception that classified this result, when one exists
+    #: (``error``/``deadline``/``breaker_open``).
+    error: Optional[BaseException] = None
+    #: True when the answer came from a deadline-degrade retry rather than
+    #: the first attempt.
+    degraded: bool = False
+    #: Wall-clock seconds from admission to this result.
+    duration: float = 0.0
+    #: Seconds spent waiting for the tenant's shard lock (striping
+    #: contention; 0 for shed/breaker results, which never queue).
+    queue_time: float = 0.0
+    #: Seconds until the tenant's breaker next admits a probe
+    #: (``breaker_open`` only).
+    retry_after: float = 0.0
+    #: Free-form diagnostics (e.g. the deadline that was exceeded).
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    def unwrap(self) -> Any:
+        """The check value, or raise whatever prevented one."""
+        if self.status == OK:
+            return self.value
+        if self.error is not None:
+            raise self.error
+        raise RuntimeError(
+            f"check for tenant {self.tenant!r} produced no value: "
+            f"{self.status}"
+        )
+
+    def __repr__(self) -> str:  # compact: results are logged in bulk
+        extra = ""
+        if self.status == OK:
+            extra = f" value={self.value!r}"
+            if self.degraded:
+                extra += " degraded"
+        elif self.error is not None:
+            extra = f" error={type(self.error).__name__}"
+        return (
+            f"<CheckResult {self.tenant!r} {self.status}{extra} "
+            f"{self.duration * 1000:.2f}ms>"
+        )

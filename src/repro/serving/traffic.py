@@ -1,0 +1,189 @@
+"""Open-loop traffic generator for the serving benchmark.
+
+Drives an :class:`~repro.serving.pool.EnginePool` the way a deployment
+would: ≥1000 registered tenants, a mixed mutate/check stream arriving in
+bursts that do **not** wait for completions (open loop — arrival rate is
+independent of service rate, so overload manifests as shed load rather
+than as a conveniently slowed-down producer), a small set of pathological
+tenants (poisoned checks that raise, slow checks that crawl) to exercise
+breakers and deadlines under load.
+
+The output dict is the ``BENCH_serving.json`` record: p50/p99 check
+latency, shed rate, breaker trips, and the status histogram.  The CI gate
+(``benchmarks/bench_serving.py --check``) fails on >20% p99 regression
+against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..qa.models import get_model
+from ..resilience.degradation import BreakerPolicy
+from .pool import EnginePool, PoolConfig
+from .results import OK
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Seeded configuration for one open-loop traffic run."""
+
+    tenants: int = 1000
+    structure: str = "ordered_list"
+    #: Total check submissions (mutations ride along per check).
+    checks: int = 4000
+    mutates_per_check: int = 2
+    #: Checks submitted per burst before collecting completions.
+    burst: int = 64
+    seed: int = 0
+    shards: int = 8
+    workers: int = 8
+    #: Kept below ``burst`` so overload actually sheds.
+    max_queue: int = 32
+    deadline: float = 0.1
+    #: Fraction of tenants whose checks raise (drives breaker trips).
+    poison_fraction: float = 0.005
+    #: Fraction of tenants whose checks crawl (drives queue pressure).
+    slow_fraction: float = 0.005
+    slow_tick: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+def _percentile(sorted_values: list, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+def run_traffic(config: Optional[TrafficConfig] = None) -> dict:
+    """Run one open-loop campaign and return the benchmark record."""
+    config = config if config is not None else TrafficConfig()
+    rng = random.Random(config.seed)
+    model = get_model(config.structure)
+
+    pool = EnginePool(PoolConfig(
+        shards=config.shards,
+        workers=config.workers,
+        max_queue=config.max_queue,
+        deadline=config.deadline,
+        on_deadline="degrade",
+        breaker=BreakerPolicy(
+            failure_threshold=3,
+            recovery_time=0.05,
+            max_recovery_time=0.5,
+        ),
+        step_hook_interval=2,
+    ))
+    wall_start = time.perf_counter()
+    try:
+        keys = [f"tenant-{i}" for i in range(config.tenants)]
+        structures = {}
+        setup_start = time.perf_counter()
+        for key in keys:
+            pool.register(key, model.entry)
+            structures[key] = model.fresh()
+        setup_seconds = time.perf_counter() - setup_start
+
+        poison_count = max(1, int(config.tenants * config.poison_fraction))
+        slow_count = max(1, int(config.tenants * config.slow_fraction))
+        pathological = rng.sample(keys, poison_count + slow_count)
+        poisoned, slow = (
+            pathological[:poison_count], pathological[poison_count:]
+        )
+        slow_set = set(slow)
+
+        def _poison() -> None:
+            raise RuntimeError("traffic: poisoned tenant check")
+
+        for key in poisoned:
+            pool.set_step_probe(key, _poison)
+        for key in slow:
+            pool.set_step_probe(
+                key, lambda: time.sleep(config.slow_tick)
+            )
+
+        tenant_rngs = {
+            key: random.Random(config.seed * 1_000_003 + i)
+            for i, key in enumerate(keys)
+        }
+
+        durations: list = []
+        queue_times: list = []
+        statuses: dict = {}
+        submitted = 0
+        pending: list = []
+        serve_start = time.perf_counter()
+        while submitted < config.checks:
+            burst = min(config.burst, config.checks - submitted)
+            for _ in range(burst):
+                key = rng.choice(keys)
+                trng = tenant_rngs[key]
+                for _m in range(config.mutates_per_check):
+                    for op in model.random_ops(trng):
+                        if op.name.startswith("@"):
+                            continue
+                        pool.mutate(key, model.apply, structures[key], op)
+                if key in slow_set:
+                    # Worst case for a crawling tenant: a full rebuild
+                    # under its deadline (this is what the deadline
+                    # machinery exists to contain).
+                    pool.mutate(key, pool.engine(key).invalidate)
+                args = pool.mutate(key, model.check_args, structures[key])
+                pending.append(pool.submit(key, *args))
+                submitted += 1
+            # Open loop: collect the burst's completions only after the
+            # whole burst has arrived (arrivals never wait on service).
+            for future in pending:
+                res = future.result()
+                statuses[res.status] = statuses.get(res.status, 0) + 1
+                if res.status == OK:
+                    durations.append(res.duration)
+                    queue_times.append(res.queue_time)
+            pending.clear()
+        serve_seconds = time.perf_counter() - serve_start
+        stats = pool.stats()
+    finally:
+        pool.close()
+
+    durations.sort()
+    queue_times.sort()
+    completed = sum(statuses.values())
+    shed = statuses.get("rejected", 0)
+    return {
+        "benchmark": "serving",
+        "config": {
+            "tenants": config.tenants,
+            "structure": config.structure,
+            "checks": config.checks,
+            "burst": config.burst,
+            "max_queue": config.max_queue,
+            "workers": config.workers,
+            "shards": config.shards,
+            "seed": config.seed,
+        },
+        "tenants": config.tenants,
+        "checks_submitted": submitted,
+        "checks_completed": completed,
+        "statuses": dict(sorted(statuses.items())),
+        "p50_ms": _percentile(durations, 0.50) * 1000,
+        "p99_ms": _percentile(durations, 0.99) * 1000,
+        "queue_p99_ms": _percentile(queue_times, 0.99) * 1000,
+        "shed_rate": (shed / completed) if completed else 0.0,
+        "breaker_trips": stats.get("breaker_trips", 0),
+        "breaker_rejections": stats.get("breaker_rejections", 0),
+        "deadline_hits": stats.get("deadline_hits", 0),
+        "setup_seconds": setup_seconds,
+        "serve_seconds": serve_seconds,
+        "wall_seconds": time.perf_counter() - wall_start,
+    }

@@ -1,0 +1,183 @@
+"""Circuit breakers: trip, back off, probe, recover — under threads.
+
+Unit suite for the keyed breaker machinery the serving layer gates
+admission with.  The clock is injected everywhere, so every recovery
+window is driven deterministically — no sleeps."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.resilience.degradation import (
+    BreakerOpenError,
+    BreakerPolicy,
+    CircuitBreaker,
+    KeyedBreakers,
+)
+
+pytestmark = pytest.mark.serving
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(threshold=3, recovery=10.0, **kw):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        BreakerPolicy(
+            failure_threshold=threshold, recovery_time=recovery, **kw
+        ),
+        clock,
+    )
+    return breaker, clock
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        BreakerPolicy(failure_threshold=0)
+    with pytest.raises(ValueError):
+        BreakerPolicy(recovery_time=0)
+    with pytest.raises(ValueError):
+        BreakerPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        BreakerPolicy(recovery_time=10, max_recovery_time=5)
+    with pytest.raises(ValueError):
+        BreakerPolicy(half_open_probes=0)
+
+
+def test_trips_after_consecutive_failures_and_counts_rejections():
+    breaker, _clock = make(threshold=3)
+    for _ in range(2):
+        assert breaker.allow()
+        breaker.record_failure()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+    breaker.record_failure()  # third consecutive: trip
+    assert breaker.state == "open"
+    assert breaker.trips == 1
+    assert not breaker.allow()
+    assert breaker.rejections == 1
+    assert breaker.retry_after() == pytest.approx(10.0)
+
+
+def test_success_resets_the_failure_streak():
+    breaker, _clock = make(threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == "closed", "streak must reset on success"
+
+
+def test_half_open_probe_success_closes():
+    breaker, clock = make(threshold=1, recovery=10.0)
+    breaker.record_failure()
+    assert breaker.state == "open"
+    clock.advance(10.0)
+    assert breaker.allow()  # the half-open probe
+    assert breaker.state == "half_open"
+    assert not breaker.allow(), "only one probe at a time by default"
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+
+
+def test_half_open_probe_failure_reopens_with_backoff():
+    breaker, clock = make(threshold=1, recovery=10.0, backoff_factor=2.0,
+                          max_recovery_time=300.0)
+    breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.allow()
+    breaker.record_failure()  # probe fails: re-open, window doubles
+    assert breaker.state == "open"
+    assert breaker.trips == 2
+    clock.advance(10.0)
+    assert not breaker.allow(), "second window is 20s, not 10s"
+    clock.advance(10.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == "closed"
+    # A clean close resets the trip streak: next trip waits 10s again.
+    breaker.record_failure()
+    assert breaker.retry_after() == pytest.approx(10.0)
+
+
+def test_release_restores_the_probe_slot_without_counting():
+    breaker, clock = make(threshold=1, recovery=10.0)
+    breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.allow()
+    breaker.release()  # probe withdrawn (e.g. KeyboardInterrupt teardown)
+    assert breaker.state == "half_open"
+    assert breaker.allow(), "released slot must be admissible again"
+    breaker.record_success()
+    assert breaker.state == "closed"
+
+
+def test_call_wrapper_is_exception_safe():
+    breaker, clock = make(threshold=1, recovery=10.0)
+
+    with pytest.raises(RuntimeError):
+        breaker.call(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    assert breaker.state == "open", "exception counts as failure"
+    with pytest.raises(BreakerOpenError) as excinfo:
+        breaker.call(lambda: 1)
+    assert excinfo.value.retry_after == pytest.approx(10.0)
+    clock.advance(10.0)
+    # A KeyboardInterrupt mid-probe releases the slot uncounted.
+    def interrupted():
+        raise KeyboardInterrupt
+    with pytest.raises(KeyboardInterrupt):
+        breaker.call(interrupted)
+    assert breaker.state == "half_open"
+    assert breaker.call(lambda: 42) == 42
+    assert breaker.state == "closed"
+
+
+def test_keyed_breakers_are_independent_per_key():
+    clock = FakeClock()
+    keyed = KeyedBreakers(BreakerPolicy(failure_threshold=1), clock)
+    keyed.get("a").record_failure()
+    assert keyed.get("a").state == "open"
+    assert keyed.get("b").state == "closed"
+    stats = keyed.stats()
+    assert stats["breakers"] == 2
+    assert stats["breaker_trips"] == 1
+    assert stats["breakers_open"] == 1
+    keyed.remove("a")
+    assert keyed.get("a").state == "closed", "removed key starts fresh"
+
+
+def test_breaker_state_is_consistent_under_threads():
+    """Satellite check: breaker counters survive concurrent hammering
+    without losing updates or wedging (the pre-fix DegradationPolicy-style
+    unsynchronized mutation would drop counts)."""
+    breaker, _clock = make(threshold=1, recovery=1e9, max_recovery_time=1e9)
+    outcomes = []
+
+    def worker():
+        for _ in range(200):
+            if breaker.allow():
+                breaker.record_failure()
+            else:
+                outcomes.append("rejected")
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Exactly one trip (first failure), everything after is rejected.
+    assert breaker.trips == 1
+    assert breaker.state == "open"
+    assert breaker.rejections == len(outcomes)
+    assert breaker.rejections > 0

@@ -1,0 +1,65 @@
+"""Chaos campaign: faulted tenants never perturb their neighbours.
+
+Runs the seeded fault-injection harness end-to-end and asserts the
+acceptance envelope from the serving-layer work: >=1 faulted tenant per
+round across >=200 rounds, every un-faulted tenant byte-identical to the
+solo-engine oracle, and no deadline overrun past 2x its budget.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serving import ChaosConfig, ChaosResult, run_chaos
+from repro.serving.chaos import FAULT_KINDS
+
+pytestmark = pytest.mark.serving
+
+
+def test_chaos_campaign_200_rounds_no_cross_tenant_divergence():
+    config = ChaosConfig(tenants=8, rounds=200, seed=0)
+    res = run_chaos(config)
+    assert isinstance(res, ChaosResult)
+    assert res.rounds == 200
+    assert res.ok, res.summary()
+    assert not res.divergences, res.divergences[:3]
+    # >=1 faulted tenant per round, and every fault kind actually fired.
+    assert res.total_faults >= res.rounds
+    assert set(res.faults_injected) == set(FAULT_KINDS)
+    assert all(n > 0 for n in res.faults_injected.values())
+    # Deadline contract: even the blown-budget rounds stayed under 2x.
+    assert res.deadline_calls > 0
+    assert res.max_overrun_ratio <= 2.0
+    # Victims were designated up front; the clean cohort is non-empty.
+    assert res.victims and res.clean
+    assert not (set(res.victims) & set(res.clean))
+
+
+def test_chaos_is_deterministic_per_seed():
+    a = run_chaos(ChaosConfig(tenants=6, rounds=30, seed=7))
+    b = run_chaos(ChaosConfig(tenants=6, rounds=30, seed=7))
+    assert a.faults_injected == b.faults_injected
+    assert a.status_counts == b.status_counts
+    assert a.victims == b.victims
+    c = run_chaos(ChaosConfig(tenants=6, rounds=30, seed=8))
+    assert (
+        c.faults_injected != a.faults_injected
+        or c.victims != a.victims
+        or c.status_counts != a.status_counts
+    ), "different seeds should explore different fault schedules"
+
+
+def test_chaos_result_to_json_is_a_ci_artifact():
+    res = run_chaos(ChaosConfig(tenants=6, rounds=20, seed=3))
+    blob = res.to_json()
+    for key in (
+        "rounds", "victims", "faults_injected", "status_counts",
+        "divergences", "max_overrun_ratio", "deadline_calls", "ok",
+    ):
+        assert key in blob, key
+    assert blob["ok"] is True
+    assert blob["divergences"] == []
+    # The artifact must be serializable as-is (CI uploads it on failure).
+    assert json.loads(json.dumps(blob)) == blob

@@ -1,0 +1,203 @@
+"""Concurrency soak + re-entrancy guards (satellite: thread-safety).
+
+The soak drives N threads over M tenants (disjoint subsets, fixed seed)
+through one shared pool and diffs every answer against the QA scratch
+oracle — any cross-tenant bleed under real thread interleaving shows up
+as a divergence.  The re-entrancy tests pin down the engine's
+single-threaded contract: a ``run()`` started while another is live on
+the same engine fails fast with :class:`EngineBusyError`, never corrupts.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import DittoEngine
+from repro.core.errors import EngineBusyError
+from repro.core.tracked import TrackingState
+from repro.instrument.registry import check as as_check
+from repro.qa.models import get_model
+from repro.qa.trace import CHECK
+from repro.serving import OK, EnginePool, PoolConfig
+
+pytestmark = pytest.mark.serving
+
+THREADS = 4
+TENANTS_PER_THREAD = 6
+ROUNDS = 25
+SEED = 1234
+
+
+def test_soak_threads_over_disjoint_tenants_match_scratch_oracle():
+    model = get_model("ordered_list")
+    original = as_check(model.entry).original
+    keys = [f"soak-{i}" for i in range(THREADS * TENANTS_PER_THREAD)]
+
+    pool = EnginePool(PoolConfig(shards=4, workers=THREADS, max_queue=256))
+    try:
+        structures, replicas, rngs = {}, {}, {}
+        for i, key in enumerate(keys):
+            pool.register(key, model.entry)
+            structures[key] = model.fresh()
+            replicas[key] = model.fresh()
+            rngs[key] = random.Random(SEED * 7919 + i)
+
+        divergences: list = []
+        failures: list = []
+
+        def worker(mine: list) -> None:
+            try:
+                for _round in range(ROUNDS):
+                    for key in mine:
+                        ops = [
+                            op
+                            for op in model.random_ops(rngs[key])
+                            if op.name != CHECK
+                        ]
+                        for op in ops:
+                            pool.mutate(key, model.apply, structures[key], op)
+                            model.apply(replicas[key], op)
+                        args = pool.mutate(
+                            key, model.check_args, structures[key]
+                        )
+                        res = pool.check(key, *args)
+                        if res.status != OK:
+                            divergences.append((key, _round, res))
+                            continue
+                        expected = original(*model.check_args(replicas[key]))
+                        if repr(res.value) != repr(expected):
+                            divergences.append(
+                                (key, _round, res.value, expected)
+                            )
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=worker,
+                args=(keys[t * TENANTS_PER_THREAD:(t + 1)
+                           * TENANTS_PER_THREAD],),
+            )
+            for t in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not failures, failures
+        assert not divergences, divergences[:5]
+        stats = pool.stats()
+        assert stats["checks_ok"] == THREADS * TENANTS_PER_THREAD * ROUNDS
+        assert stats["shed"] == 0, "soak load must not shed (queue is ample)"
+        assert stats["queue_depth"] == 0
+    finally:
+        pool.close()
+
+
+# Re-entrancy guards. --------------------------------------------------------
+
+
+class Cell:
+    pass
+
+
+def _small_list_engine(hook=None):
+    """A tiny ordered-list engine over the QA model, with its own domain."""
+    model = get_model("ordered_list")
+    engine = DittoEngine(
+        model.entry,
+        tracking=TrackingState(),
+        step_hook=hook,
+        step_hook_interval=1,
+    )
+    structure = model.fresh()
+    rng = random.Random(99)
+    # An empty list checks in zero instrumented steps (no hook ticks):
+    # keep mutating until there is something to traverse.
+    while model.check_args(structure) == (None,):
+        for op in model.random_ops(rng):
+            if op.name != CHECK:
+                model.apply(structure, op)
+    return engine, model, structure
+
+
+def test_check_inside_a_running_check_raises_engine_busy():
+    state = Cell()
+    state.caught = []
+
+    def reenter(engine):
+        if not state.caught:
+            try:
+                engine.run(*state.args)
+            except EngineBusyError as exc:
+                state.caught.append(exc)
+
+    engine, model, structure = _small_list_engine(hook=reenter)
+    try:
+        state.args = model.check_args(structure)
+        value = engine.run(*state.args)
+        assert value is True
+        assert len(state.caught) == 1, (
+            "the nested run must fail fast with EngineBusyError"
+        )
+        assert isinstance(state.caught[0], EngineBusyError)
+        # The outer run was unharmed: the engine still answers correctly.
+        assert engine.run(*state.args) is True
+    finally:
+        engine.close()
+
+
+def test_concurrent_runs_on_one_engine_fail_fast_not_corrupt():
+    started, release = threading.Event(), threading.Event()
+
+    def wedge(engine):
+        started.set()
+        release.wait(5)
+
+    engine, model, structure = _small_list_engine(hook=wedge)
+    try:
+        args = model.check_args(structure)
+        outcome: list = []
+
+        def first():
+            outcome.append(engine.run(*args))
+
+        t = threading.Thread(target=first)
+        t.start()
+        assert started.wait(5), "first run never reached its hook"
+        with pytest.raises(EngineBusyError):
+            engine.run(*args)
+        release.set()
+        t.join(5)
+        assert outcome == [True]
+        assert engine.run(*args) is True
+    finally:
+        engine.close()
+
+
+def test_pool_surfaces_reentrancy_as_an_error_result():
+    """A tenant whose check re-enters its own engine gets a clean error
+    result carrying EngineBusyError — the pool never deadlocks on it."""
+    model = get_model("ordered_list")
+    with EnginePool(PoolConfig(step_hook_interval=1)) as pool:
+        engine = pool.register("t", model.entry)
+        structure = model.fresh()
+        rng = random.Random(5)
+        # Mutate until the structure is non-trivial: an empty list checks
+        # in zero instrumented steps, so the hook would never tick.
+        while model.check_args(structure) == (None,):
+            for op in model.random_ops(rng):
+                if op.name != CHECK:
+                    pool.mutate("t", model.apply, structure, op)
+        args = pool.mutate("t", model.check_args, structure)
+
+        pool.set_step_probe("t", lambda: engine.run(*args))
+        res = pool.check("t", *args)
+        assert res.status == "error"
+        assert isinstance(res.error, EngineBusyError)
+        pool.set_step_probe("t", None)
+        assert pool.check("t", *args).unwrap() is True
