@@ -19,6 +19,13 @@ Usage::
 constructs and writes the combined trace on exit — load it in Perfetto
 (https://ui.perfetto.dev) to see the per-phase spans.  Tracing adds
 per-event overhead, so don't compare traced timings against untraced ones.
+
+``--profile PREFIX`` attaches one shared repair-cost attribution profiler
+(:class:`repro.obs.RepairProfiler`) to every engine, prints the top
+mutation sites by induced re-execution on exit, and writes
+``PREFIX.folded.txt`` (flamegraph.pl / speedscope folded stacks) and
+``PREFIX.speedscope.json``.  Same caveat as ``--trace``: profiled
+timings are not comparable to unprofiled ones.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import time
 from typing import Any, Optional, Sequence
 
 from ..core.engine import DittoEngine
+from ..obs.profiler import RepairProfiler
 from ..obs.sinks import ChromeTraceSink
 from .runner import find_crossover, measure_modes, measure_soak, sweep
 from .report import (
@@ -42,9 +50,16 @@ from .workloads import get_workload
 
 
 def _engine_options(args: argparse.Namespace) -> dict[str, Any]:
-    """Engine kwargs shared by every experiment: the ``--trace`` sink."""
+    """Engine kwargs shared by every experiment: the ``--trace`` sink and
+    the ``--profile`` attribution profiler."""
+    options: dict[str, Any] = {}
     sink = getattr(args, "trace_sink", None)
-    return {"trace_sink": sink} if sink is not None else {}
+    if sink is not None:
+        options["trace_sink"] = sink
+    profiler = getattr(args, "profiler", None)
+    if profiler is not None:
+        options["profiler"] = profiler
+    return options
 
 #: Figure 11 structures and their paper-reported crossovers.
 FIG11_WORKLOADS = ("ordered_list", "hash_table", "red_black_tree")
@@ -392,12 +407,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="write a Chrome trace-event file of every engine's phase "
              "spans (open in Perfetto)",
     )
+    parser.add_argument(
+        "--profile", metavar="PREFIX",
+        help="attach the repair-cost attribution profiler; writes "
+             "PREFIX.folded.txt and PREFIX.speedscope.json and prints "
+             "the top mutation sites by induced re-execution",
+    )
     args = parser.parse_args(argv)
 
     sink: Optional[ChromeTraceSink] = None
     if args.trace:
         sink = ChromeTraceSink(args.trace)
     args.trace_sink = sink
+    args.profiler = RepairProfiler() if args.profile else None
 
     start = time.perf_counter()
     payload: dict[str, Any] = {}
@@ -413,6 +435,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             sink.close()
             print(f"\n(Chrome trace written to {args.trace} — "
                   f"{sink.events_emitted} events; open in Perfetto)")
+        if args.profiler is not None:
+            print()
+            print(args.profiler.report(top=10))
+            folded_path = f"{args.profile}.folded.txt"
+            speedscope_path = f"{args.profile}.speedscope.json"
+            args.profiler.write_folded(folded_path)
+            args.profiler.write_speedscope(speedscope_path)
+            print(f"\n(profile written to {folded_path} and "
+                  f"{speedscope_path} — load the latter in "
+                  f"https://www.speedscope.app)")
+            args.profiler.detach_all()
     elapsed = time.perf_counter() - start
     if args.json:
         payload["meta"] = {"quick": args.quick, "seed": args.seed,

@@ -69,6 +69,7 @@ from .tracked import TrackingState, tracking_state
 from ..obs.trace import NullSink, TraceSink
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.profiler import RepairProfiler
     from ..obs.provenance import RunRecorder
     from ..resilience.auditor import AuditReport
     from ..resilience.degradation import DegradationPolicy
@@ -123,6 +124,7 @@ class DittoEngine:
         tracking: Optional[TrackingState] = None,
         step_hook: Optional[Callable[["DittoEngine"], None]] = None,
         step_hook_interval: int = 128,
+        profiler: Optional["RepairProfiler"] = None,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -178,6 +180,10 @@ class DittoEngine:
         self.tracing = not isinstance(self._sink, NullSink)
         #: Per-run provenance recorder (repro.obs.enable_provenance).
         self.recorder: Optional["RunRecorder"] = None
+        #: Repair-cost attribution profiler (repro.obs.profiler).  Hooks
+        #: mirror the recorder's ``is not None`` guard; attached below
+        #: (once tracking exists) or later via ``profiler.attach(engine)``.
+        self.profiler: Optional["RepairProfiler"] = None
         #: Wall-clock seconds of the most recent run() call and its
         #: per-phase breakdown (reset at the start of every run).
         self.last_duration = 0.0
@@ -265,6 +271,8 @@ class DittoEngine:
         self._cooldown_remaining: float = 0
         self._consecutive_fallbacks = 0
         self._runs_since_audit = 0
+        if profiler is not None:
+            profiler.attach(self)
 
     # Observability plumbing (repro.obs). -------------------------------------------
 
@@ -345,6 +353,8 @@ class DittoEngine:
                     self.recorder.end_run(
                         self.last_duration, self.last_phase_times, aborted
                     )
+                if self.profiler is not None:
+                    self.profiler.run_finished(self, aborted)
         finally:
             self._running = False
             self._run_lock.release()
@@ -711,6 +721,8 @@ class DittoEngine:
         self.stats.dirty_marked += len(dirty)
         if self.recorder is not None:
             self.recorder.begin_run(self, pending, dirty, not first_run)
+        if self.profiler is not None:
+            self.profiler.begin_run(self, pending, dirty, not first_run)
         self._phase_end("dirty_mark", start)
         self._to_propagate.clear()
         self._failed.clear()
@@ -824,8 +836,13 @@ class DittoEngine:
         node.calls = []
         node.in_progress = True
         self._stack.append(node)
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.node_begin(node)
+        ok = False
         try:
             result = self._compiled[node.func.uid](*node.explicit_args)
+            ok = True
         except StepLimitExceeded:
             raise
         except Exception as exc:
@@ -864,6 +881,8 @@ class DittoEngine:
         finally:
             node.in_progress = False
             self._stack.pop()
+            if profiler is not None:
+                profiler.node_finish(node, ok, self._current_phase or "exec")
 
         if not is_primitive(result):
             raise ResultTypeError(

@@ -215,6 +215,13 @@ class TrackingState:
         #: bound to a retired state must not be used, and containers it
         #: still owns may be re-adopted by a live state.
         self.retired = False
+        #: Profiling probe (:mod:`repro.obs.profiler`): when armed, every
+        #: location that passes the barrier filters is offered to the probe
+        #: *before* it reaches the write log, so the profiler can attribute
+        #: the mutation to its call site.  ``None`` (the default) keeps
+        #: ``log_append`` the raw bound ``WriteLog.append`` — a disarmed
+        #: domain pays nothing.
+        self.mutation_probe: "Any | None" = None
         #: Hot-path snapshots (module docstring): the current monitored
         #: field set and the bound ``append`` of this state's write log.
         self.monitored: frozenset[str] = frozenset()
@@ -234,9 +241,36 @@ class TrackingState:
                 self._monitored_fields[f] = n
         self._refresh()
 
+    def set_mutation_probe(self, probe: "Any | None") -> "Any | None":
+        """Arm (or, with ``None``, disarm) the profiling mutation probe and
+        return the previous one.
+
+        While armed, every barrier append goes through a wrapper that calls
+        ``probe(location)`` first — this is the single choke point all
+        barrier paths (attribute stores, element stores, point and range
+        logs) funnel through, so one probe observes every mutation of the
+        domain.  The probe must be cheap and must not raise; it runs on the
+        main program's mutation path.
+        """
+        previous = self.mutation_probe
+        self.mutation_probe = probe
+        self._refresh()
+        return previous
+
     def _refresh(self) -> None:
         self.monitored = frozenset(self._monitored_fields)
-        self.log_append = self.write_log.append
+        probe = self.mutation_probe
+        raw_append = self.write_log.append
+        if probe is None:
+            self.log_append = raw_append
+        else:
+            def log_append(
+                location: Location, _probe=probe, _append=raw_append
+            ) -> None:
+                _probe(location)
+                _append(location)
+
+            self.log_append = log_append
 
     def is_monitored(self, field: str) -> bool:
         return field in self._monitored_fields

@@ -19,9 +19,36 @@ Three sub-layers, all near-zero-cost until attached:
   :func:`enable_provenance` + :func:`explain_last_run` render the chain
   mutated location → dirtied nodes → re-executed nodes → propagated
   ancestors as text or DOT.
+
+* :mod:`repro.obs.profiler` — the repair-cost attribution profiler:
+  :func:`enable_profiling` answers "which mutation *call-site* makes my
+  checks slow?" by joining barrier-captured caller tags against the memo
+  graph's dirtied nodes; exports folded stacks, speedscope JSON, and a
+  memo-graph heat DOT.
+
+* :mod:`repro.obs.flight` — the black-box flight recorder: a bounded
+  ring of recent run summaries + trace slices per engine, auto-dumping a
+  self-contained JSON artifact when something goes wrong (scratch
+  fallback, deadline abort, breaker trip, QA divergence).
+
+* :mod:`repro.obs.regression` — continuous regression detection: rolling
+  EWMA and frozen-p99 baselines per check, emitting
+  :class:`RegressionAlert` events when repair latency drifts.
+
+``python -m repro.obs analyze`` (:mod:`repro.obs.analyze`) reads every
+artifact the layer writes back in, summarizes it, and gates committed
+``BENCH_*.json`` history against drift.
 """
 
-from .trace import NullSink, RingBufferSink, TraceEvent, TraceSink
+from .trace import (
+    INSTANT_NAMES,
+    SPAN_NAMES,
+    NullSink,
+    RingBufferSink,
+    TeeSink,
+    TraceEvent,
+    TraceSink,
+)
 from .sinks import ChromeTraceSink, JsonlSink, validate_chrome_trace
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -42,28 +69,41 @@ from .provenance import (
     enable_provenance,
     explain_last_run,
 )
+from .profiler import RepairProfiler, disable_profiling, enable_profiling
+from .flight import TRIGGER_REASONS, FlightRecorder
+from .regression import RegressionAlert, RegressionDetector
 
 __all__ = [
     "ChromeTraceSink",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "disable_profiling",
     "disable_provenance",
+    "enable_profiling",
     "enable_provenance",
     "EngineMetrics",
-    "PoolMetrics",
     "explain_last_run",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "INSTANT_NAMES",
     "JsonlSink",
     "MetricsRegistry",
     "NullSink",
     "parse_prometheus_text",
+    "PoolMetrics",
+    "RegressionAlert",
+    "RegressionDetector",
+    "RepairProfiler",
     "RingBufferSink",
     "RunExplanation",
     "RunRecord",
     "RunRecorder",
+    "SPAN_NAMES",
+    "TeeSink",
     "TraceEvent",
     "TraceSink",
+    "TRIGGER_REASONS",
     "validate_chrome_trace",
 ]

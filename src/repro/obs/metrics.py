@@ -109,7 +109,15 @@ class Histogram:
 
     ``buckets`` are the inclusive upper bounds; an implicit ``+Inf`` bucket
     catches the rest.  Bucket counts are stored per-bucket and accumulated
-    at render time, so :meth:`observe` is one bisect + one increment."""
+    at render time, so :meth:`observe` is one bisect + one increment.
+
+    Boundary semantics are pinned to Prometheus's: ``le`` is **inclusive**
+    at exact bucket edges — ``observe(b)`` for a bound ``b`` lands in the
+    ``le="b"`` bucket, never the next one up (``bisect_left`` returns the
+    index *of* the equal bound).  ``tests/test_obs_metrics.py`` holds a
+    property test round-tripping edge-exact observations through
+    :func:`parse_prometheus_text`, ``+Inf`` included; a drive-by rewrite
+    to ``bisect_right`` breaks it."""
 
     __slots__ = ("name", "help", "bounds", "_counts", "_sum", "_count")
 

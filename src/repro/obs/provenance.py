@@ -37,6 +37,22 @@ def _node_label(node: "ComputationNode") -> str:
     return f"{node.func.name}({args})"
 
 
+def _dot_escape(label: str) -> str:
+    """Escape a label for a double-quoted Graphviz string.
+
+    Backslashes first (so escapes introduced below survive), then
+    quotes; carriage returns are dropped and newlines become the ``\\n``
+    line-break escape Graphviz renders as a centred break.  ``repr``'d
+    check arguments can contain any of these — an un-escaped ``"`` or a
+    raw newline truncates the attribute and breaks ``dot`` parsing."""
+    return (
+        label.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\r", "")
+        .replace("\n", "\\n")
+    )
+
+
 def _short(text: str, limit: int = 32) -> str:
     return text if len(text) <= limit else text[: limit - 3] + "..."
 
@@ -203,7 +219,7 @@ class RunExplanation:
                 return existing
             name = f"n{len(ids)}"
             ids[label] = name
-            escaped = label.replace('"', '\\"')
+            escaped = _dot_escape(label)
             lines.append(
                 f'  {name} [label="{escaped}", shape={shape}, '
                 f'color="{color}"];'

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import io
 import json
+import os
 from typing import Any, Optional, Union
 
-from .trace import TraceEvent, TraceSink
+from .trace import INSTANT_NAMES, SPAN_NAMES, TraceEvent, TraceSink
 
 #: ``ph`` values this package emits / accepts when validating.
 _CHROME_PHASES = frozenset("XiBEMC")
@@ -32,16 +33,62 @@ class JsonlSink(TraceSink):
     """Write each event immediately as one JSON line.
 
     ``target`` may be a path (opened and owned by the sink) or an open
-    text-mode file object (flushed but left open on :meth:`close`)."""
+    text-mode file object (flushed but left open on :meth:`close`).
 
-    def __init__(self, target: Union[str, io.TextIOBase]):
+    Long-running captures — multi-hour soaks, serving chaos campaigns —
+    need two guarantees a naive streaming sink doesn't give:
+
+    * **visibility**: :meth:`flush` pushes buffered lines to the OS on
+      demand, and ``flush_every=N`` does it automatically every N events,
+      so a crash (or a tail -f) never misses more than N events;
+    * **bounded disk**: ``max_bytes`` rotates the output once the current
+      file would exceed it — ``path`` is renamed to ``path.1`` (newest
+      backup), existing backups shift up, the oldest past ``backups``
+      falls off, and a fresh ``path`` continues the stream.  Rotation
+      requires a path target (a borrowed file object cannot be reopened;
+      passing both raises ``ValueError``).  Events are never split: a
+      line larger than ``max_bytes`` still lands whole in a fresh file.
+
+    Timestamps stay rebased against the *first* event across rotations,
+    so concatenating ``path.N .. path.1 path`` replays the full capture
+    on one clock."""
+
+    def __init__(
+        self,
+        target: Union[str, io.TextIOBase],
+        *,
+        max_bytes: Optional[int] = None,
+        backups: int = 3,
+        flush_every: Optional[int] = None,
+    ):
         super().__init__()
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if backups < 1:
+            raise ValueError(f"backups must be >= 1, got {backups}")
+        if flush_every is not None and flush_every <= 0:
+            raise ValueError(
+                f"flush_every must be positive, got {flush_every}"
+            )
         if isinstance(target, str):
+            self._path: Optional[str] = target
             self._file: Any = open(target, "w", encoding="utf-8")
             self._owns_file = True
         else:
+            if max_bytes is not None:
+                raise ValueError(
+                    "max_bytes rotation requires a path target: a "
+                    "borrowed file object cannot be reopened"
+                )
+            self._path = None
             self._file = target
             self._owns_file = False
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.flush_every = flush_every
+        self.rotations = 0
+        self._written = 0
+        self._since_flush = 0
         self._base_ts: Optional[float] = None
 
     def _record(self, event: TraceEvent) -> None:
@@ -56,7 +103,40 @@ class JsonlSink(TraceSink):
             payload["dur_us"] = _as_micros(event.dur)
         if event.args:
             payload["args"] = event.args
-        self._file.write(json.dumps(payload) + "\n")
+        line = json.dumps(payload) + "\n"
+        if self.max_bytes is not None:
+            size = len(line.encode("utf-8"))
+            if self._written > 0 and self._written + size > self.max_bytes:
+                self._rotate()
+            self._written += size
+        self._file.write(line)
+        if self.flush_every is not None:
+            self._since_flush += 1
+            if self._since_flush >= self.flush_every:
+                self.flush()
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS now."""
+        self._file.flush()
+        self._since_flush = 0
+
+    def _rotate(self) -> None:
+        """``path`` -> ``path.1`` (newest), shifting older backups up and
+        dropping the one past ``backups``."""
+        assert self._path is not None  # guaranteed by __init__
+        self._file.close()
+        oldest = f"{self._path}.{self.backups}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.backups - 1, 0, -1):
+            src = f"{self._path}.{index}"
+            if os.path.exists(src):
+                os.replace(src, f"{self._path}.{index + 1}")
+        os.replace(self._path, f"{self._path}.1")
+        self._file = open(self._path, "w", encoding="utf-8")
+        self._written = 0
+        self._since_flush = 0
+        self.rotations += 1
 
     def close(self) -> None:
         self._file.flush()
@@ -132,13 +212,24 @@ class ChromeTraceSink(TraceSink):
 
 
 def validate_chrome_trace(
-    source: Union[str, dict], strict: bool = False
+    source: Union[str, dict],
+    strict: bool = False,
+    known_names: bool = False,
 ) -> list[str]:
     """Check a Chrome trace (path or already-loaded dict) for well-formed
     ``ph``/``ts``/``dur`` fields; returns the list of problems found.
 
     With ``strict=True`` raises ``ValueError`` on the first report instead
-    — the CI step uses this to fail the build on a malformed trace."""
+    — the CI step uses this to fail the build on a malformed trace.
+
+    With ``known_names=True`` additionally checks event names against the
+    canonical registries in :mod:`repro.obs.trace`: span (``"X"``) names
+    must be engine phases (:data:`~repro.obs.trace.SPAN_NAMES`) and
+    instant (``"i"``) names must be registered instants
+    (:data:`~repro.obs.trace.INSTANT_NAMES`, which includes the
+    ``profile_sample`` / ``flight_dump`` / ``regression_alert`` events).
+    CI runs this over the soak trace so an event added without updating
+    the registry fails the build."""
     problems: list[str] = []
     if isinstance(source, str):
         try:
@@ -171,8 +262,20 @@ def validate_chrome_trace(
         if not isinstance(phase, str) or phase not in _CHROME_PHASES:
             problems.append(f"{where}: bad 'ph' {phase!r}")
             continue
-        if not isinstance(event.get("name"), str):
+        name = event.get("name")
+        if not isinstance(name, str):
             problems.append(f"{where}: missing/invalid 'name'")
+        elif known_names:
+            if phase == "X" and name not in SPAN_NAMES:
+                problems.append(
+                    f"{where}: unknown span name {name!r} (not a "
+                    f"registered engine phase)"
+                )
+            elif phase == "i" and name not in INSTANT_NAMES:
+                problems.append(
+                    f"{where}: unknown instant name {name!r} (not in "
+                    f"repro.obs.trace.INSTANT_NAMES)"
+                )
         ts = event.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             problems.append(f"{where}: missing/invalid 'ts' {ts!r}")

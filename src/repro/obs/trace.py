@@ -24,7 +24,38 @@ sink's :meth:`TraceSink._record`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterator, NamedTuple, Optional
+from typing import Iterable, Iterator, NamedTuple, Optional
+
+from ..core.stats import PHASES
+
+#: Canonical span names: exactly the engine's run phases.
+SPAN_NAMES: frozenset[str] = frozenset(PHASES)
+
+#: Canonical instant names.  ``validate_chrome_trace(known_names=True)``
+#: checks emitted events against these, so additions here are the single
+#: point of schema evolution:
+#:
+#: * engine hot path — ``barrier_drain`` (drain counters), ``node_exec``,
+#:   ``reuse``, ``leaf_exec``, ``misprediction``, ``degradation``;
+#: * profiler (:mod:`repro.obs.profiler`) — ``profile_sample``, one per
+#:   recorded run;
+#: * flight recorder (:mod:`repro.obs.flight`) — ``flight_dump``, one per
+#:   triggered artifact;
+#: * regression detector (:mod:`repro.obs.regression`) —
+#:   ``regression_alert``, one per breached baseline.
+INSTANT_NAMES: frozenset[str] = frozenset(
+    {
+        "barrier_drain",
+        "node_exec",
+        "reuse",
+        "leaf_exec",
+        "misprediction",
+        "degradation",
+        "profile_sample",
+        "flight_dump",
+        "regression_alert",
+    }
+)
 
 
 class TraceEvent(NamedTuple):
@@ -129,3 +160,53 @@ class RingBufferSink(TraceSink):
 
     def clear(self) -> None:
         self._events.clear()
+
+
+class TeeSink(TraceSink):
+    """Fan every event out to several child sinks.
+
+    The flight recorder uses this to splice its bounded ring into an
+    engine without displacing whatever sink the user already attached:
+    ``engine.trace_sink = TeeSink([user_sink, ring])``.  Children count
+    their own ``events_emitted``; closing the tee closes every child."""
+
+    def __init__(self, sinks: Iterable[TraceSink]):
+        super().__init__()
+        self.sinks: tuple[TraceSink, ...] = tuple(sinks)
+        if not self.sinks:
+            raise ValueError(
+                "TeeSink needs at least one child sink (an empty tee "
+                "would silently discard every event)"
+            )
+        for sink in self.sinks:
+            if not isinstance(sink, TraceSink):
+                raise TypeError(
+                    f"TeeSink children must be TraceSinks, got "
+                    f"{type(sink).__name__}"
+                )
+
+    def span(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.events_emitted += 1
+        for sink in self.sinks:
+            sink.span(name, ts, dur, args)
+
+    def instant(
+        self, name: str, ts: float, args: Optional[dict] = None
+    ) -> None:
+        self.events_emitted += 1
+        for sink in self.sinks:
+            sink.instant(name, ts, args)
+
+    def _record(self, event: TraceEvent) -> None:  # pragma: no cover
+        for sink in self.sinks:
+            sink._record(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

@@ -50,6 +50,11 @@ def main(argv: Optional[list] = None) -> int:
         "--artifact", metavar="PATH",
         help="write the ChaosResult JSON record (divergence artifact)",
     )
+    chaos.add_argument(
+        "--flight-dir", metavar="DIR",
+        help="enable per-tenant flight recorders dumping into DIR "
+             "(deadline aborts, breaker trips, divergences)",
+    )
 
     traffic = sub.add_parser(
         "traffic", help="open-loop load campaign (BENCH_serving record)"
@@ -75,8 +80,14 @@ def main(argv: Optional[list] = None) -> int:
             deadline=args.deadline,
             max_queue=args.max_queue,
             fault_kinds=kinds,
+            flight_dir=args.flight_dir,
         ))
         print(result.summary())
+        if args.flight_dir:
+            print(
+                f"flight recorder: {len(result.flight_dumps)} artifact(s) "
+                f"in {args.flight_dir}"
+            )
         for divergence in result.divergences[:10]:
             print(f"DIVERGENCE: {divergence}", file=sys.stderr)
         if args.artifact:

@@ -71,6 +71,11 @@ class ChaosConfig:
     #: exercised by :mod:`repro.serving.traffic`, not an isolation fault).
     shards: int = 4
     max_queue: int = 64
+    #: When set, every tenant gets a black-box flight recorder dumping
+    #: into this directory — deadline aborts, scratch fallbacks, and
+    #: breaker trips produce artifacts, and any divergence triggers a
+    #: ``qa_divergence`` dump from the diverging tenant's recorder.
+    flight_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.tenants < 2:
@@ -98,6 +103,9 @@ class ChaosResult:
     #: max(duration / budget) over every deadline-faulted call.
     max_overrun_ratio: float = 0.0
     deadline_calls: int = 0
+    #: Flight-recorder artifacts written during the campaign (populated
+    #: when ``config.flight_dir`` is set).
+    flight_dumps: list = field(default_factory=list)
 
     @property
     def total_faults(self) -> int:
@@ -134,6 +142,7 @@ class ChaosResult:
             "divergences": list(self.divergences),
             "max_overrun_ratio": self.max_overrun_ratio,
             "deadline_calls": self.deadline_calls,
+            "flight_dumps": list(self.flight_dumps),
             "ok": self.ok,
         }
 
@@ -168,6 +177,7 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosResult:
             half_open_probes=1,
         ),
         step_hook_interval=1,        # per-step ticks: tight cancellation
+        flight_dir=config.flight_dir,
     ))
     try:
         keys = [f"tenant-{i}" for i in range(config.tenants)]
@@ -231,14 +241,31 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosResult:
                     original, model.check_args(replicas[key])
                 )
                 if actual != expected:
-                    result.divergences.append({
+                    divergence = {
                         "round": _round,
                         "tenant": key,
                         "fault": {"victim": victim, "kind": kind},
                         "expected": list(expected),
                         "actual": list(actual),
-                    })
+                    }
+                    flight = pool.flight(key)
+                    if flight is not None:
+                        dump = flight.trigger(
+                            "qa_divergence",
+                            detail=(
+                                f"round {_round}: expected {expected!r}, "
+                                f"got {actual!r}"
+                            ),
+                        )
+                        if dump is not None:
+                            divergence["flight_dump"] = dump
+                    result.divergences.append(divergence)
             result.rounds += 1
+        if config.flight_dir is not None:
+            for key in keys:
+                flight = pool.flight(key)
+                if flight is not None:
+                    result.flight_dumps.extend(flight.dumps)
     finally:
         pool.close()
     return result

@@ -36,6 +36,7 @@ the pool never raises from ``check()`` and never drops a call silently.
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 import zlib
@@ -46,6 +47,7 @@ from typing import Any, Callable, Dict, Optional
 from ..core.engine import DittoEngine
 from ..core.errors import CheckDeadlineExceeded, EngineStateError
 from ..core.tracked import TrackingState
+from ..obs.flight import FlightRecorder
 from ..resilience.degradation import BreakerPolicy, KeyedBreakers
 from .results import (
     BREAKER_OPEN,
@@ -89,6 +91,16 @@ class PoolConfig:
     #: Steps between cooperative-cancellation hook ticks (smaller =
     #: tighter deadline enforcement, more hook overhead).
     step_hook_interval: int = 128
+    #: Directory for per-tenant black-box flight recorders
+    #: (:class:`repro.obs.flight.FlightRecorder`).  ``None`` disables
+    #: flight recording entirely (no ring, no tee, no tracing cost).
+    flight_dir: Optional[str] = None
+    #: Run summaries each tenant's recorder retains.
+    flight_capacity: int = 32
+    #: Trace events each tenant's recorder retains.
+    flight_trace_capacity: int = 512
+    #: Artifact cap per tenant (further triggers are suppressed).
+    flight_max_dumps: int = 16
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -111,6 +123,12 @@ class PoolConfig:
             )
         if self.step_hook_interval < 1:
             raise ValueError("step_hook_interval must be >= 1")
+        if self.flight_capacity < 1:
+            raise ValueError("flight_capacity must be >= 1")
+        if self.flight_trace_capacity < 1:
+            raise ValueError("flight_trace_capacity must be >= 1")
+        if self.flight_max_dumps < 1:
+            raise ValueError("flight_max_dumps must be >= 1")
 
 
 class _TenantSlot:
@@ -118,6 +136,7 @@ class _TenantSlot:
 
     __slots__ = (
         "key", "shard", "tracking", "engine", "deadline_at", "step_probe",
+        "flight",
     )
 
     def __init__(
@@ -128,6 +147,9 @@ class _TenantSlot:
         self.shard = shard
         self.tracking = tracking
         self.engine = engine
+        #: Per-tenant black-box recorder (None when the pool's
+        #: ``flight_dir`` is unset).  Touched only under the shard lock.
+        self.flight: Optional[FlightRecorder] = None
         #: Absolute (pool-clock) time the current run must finish by;
         #: None outside runs / for unbounded runs.  Written only while
         #: the tenant's shard lock is held.
@@ -145,9 +167,14 @@ class EnginePool:
         self,
         config: Optional[PoolConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        regression: Optional[Any] = None,
     ):
         self.config = config if config is not None else PoolConfig()
         self._clock = clock
+        #: Optional :class:`repro.obs.regression.RegressionDetector`; fed
+        #: the *service* time (duration minus queue wait) of every OK
+        #: check, keyed by check name.  Thread-safe by contract.
+        self.regression = regression
         self._slots: Dict[Any, _TenantSlot] = {}
         self._registry_lock = threading.Lock()
         self._shard_locks = [
@@ -218,6 +245,15 @@ class EnginePool:
         )
         slot = _TenantSlot(key, shard, tracking, engine)
         slot_ref.append(slot)
+        if self.config.flight_dir is not None:
+            safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", str(key)) or "tenant"
+            slot.flight = FlightRecorder(
+                self.config.flight_dir,
+                name=safe,
+                capacity=self.config.flight_capacity,
+                trace_capacity=self.config.flight_trace_capacity,
+                max_dumps=self.config.flight_max_dumps,
+            ).attach(engine)
         with self._registry_lock:
             if key in self._slots:
                 engine.close()
@@ -233,6 +269,8 @@ class EnginePool:
         if slot is None:
             return
         with self._shard_locks[slot.shard]:
+            if slot.flight is not None:
+                slot.flight.detach()
             slot.engine.close()
         if self.breakers is not None:
             self.breakers.remove(key)
@@ -250,6 +288,11 @@ class EnginePool:
 
     def engine(self, key: Any) -> DittoEngine:
         return self._slot(key).engine
+
+    def flight(self, key: Any) -> Optional[FlightRecorder]:
+        """``key``'s black-box recorder (None unless the pool was built
+        with ``flight_dir``)."""
+        return self._slot(key).flight
 
     def tracking(self, key: Any) -> TrackingState:
         return self._slot(key).tracking
@@ -379,7 +422,26 @@ class EnginePool:
                 if result.status == OK:
                     breaker.record_success()
                 else:
+                    trips_before = breaker.trips
                     breaker.record_failure()
+                    if (
+                        breaker.trips > trips_before
+                        and slot.flight is not None
+                    ):
+                        # The failure that opened the breaker: capture
+                        # the black box now, while the evidence is hot.
+                        # Re-take the shard lock — flight recorders are
+                        # only ever touched under it.
+                        with lock:
+                            try:
+                                path = slot.flight.trigger(
+                                    "breaker_trip",
+                                    detail=f"status={result.status}",
+                                )
+                            except OSError:
+                                path = None
+                        if path is not None and result.flight_dump is None:
+                            result.flight_dump = path
             with self._stats_lock:
                 self._counts["checks"] += 1
                 if result.status == OK:
@@ -417,16 +479,20 @@ class EnginePool:
             start + deadline if deadline is not None else None
         )
         degraded = False
+        # Every exit funnels through _finish: the flight recorder sees
+        # the run (and fires any stats-delta trigger, attaching the dump
+        # path to the result), and OK service time feeds the regression
+        # detector.  Shard lock is held on all of these paths.
         try:
             try:
                 value = slot.engine.run(*args)
             except CheckDeadlineExceeded as exc:
                 if self.config.on_deadline == "reject" or deadline is None:
-                    return CheckResult(
+                    return self._finish(slot, CheckResult(
                         slot.key, DEADLINE, error=exc,
                         duration=self._clock() - t0, queue_time=queue_time,
                         detail={"deadline": deadline},
-                    )
+                    ))
                 # Degrade: one retry — the engine invalidated its graph,
                 # so this is a from-scratch (but still instrumented,
                 # hence still cancellable) rebuild.  The *total* budget
@@ -438,24 +504,45 @@ class EnginePool:
                 try:
                     value = slot.engine.run(*args)
                 except CheckDeadlineExceeded as exc2:
-                    return CheckResult(
+                    return self._finish(slot, CheckResult(
                         slot.key, DEADLINE, error=exc2, degraded=True,
                         duration=self._clock() - t0, queue_time=queue_time,
                         detail={"deadline": deadline, "retried": True},
-                    )
+                    ))
         except _NEVER_CAUGHT:
             raise
         except BaseException as exc:
-            return CheckResult(
+            return self._finish(slot, CheckResult(
                 slot.key, ERROR, error=exc, degraded=degraded,
                 duration=self._clock() - t0, queue_time=queue_time,
-            )
+            ))
         finally:
             slot.deadline_at = None
-        return CheckResult(
+        return self._finish(slot, CheckResult(
             slot.key, OK, value=value, degraded=degraded,
             duration=self._clock() - t0, queue_time=queue_time,
-        )
+        ))
+
+    def _finish(
+        self, slot: _TenantSlot, result: CheckResult
+    ) -> CheckResult:
+        # Shard lock held (flight recorders are single-threaded per
+        # tenant by that contract).
+        flight = slot.flight
+        if flight is not None:
+            try:
+                path = flight.observe()
+            except OSError:
+                path = None  # a full disk must not fail the check call
+            if path is not None and result.flight_dump is None:
+                result.flight_dump = path
+        regression = self.regression
+        if regression is not None and result.status == OK:
+            regression.observe(
+                slot.engine.entry.name,
+                max(0.0, result.duration - result.queue_time),
+            )
+        return result
 
     def submit(
         self, key: Any, *args: Any, deadline: Optional[float] = None
@@ -519,6 +606,8 @@ class EnginePool:
             self._slots.clear()
         for slot in slots:
             with self._shard_locks[slot.shard]:
+                if slot.flight is not None:
+                    slot.flight.detach()
                 slot.engine.close()
 
     def __enter__(self) -> "EnginePool":

@@ -48,6 +48,10 @@ class CheckResult:
     #: Seconds until the tenant's breaker next admits a probe
     #: (``breaker_open`` only).
     retry_after: float = 0.0
+    #: Path of the flight-recorder artifact written because of this call
+    #: (a trigger fired during or right after the run), when the pool has
+    #: flight recording enabled.  ``None`` otherwise.
+    flight_dump: Optional[str] = None
     #: Free-form diagnostics (e.g. the deadline that was exceeded).
     detail: dict = field(default_factory=dict)
 

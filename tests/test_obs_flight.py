@@ -1,0 +1,258 @@
+"""Black-box flight recorder: triggers, rate limits, bounded memory, and
+the serving-pool integration that gives every tenant one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import DittoEngine
+from repro.obs import FlightRecorder, NullSink, RingBufferSink
+from repro.obs.trace import TeeSink
+from repro.structures import OrderedIntList, is_ordered
+
+
+def _build_list(size: int) -> OrderedIntList:
+    lst = OrderedIntList()
+    for v in range(size):
+        lst.insert(v)
+    return lst
+
+
+@pytest.fixture
+def recorder_engine(engine_factory, tmp_path):
+    engine = engine_factory(is_ordered, trace_sink=NullSink())
+    recorder = FlightRecorder(str(tmp_path), name="t0").attach(engine)
+    return recorder, engine, tmp_path
+
+
+class TestAttachment:
+    def test_null_sink_replaced_by_ring(self, recorder_engine):
+        recorder, engine, _ = recorder_engine
+        assert isinstance(engine.trace_sink, RingBufferSink)
+        assert engine.tracing is True
+
+    def test_existing_sink_preserved_via_tee(self, engine_factory,
+                                             tmp_path):
+        user_sink = RingBufferSink()
+        engine = engine_factory(is_ordered, trace_sink=user_sink)
+        recorder = FlightRecorder(str(tmp_path)).attach(engine)
+        tee = engine.trace_sink
+        assert isinstance(tee, TeeSink)
+        assert user_sink in tee.sinks
+        lst = _build_list(5)
+        engine.run(lst.head)
+        # Both the user's sink and the black-box ring saw the run.
+        assert user_sink.events_emitted > 0
+        assert recorder.trace_events()
+        recorder.detach()
+        assert engine.trace_sink is user_sink
+
+    def test_double_attach_rejected(self, recorder_engine,
+                                    engine_factory, tmp_path):
+        recorder, _, _ = recorder_engine
+        other = engine_factory(is_ordered)
+        with pytest.raises(ValueError, match="already attached"):
+            recorder.attach(other)
+
+    def test_observe_requires_attachment(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path))
+        with pytest.raises(ValueError, match="not attached"):
+            recorder.observe()
+
+    def test_rejects_bad_limits(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlightRecorder(str(tmp_path), capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(str(tmp_path), max_dumps=0)
+
+
+class TestTriggers:
+    def test_counter_delta_triggers_dump(self, recorder_engine):
+        recorder, engine, tmp_path = recorder_engine
+        lst = _build_list(10)
+        engine.run(lst.head)
+        assert recorder.observe() is None  # healthy run: no dump
+        # Simulate the engine falling back to scratch.
+        engine.stats.scratch_fallbacks += 1
+        path = recorder.observe()
+        assert path is not None and os.path.exists(path)
+        assert "scratch_fallback" in os.path.basename(path)
+        # The delta was consumed: the next observation is quiet again.
+        assert recorder.observe() is None
+
+    def test_explicit_trigger_reasons(self, recorder_engine):
+        recorder, engine, _ = recorder_engine
+        lst = _build_list(5)
+        engine.run(lst.head)
+        path = recorder.trigger("breaker_trip", detail="status=error")
+        assert path is not None
+        doc = json.load(open(path))
+        assert doc["reason"] == "breaker_trip"
+        assert doc["detail"] == "status=error"
+        with pytest.raises(ValueError, match="unknown trigger reason"):
+            recorder.trigger("disk_full")
+
+    def test_dump_is_self_contained(self, recorder_engine):
+        recorder, engine, _ = recorder_engine
+        lst = _build_list(10)
+        engine.run(lst.head)
+        recorder.observe()
+        lst.insert(4)
+        engine.run(lst.head)
+        recorder.observe()
+        path = recorder.trigger("manual")
+        doc = json.load(open(path))
+        assert doc["kind"] == "flight_dump"
+        assert doc["schema"] == 1
+        assert doc["check"] == "is_ordered"
+        assert doc["name"] == "t0"
+        assert doc["stats"]["runs"] == 2
+        assert len(doc["runs"]) == 2
+        assert doc["runs"][-1]["duration_s"] >= 0
+        assert doc["runs"][-1]["delta"]  # incremental run moved counters
+        assert doc["trace"]  # the ring captured span events
+        assert "timers_s" in doc and "fallback_events" in doc
+
+    def test_dump_emits_flight_dump_instant(self, recorder_engine):
+        recorder, engine, _ = recorder_engine
+        lst = _build_list(5)
+        engine.run(lst.head)
+        recorder.trigger("manual")
+        ring_events = [e for e in recorder.trace_events()
+                       if e.name == "flight_dump"]
+        assert len(ring_events) == 1
+        assert ring_events[0].args["reason"] == "manual"
+
+
+class TestRateLimits:
+    def test_max_dumps_cap(self, recorder_engine):
+        recorder, engine, _ = recorder_engine
+        recorder.max_dumps = 2
+        lst = _build_list(5)
+        engine.run(lst.head)
+        assert recorder.trigger("manual") is not None
+        assert recorder.trigger("manual") is not None
+        assert recorder.trigger("manual") is None
+        assert len(recorder.dumps) == 2
+        assert recorder.dumps_suppressed == 1
+
+    def test_min_dump_interval(self, engine_factory, tmp_path):
+        fake_now = [0.0]
+        recorder = FlightRecorder(
+            str(tmp_path), min_dump_interval=5.0,
+            clock=lambda: fake_now[0],
+        )
+        engine = engine_factory(is_ordered)
+        recorder.attach(engine)
+        engine.run(_build_list(5).head)
+        assert recorder.trigger("manual") is not None
+        fake_now[0] = 2.0  # inside the window
+        assert recorder.trigger("manual") is None
+        assert recorder.dumps_suppressed == 1
+        fake_now[0] = 6.0  # past it
+        assert recorder.trigger("manual") is not None
+
+
+class TestBoundedMemory:
+    def test_rings_constant_over_10k_runs(self, engine_factory, tmp_path):
+        """Satellite: the black box must be constant-memory no matter how
+        long the engine lives."""
+        recorder = FlightRecorder(
+            str(tmp_path), capacity=32, trace_capacity=128,
+        )
+        engine = engine_factory(is_ordered, trace_sink=NullSink())
+        recorder.attach(engine)
+        lst = _build_list(50)
+        engine.run(lst.head)
+        for i in range(10_000):
+            if i % 100 == 0:  # real incremental runs, sparsely
+                lst.insert(i)
+                engine.run(lst.head)
+            recorder.observe()
+        assert len(recorder) == 32
+        assert len(recorder.runs()) == 32
+        assert len(recorder.trace_events()) <= 128
+        assert recorder.dumps == []  # healthy soak: not one artifact
+        # The ring holds the *latest* summaries.
+        assert recorder.runs()[-1]["run_index"] == engine.stats.runs
+
+
+class TestPoolIntegration:
+    def test_deadline_abort_produces_artifact(self, tmp_path):
+        from repro.qa.models import get_model
+        from repro.serving.pool import EnginePool, PoolConfig
+
+        model = get_model("ordered_list")
+        pool = EnginePool(PoolConfig(
+            shards=1, workers=1, deadline=0.01, on_deadline="degrade",
+            step_hook_interval=1, flight_dir=str(tmp_path),
+        ))
+        try:
+            pool.register("acct/1", model.entry)
+            assert pool.flight("acct/1") is not None
+            structure = model.fresh()
+            import random
+            rng = random.Random(0)
+            for _ in range(5):
+                for op in model.random_ops(rng):
+                    if op.name != "check":
+                        pool.mutate("acct/1", model.apply, structure, op)
+            pool.engine("acct/1").invalidate()
+            pool.set_step_probe(
+                "acct/1", lambda: time.sleep(0.002)
+            )
+            try:
+                result = pool.check(
+                    "acct/1", *model.check_args(structure),
+                    deadline=0.005,
+                )
+            finally:
+                pool.set_step_probe("acct/1", None)
+            assert result.flight_dump is not None
+            assert os.path.exists(result.flight_dump)
+            # Tenant key is sanitized for the filename.
+            assert "acct_1" in os.path.basename(result.flight_dump)
+            doc = json.load(open(result.flight_dump))
+            assert doc["reason"] == "deadline_abort"
+            assert doc["stats"]["deadline_aborts"] >= 1
+        finally:
+            pool.close()
+
+    def test_unregister_detaches_recorder(self, tmp_path):
+        from repro.qa.models import get_model
+        from repro.serving.pool import EnginePool, PoolConfig
+
+        model = get_model("ordered_list")
+        pool = EnginePool(PoolConfig(
+            shards=1, workers=1, flight_dir=str(tmp_path)
+        ))
+        try:
+            pool.register("t", model.entry)
+            recorder = pool.flight("t")
+            assert recorder.engine is not None
+            pool.unregister("t")
+            assert recorder.engine is None
+            with pytest.raises(KeyError):
+                pool.flight("t")
+        finally:
+            pool.close()
+
+    def test_no_flight_dir_no_recorder(self):
+        from repro.qa.models import get_model
+        from repro.serving.pool import EnginePool, PoolConfig
+
+        model = get_model("ordered_list")
+        pool = EnginePool(PoolConfig(shards=1, workers=1))
+        try:
+            pool.register("t", model.entry)
+            assert pool.flight("t") is None
+            structure = model.fresh()
+            result = pool.check("t", *model.check_args(structure))
+            assert result.flight_dump is None
+        finally:
+            pool.close()

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import TrackedObject, check
 from repro.obs import (
@@ -167,6 +169,94 @@ class TestPrometheusText:
         parsed = parse_prometheus_text("# a comment\n\nx 1\n")
         assert parsed["x"]["samples"]["x"] == 1.0
         assert parsed["x"]["type"] == "untyped"
+
+
+class TestHistogramBoundarySemantics:
+    """Satellite: pin the ``le`` inclusive-at-boundary contract.
+
+    An observation exactly equal to a bucket bound lands in that bucket
+    (Prometheus ``le`` = less-than-*or-equal*); the implementation note
+    in :class:`repro.obs.metrics.Histogram` warns against the
+    ``bisect_right`` rewrite that would silently flip this."""
+
+    BOUNDS = (0.001, 0.25, 1.0, 60.0)
+
+    def test_exact_boundary_is_inclusive(self):
+        for bound in self.BOUNDS:
+            h = Histogram("h", buckets=self.BOUNDS)
+            h.observe(bound)
+            cumulative = dict(h.cumulative_buckets())
+            assert cumulative[bound] == 1, bound
+            # Strictly-below bounds must NOT count it.
+            for other in self.BOUNDS:
+                if other < bound:
+                    assert cumulative[other] == 0
+
+    def test_above_top_bound_lands_only_in_inf(self):
+        h = Histogram("h", buckets=self.BOUNDS)
+        h.observe(61.0)
+        cumulative = dict(h.cumulative_buckets())
+        assert all(cumulative[b] == 0 for b in self.BOUNDS)
+        assert cumulative[math.inf] == 1
+
+    def _round_trip(self, values):
+        """Observe ``values``; parse the exposition text back; return the
+        parsed cumulative bucket counts keyed by ``le`` string."""
+        reg = MetricsRegistry()
+        h = reg.histogram("rt_seconds", "round trip",
+                          buckets=self.BOUNDS)
+        for v in values:
+            h.observe(v)
+        parsed = parse_prometheus_text(reg.to_prometheus_text())
+        samples = parsed["rt_seconds"]["samples"]
+        counts = {}
+        for key, value in samples.items():
+            if key.startswith('rt_seconds_bucket{le="'):
+                le = key[len('rt_seconds_bucket{le="'):-2]
+                counts[le] = value
+        return counts, samples
+
+    def test_round_trip_of_edge_observations(self):
+        """Every observation sits exactly on a bound (or past the top):
+        the text exposition must reproduce the in-memory cumulative
+        counts, ``+Inf`` included."""
+        values = list(self.BOUNDS) + [100.0, 0.0]  # past-top and at-zero
+        counts, samples = self._round_trip(values)
+        expected = {
+            str_bound: sum(1 for v in values if v <= bound)
+            for bound, str_bound in zip(
+                self.BOUNDS, ("0.001", "0.25", "1", "60")
+            )
+        }
+        for key, want in expected.items():
+            assert counts[key] == want, key
+        assert counts["+Inf"] == len(values)
+        assert samples["rt_seconds_count"] == len(values)
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.sampled_from(BOUNDS),          # exact bounds
+                st.sampled_from(BOUNDS).map(
+                    lambda b: b * (1 + 1e-9)      # just past a bound
+                ),
+                st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_text_round_trip(self, values):
+        counts, samples = self._round_trip(values)
+        le_of = dict(zip(self.BOUNDS, ("0.001", "0.25", "1", "60")))
+        for bound, le in le_of.items():
+            assert counts[le] == sum(1 for v in values if v <= bound)
+        assert counts["+Inf"] == len(values)
+        assert samples["rt_seconds_count"] == len(values)
+        assert samples["rt_seconds_sum"] == pytest.approx(
+            sum(values), abs=1e-6
+        )
 
 
 class TestEngineMetrics:

@@ -10,6 +10,7 @@ from repro.obs import (
     enable_provenance,
     explain_last_run,
 )
+from repro.obs.provenance import _dot_escape
 
 
 class Elem(TrackedObject):
@@ -159,3 +160,40 @@ class TestRendering:
         explanation = explain_last_run(engine)
         assert explanation.record.incremental is True
         assert "no mutations since the previous run" in explanation.text()
+
+
+@check
+def prov_tagged(e, tag):
+    if e is None:
+        return len(tag)
+    return 1 + prov_tagged(e.next, tag)
+
+
+class TestDotEscaping:
+    """Regression: labels carry ``repr``'d check arguments, and a string
+    argument with a quote or newline used to truncate the DOT ``label``
+    attribute mid-string."""
+
+    def test_escape_rules(self):
+        assert _dot_escape('a"b') == 'a\\"b'
+        assert _dot_escape("a\nb") == "a\\nb"
+        assert _dot_escape("a\r\nb") == "a\\nb"
+        # Backslashes are escaped *first*, so a literal two-character
+        # "\n" sequence survives as text instead of becoming a break.
+        assert _dot_escape("a\\nb") == "a\\\\nb"
+        assert _dot_escape('say "hi"\nbye') == 'say \\"hi\\"\\nbye'
+
+    def test_dot_with_quote_and_newline_in_string_arg(
+        self, engine_factory
+    ):
+        engine = engine_factory(prov_tagged)
+        enable_provenance(engine)
+        engine.run(_chain(2), 'he said "hi"\nbye')
+        dot = explain_last_run(engine).dot()
+        # The quotes inside the repr'd argument are escaped...
+        assert '\\"hi\\"' in dot
+        # ...and every line is a complete statement: no raw quote ends a
+        # label early (an even count of unescaped quotes per line).
+        for line in dot.splitlines():
+            unescaped = line.replace('\\"', "")
+            assert unescaped.count('"') % 2 == 0, line

@@ -10,10 +10,13 @@ import pytest
 from repro import TrackedObject, check
 from repro.core.stats import PHASES
 from repro.obs import (
+    INSTANT_NAMES,
+    SPAN_NAMES,
     ChromeTraceSink,
     JsonlSink,
     NullSink,
     RingBufferSink,
+    TeeSink,
     TraceEvent,
     TraceSink,
     validate_chrome_trace,
@@ -167,6 +170,110 @@ class TestJsonlSink:
         assert json.loads(path.read_text())["name"] == "x"
 
 
+class TestJsonlFlushAndRotation:
+    def test_explicit_flush_makes_lines_visible(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        sink.instant("a", 1.0)
+        sink.flush()
+        # Visible on disk before close (a tail -f would see it).
+        assert path.read_text().count("\n") == 1
+        sink.instant("b", 2.0)
+        sink.close()
+        assert path.read_text().count("\n") == 2
+
+    def test_flush_every_autoflushes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path), flush_every=3)
+        for i in range(5):
+            sink.instant("e", float(i))
+        # 3 flushed at the threshold; 2 still buffered (at most).
+        assert path.read_text().count("\n") >= 3
+        sink.close()
+        assert path.read_text().count("\n") == 5
+
+    def test_rotation_shifts_backups_and_caps_disk(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path), max_bytes=200, backups=2)
+        for i in range(40):
+            sink.instant("tick", float(i), args={"i": i})
+        sink.close()
+        assert sink.rotations >= 2
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == [
+            "events.jsonl", "events.jsonl.1", "events.jsonl.2"
+        ]  # nothing past `backups` survives
+        # Every surviving file is whole JSON lines under the cap...
+        newest_i = None
+        for name in ("events.jsonl.2", "events.jsonl.1", "events.jsonl"):
+            body = (tmp_path / name).read_bytes()
+            assert len(body) <= 200
+            for line in body.decode().splitlines():
+                event = json.loads(line)
+                # ...with timestamps monotone across the concatenation:
+                # one clock from the capture's first event.
+                if newest_i is not None:
+                    assert event["args"]["i"] > newest_i
+                newest_i = event["args"]["i"]
+        assert newest_i == 39  # the newest event is in the live file
+
+    def test_oversized_line_lands_whole(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path), max_bytes=64, backups=1)
+        sink.instant("small", 0.0)
+        sink.instant("big", 1.0, args={"blob": "x" * 500})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1  # rotated first, then written unsplit
+        assert json.loads(lines[0])["args"]["blob"] == "x" * 500
+
+    def test_rotation_rejects_file_objects_and_bad_params(self, tmp_path):
+        with pytest.raises(ValueError, match="path target"):
+            JsonlSink(io.StringIO(), max_bytes=100)
+        with pytest.raises(ValueError, match="max_bytes"):
+            JsonlSink(str(tmp_path / "x"), max_bytes=0)
+        with pytest.raises(ValueError, match="backups"):
+            JsonlSink(str(tmp_path / "x"), max_bytes=10, backups=0)
+        with pytest.raises(ValueError, match="flush_every"):
+            JsonlSink(str(tmp_path / "x"), flush_every=0)
+
+
+class TestTeeSink:
+    def test_fans_out_to_all_children(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        tee = TeeSink([a, b])
+        tee.span("exec", 0.0, 1.0, {"n": 1})
+        tee.instant("reuse", 2.0)
+        for child in (a, b):
+            assert [e.name for e in child.events()] == ["exec", "reuse"]
+            assert child.spans("exec")[0].args == {"n": 1}
+        assert tee.events_emitted == 2
+
+    def test_rejects_non_sinks_and_empty(self):
+        with pytest.raises(ValueError):
+            TeeSink([])
+        with pytest.raises(TypeError):
+            TeeSink([RingBufferSink(), "not a sink"])
+
+    def test_close_closes_children(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        jsonl = JsonlSink(str(path))
+        ring = RingBufferSink()
+        tee = TeeSink([jsonl, ring])
+        tee.instant("x", 0.0)
+        tee.close()
+        assert json.loads(path.read_text())["name"] == "x"
+
+
+class TestNameRegistries:
+    def test_span_names_are_engine_phases(self):
+        assert SPAN_NAMES == frozenset(PHASES)
+
+    def test_instant_names_include_observability_events(self):
+        assert {"profile_sample", "flight_dump", "regression_alert",
+                "node_exec", "reuse", "misprediction"} <= INSTANT_NAMES
+
+
 class TestChromeTraceSink:
     def test_trace_file_round_trip(self, tmp_path, engine_factory):
         path = tmp_path / "trace.json"
@@ -225,6 +332,22 @@ class TestValidateChromeTrace:
         with pytest.raises(ValueError, match="invalid Chrome trace"):
             validate_chrome_trace({"traceEvents": [{"ph": "Z"}]},
                                   strict=True)
+
+    def test_known_names_checks_registries(self):
+        good = {"traceEvents": [
+            {"name": "exec", "ph": "X", "ts": 0, "dur": 1},
+            {"name": "flight_dump", "ph": "i", "ts": 1, "s": "t"},
+        ]}
+        assert validate_chrome_trace(good, known_names=True) == []
+        bad = {"traceEvents": [
+            {"name": "bogus_span", "ph": "X", "ts": 0, "dur": 1},
+            {"name": "bogus_instant", "ph": "i", "ts": 1, "s": "t"},
+        ]}
+        assert validate_chrome_trace(bad) == []  # off by default
+        problems = validate_chrome_trace(bad, known_names=True)
+        assert len(problems) == 2
+        assert any("unknown span name" in p for p in problems)
+        assert any("unknown instant name" in p for p in problems)
 
     def test_unreadable_path(self, tmp_path):
         problems = validate_chrome_trace(str(tmp_path / "missing.json"))
