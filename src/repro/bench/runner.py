@@ -333,13 +333,15 @@ def find_crossover(
     hi: int = 2000,
     seed: int = 0xD1770,
     repeats: int = 3,
+    engine_options: Optional[dict] = None,
 ) -> CrossoverResult:
     """Binary-search the smallest size at which the DITTO check beats the
     full check, all overheads considered (§5.1.1).
 
     Each probe times both modes ``repeats`` times and keeps the minimum, to
     damp scheduler noise.  Returns ``crossover_size=None`` if DITTO never
-    wins below ``hi``.
+    wins below ``hi``.  ``engine_options`` are forwarded to the DITTO
+    engine (e.g. ``{"specialize": "off"}`` for per-tier crossovers).
     """
     probes: list[tuple[int, float, float]] = []
 
@@ -351,9 +353,10 @@ def find_crossover(
             for _ in range(repeats)
         )
         best_ditto = min(
-            measure_modes(workload_name, size, mods, ("ditto",), seed)[
-                "ditto"
-            ].seconds
+            measure_modes(
+                workload_name, size, mods, ("ditto",), seed,
+                engine_options=engine_options,
+            )["ditto"].seconds
             for _ in range(repeats)
         )
         probes.append((size, best_full, best_ditto))

@@ -15,17 +15,46 @@ result would be wrong for the other).  The hash combines
 ``id()``-based hashes for objects with value hashes for primitives,
 mirroring ``System.identityHashCode`` / ``Object.hashCode`` in the paper.
 
+Two float edge cases need sharper-than-``==`` keys, because ``==`` is
+coarser than observable behaviour:
+
+* ``0.0 == -0.0`` yet the two are distinguishable inside a check (via
+  ``math.copysign``, ``str``, division); keying them together would let
+  one invocation serve the other a stale cached result.  Floats are
+  therefore keyed by *(type, value, sign bit)* when zero.
+* ``nan != nan``, so a NaN-keyed entry could never be found again — every
+  call would miss the memo and leak a fresh node into the table (and the
+  unequal-to-itself key would break ``contains``/pruning of those
+  entries).  NaN is keyed by *identity*: the same NaN object is the same
+  invocation; distinct NaN objects are distinct heap-like values.  The
+  key's strong reference to the argument keeps the ``id()`` stable.
+
+The same normalization applies recursively inside primitive tuples,
+``complex`` components, and frozenset elements.
+
 ``ArgsKey`` instances keep strong references to the argument objects, so an
 ``id()`` can never be recycled while a memo-table entry is alive.
 """
 
 from __future__ import annotations
 
+from math import copysign
 from typing import Any
 
 #: Types compared and hashed by value.  ``bool`` is a subclass of ``int``;
 #: tuples of primitives also compare by value (they are immutable).
 _PRIMITIVE_TYPES = (int, float, str, bytes, complex, frozenset, type(None))
+
+#: Exact types whose Python ``==`` / ``hash`` already agree with the memo
+#: semantics (no sign-of-zero or NaN pitfalls) — the ``_freeze`` fast path.
+_ATOM_TYPES = frozenset((int, bool, str, bytes, type(None)))
+
+#: Tag for identity-keyed (heap) parts; a unique sentinel so an identity
+#: part can never collide with a ``(type, value, ...)`` part.
+_ID_TAG = object()
+
+#: Tag marking a NaN part (identity-keyed but type-preserving).
+_NAN_TAG = "nan"
 
 
 def is_primitive(value: Any) -> bool:
@@ -35,6 +64,52 @@ def is_primitive(value: Any) -> bool:
     return isinstance(value, _PRIMITIVE_TYPES)
 
 
+def _freeze_float(t: type, value: float) -> tuple:
+    if value != value:  # NaN: identity semantics (see module docstring)
+        return (t, _NAN_TAG, id(value))
+    if value == 0.0:
+        # +0.0 and -0.0 compare equal; the sign bit splits them.
+        return (t, value, copysign(1.0, value))
+    return (t, value)
+
+
+def _freeze(value: Any) -> tuple:
+    """Canonical, hashable token for one argument: plain tuple equality on
+    tokens is exactly the memo-key equality (type-strict semantic equality
+    for primitives with float edges resolved, identity for heap objects)."""
+    t = value.__class__
+    if t in _ATOM_TYPES:
+        return (t, value)
+    if t is float:
+        return _freeze_float(t, value)
+    if t is tuple:
+        if is_primitive(value):
+            return (t, tuple(_freeze(v) for v in value))
+        return (_ID_TAG, id(value))
+    if t is complex:
+        return (t, _freeze_float(float, value.real),
+                _freeze_float(float, value.imag))
+    if t is frozenset:
+        return (t, frozenset(_freeze(v) for v in value))
+    # Subclasses of the primitive types keep semantic comparison but stay
+    # type-strict (``t`` is the subclass); the float/complex/frozenset
+    # normalizations apply to their subclasses too.
+    if isinstance(value, tuple):
+        if is_primitive(value):
+            return (t, tuple(_freeze(v) for v in value))
+        return (_ID_TAG, id(value))
+    if isinstance(value, _PRIMITIVE_TYPES):
+        if isinstance(value, float):
+            return _freeze_float(t, value)
+        if isinstance(value, complex):
+            return (t, _freeze_float(float, value.real),
+                    _freeze_float(float, value.imag))
+        if isinstance(value, frozenset):
+            return (t, frozenset(_freeze(v) for v in value))
+        return (t, value)
+    return (_ID_TAG, id(value))
+
+
 class ArgsKey:
     """Hashable key wrapping one explicit-argument tuple."""
 
@@ -42,33 +117,16 @@ class ArgsKey:
 
     def __init__(self, args: tuple):
         self.args = args
-        parts = []
-        for a in args:
-            if is_primitive(a):
-                parts.append((0, a))
-            else:
-                parts.append((1, id(a)))
-        self._parts = tuple(parts)
-        self._hash = hash(self._parts)
+        self._parts = parts = tuple(map(_freeze, args))
+        self._hash = hash(parts)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ArgsKey):
             return NotImplemented
-        if self._parts is other._parts:
-            return True
-        if len(self._parts) != len(other._parts):
-            return False
-        for (tag_a, val_a), (tag_b, val_b) in zip(self._parts, other._parts):
-            if tag_a != tag_b:
-                return False
-            if tag_a == 0:
-                # Semantic comparison; also require same type so that
-                # 1 and 1.0 and True do not collapse into one invocation.
-                if type(val_a) is not type(val_b) or val_a != val_b:
-                    return False
-            elif val_a != val_b:  # identity comparison via id()
-                return False
-        return True
+        # Tokens carry the argument's type as their first element, so plain
+        # tuple equality is type-strict (1, 1.0 and True never collapse)
+        # and the float normalizations above are already baked in.
+        return self._parts == other._parts
 
     def __ne__(self, other: object) -> bool:
         eq = self.__eq__(other)

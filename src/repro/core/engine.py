@@ -35,6 +35,7 @@ in the check's call-graph closure.
 
 from __future__ import annotations
 
+import os
 import sys
 import threading
 import time
@@ -105,9 +106,38 @@ _SCALARS = (int, float, bool, str, bytes, complex)
 #: exception is forwarded on").
 _MAX_RETRY_ROUNDS = 3
 
+#: Valid values of the ``specialize`` engine option.
+_SPECIALIZE_CHOICES = ("off", "on", "auto")
+
+#: Environment values that turn the specialization tier off under
+#: ``specialize="auto"`` (anything else, including unset, leaves it on).
+_SPECIALIZE_OFF_VALUES = ("0", "off", "false", "no")
+
+
+def _resolve_specialize(setting: str) -> bool:
+    """Map the ``specialize`` option (plus ``DITTO_SPECIALIZE`` under
+    ``"auto"``) to the tier decision."""
+    if setting == "auto":
+        env = os.environ.get("DITTO_SPECIALIZE", "").strip().lower()
+        return env not in _SPECIALIZE_OFF_VALUES
+    return setting == "on"
+
 
 class DittoEngine:
     """Automatic incrementalizer for one data structure invariant check."""
+
+    # Step-accounting backing fields.  Class-level defaults let the property
+    # setters below run in any order during ``__init__`` (each reads its
+    # siblings' backing attributes).
+    _step_limit: Optional[int] = None
+    _step_hook: Optional[Callable[["DittoEngine"], None]] = None
+    _step_hook_interval: int = 128
+    _hook_countdown: int = 128
+    #: True iff a step limit or step hook is armed.  This is the single
+    #: per-step test both tiers perform before entering :meth:`_step_tail`,
+    #: so unlimited runs pay one attribute load per step instead of the
+    #: limit/hook/countdown cascade.
+    _step_active: bool = False
 
     def __init__(
         self,
@@ -125,9 +155,15 @@ class DittoEngine:
         step_hook: Optional[Callable[["DittoEngine"], None]] = None,
         step_hook_interval: int = 128,
         profiler: Optional["RepairProfiler"] = None,
+        specialize: str = "auto",
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if specialize not in _SPECIALIZE_CHOICES:
+            raise ValueError(
+                f"specialize must be one of {_SPECIALIZE_CHOICES}, got "
+                f"{specialize!r}"
+            )
         if paranoia < 0:
             raise ValueError(f"paranoia must be >= 0, got {paranoia!r}")
         if lint not in ("off", "warn", "strict"):
@@ -153,23 +189,16 @@ class DittoEngine:
         #: the classic behaviour (step-limit rebuilds, everything else is
         #: forwarded to the main program).
         self.degradation = degradation
-        if step_hook_interval < 1:
-            raise ValueError(
-                f"step_hook_interval must be >= 1, got {step_hook_interval!r}"
-            )
         #: The write-barrier isolation domain this engine consumes from.
         #: Defaults to the process-wide state; the serving layer binds each
         #: tenant's engines to a private :class:`TrackingState` so tenants
         #: cannot observe each other's barriers or fault hooks.
         self.tracking = tracking if tracking is not None else tracking_state()
-        #: Cooperative cancellation hook: called with the engine every
-        #: ``step_hook_interval`` runtime steps during instrumented
-        #: execution.  Raising :class:`CheckDeadlineExceeded` from it
-        #: aborts the run transactionally (graph discarded, exception
-        #: forwarded); the serving layer uses this for soft deadlines.
-        self.step_hook = step_hook
+        # Step accounting: the interval is assigned first (its setter
+        # validates and primes the countdown) so installing the hook sees
+        # the requested cadence, not the class default.
         self.step_hook_interval = step_hook_interval
-        self._hook_countdown = step_hook_interval
+        self.step_hook = step_hook
         self.stats = EngineStats()
         self.table = MemoTable(self.tracking)
         self.order = OrderList()
@@ -212,11 +241,15 @@ class DittoEngine:
             self.plan = None
         #: Helper function -> HelperSummary for depth-1 read attribution.
         self.helper_summaries: dict[Any, Any] = {}
+        #: (class, method name) -> HelperSummary for registered pure
+        #: methods on tracked receivers (depth-1 receiver/argument reads).
+        self.method_summaries: dict[tuple[type, str], Any] = {}
         #: Helpers accepted without registration (lint="strict" only).
         self.verified_helpers: frozenset = frozenset()
         if self.plan is not None:
             self.monitored_fields = frozenset(self.plan.monitored_fields)
             self.helper_summaries = self.plan.helper_summaries
+            self.method_summaries = self.plan.method_summaries
             if lint == "strict":
                 self.verified_helpers = self.plan.verified_helpers
             if lint != "off":
@@ -237,17 +270,28 @@ class DittoEngine:
         self.tracking.monitor_fields(self.monitored_fields)
         self._log_cid = self.tracking.write_log.register()
 
-        # Compile instrumented versions (Figure 3) of every check function.
-        self._compiled: dict[int, Any] = {}
-        for fn in self.functions.values():
-            uid_map = {
-                name: callee.uid
-                for name, callee in fn.resolve_callees().items()
-            }
-            self._compiled[fn.uid] = instrument(fn, uid_map, self.runtime)
-
-        # Execution state.
+        # Execution state the compiled tiers close over (the stack list is
+        # pre-bound by specialized closures and must exist before compile).
         self._stack: list[ComputationNode] = []
+
+        # Compile instrumented versions (Figure 3) of every check function.
+        #: Whether the specialization tier compiles this engine's checks
+        #: (``specialize`` kwarg, ``DITTO_SPECIALIZE`` env under "auto");
+        #: irrelevant in scratch mode, which runs the original source.
+        self.specialize = specialize
+        self.specialized = mode != "scratch" and _resolve_specialize(specialize)
+        self._compiled: dict[int, Any] = {}
+        if self.specialized:
+            from ..instrument.specialize import specialize_closure
+
+            self._compiled.update(specialize_closure(self))
+        else:
+            for fn in self.functions.values():
+                uid_map = {
+                    name: callee.uid
+                    for name, callee in fn.resolve_callees().items()
+                }
+                self._compiled[fn.uid] = instrument(fn, uid_map, self.runtime)
         self._root: Optional[ComputationNode] = None
         # Artificial caller pinning the root so it is never pruned.
         self._anchor = ComputationNode(self.entry, ArgsKey(("<anchor>",)))
@@ -287,6 +331,75 @@ class DittoEngine:
     def trace_sink(self, sink: Optional[TraceSink]) -> None:
         self._sink = sink if sink is not None else NullSink()
         self.tracing = not isinstance(self._sink, NullSink)
+
+    # Step accounting (shared by the interpreter and specialized tiers). -----------
+
+    @property
+    def step_limit(self) -> Optional[int]:
+        """Abort an *incremental* run after this many runtime steps
+        (§3.5's second remedy for optimistic non-termination); ``None``
+        disables the limit."""
+        return self._step_limit
+
+    @step_limit.setter
+    def step_limit(self, limit: Optional[int]) -> None:
+        self._step_limit = limit
+        self._step_active = limit is not None or self._step_hook is not None
+
+    @property
+    def step_hook(self) -> Optional[Callable[["DittoEngine"], None]]:
+        """Cooperative cancellation hook: called with the engine every
+        ``step_hook_interval`` runtime steps during instrumented execution.
+        Raising :class:`CheckDeadlineExceeded` from it aborts the run
+        transactionally (graph discarded, exception forwarded); the serving
+        layer uses this for soft deadlines."""
+        return self._step_hook
+
+    @step_hook.setter
+    def step_hook(self, hook: Optional[Callable[["DittoEngine"], None]]) -> None:
+        self._step_hook = hook
+        # A freshly-(re)installed hook starts a full interval from *now* —
+        # the countdown must not inherit the previous hook's residue, which
+        # could make the first firing up to a full interval late.
+        self._hook_countdown = self._step_hook_interval
+        self._step_active = hook is not None or self._step_limit is not None
+
+    @property
+    def step_hook_interval(self) -> int:
+        """Steps between :attr:`step_hook` invocations (>= 1)."""
+        return self._step_hook_interval
+
+    @step_hook_interval.setter
+    def step_hook_interval(self, interval: int) -> None:
+        if interval < 1:
+            raise ValueError(
+                f"step_hook_interval must be >= 1, got {interval!r}"
+            )
+        self._step_hook_interval = interval
+        # Re-arm immediately at the new cadence: a hook that tightens the
+        # interval mid-run (deadline pressure) must not wait out the stale
+        # countdown primed from the old interval.
+        self._hook_countdown = interval
+
+    def _step_tail(self) -> None:
+        """Slow half of per-step accounting, entered only when
+        ``_step_active`` (a limit or hook is armed).  ``Runtime._step`` and
+        the specialized tier's inlined step sequence share this so the two
+        tiers cannot drift."""
+        if (
+            self._step_limit is not None
+            and self.in_incremental_run
+            and self.steps > self._step_limit
+        ):
+            raise StepLimitExceeded(
+                f"incremental run exceeded {self._step_limit} steps"
+            )
+        hook = self._step_hook
+        if hook is not None:
+            self._hook_countdown -= 1
+            if self._hook_countdown <= 0:
+                self._hook_countdown = self._step_hook_interval
+                hook(self)
 
     def _phase_begin(self, name: str) -> float:
         self._current_phase = name
@@ -475,6 +588,7 @@ class DittoEngine:
         plan = build_plan(self.entry)
         self.plan = plan
         self.helper_summaries = plan.helper_summaries
+        self.method_summaries = plan.method_summaries
         if self.lint_mode == "strict":
             self.verified_helpers = plan.verified_helpers
         report = plan.report()
@@ -755,18 +869,22 @@ class DittoEngine:
                     # Re-execute dirty invocations closest to the root
                     # first; invocations that already fell out of the
                     # computation are pruned, not re-executed (Figure 7).
+                    # Hot loop: bound references hoisted out of the
+                    # per-node iteration.
+                    contains = self.table.contains
+                    prune = self._prune
+                    exec_node = self._exec
+                    stats = self.stats
+                    root_node = self._root
                     for node in sorted(dirty, key=ComputationNode.sort_token):
-                        if not (self.table.contains(node) and node.dirty):
+                        if not (contains(node) and node.dirty):
                             continue
-                        if (
-                            node is not self._root
-                            and node.caller_count() == 0
-                        ):
-                            self._prune(node)
+                        if node is not root_node and node.caller_count() == 0:
+                            prune(node)
                             continue
-                        self.stats.dirty_execs += 1
+                        stats.dirty_execs += 1
                         try:
-                            self._exec(node)
+                            exec_node(node)
                         except OptimisticMispredictionError:
                             pass  # recorded in self._failed; retried below
             finally:
@@ -974,11 +1092,12 @@ class DittoEngine:
             return self._compiled[uid](*args)
         caller = self._stack[-1]
         key = ArgsKey(args)
-        node, created = self.table.get_or_create(func, key)
+        table = self.table
+        node, created = table.get_or_create(func, key)
         if created:
             self.stats.nodes_created += 1
             node.order_rec = self.order.insert_last()
-        self.table.add_edge(caller, node)
+        table.add_edge(caller, node)
         if node.dirty or not node.has_result:
             return self._exec(node)
         if self.mode == "naive":

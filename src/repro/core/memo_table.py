@@ -18,7 +18,12 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional
 from .argkeys import ArgsKey
 from .locations import IndexLocation, Location, RangeLocation
 from .node import ComputationNode
-from .tracked import TrackingState, adopt_container
+from .tracked import (
+    TrackedArray,
+    TrackedObject,
+    TrackingState,
+    adopt_container,
+)
 
 
 def _merge_intervals(
@@ -109,16 +114,21 @@ class MemoTable:
             dependents = set()
             self._reverse[location] = dependents
         dependents.add(node)
-        # Location-attributed incref when the container supports it (the
-        # per-location barrier refinement); plain container incref as the
-        # duck-typed fallback for custom tracked containers.
-        incref_loc = getattr(container, "_ditto_incref_loc", None)
-        if incref_loc is not None:
-            incref_loc(location)
+        # Location-attributed incref.  The shipped tracked types get a
+        # direct (monomorphic) call — every location reaching here for them
+        # is already the interned instance, so canonicalization inside
+        # ``_ditto_incref_loc`` is a dict no-op; duck-typed getattr
+        # dispatch remains only for custom tracked containers.
+        if isinstance(container, (TrackedObject, TrackedArray)):
+            container._ditto_incref_loc(location)
         else:
-            incref = getattr(container, "_ditto_incref", None)
-            if incref is not None:
-                incref()
+            incref_loc = getattr(container, "_ditto_incref_loc", None)
+            if incref_loc is not None:
+                incref_loc(location)
+            else:
+                incref = getattr(container, "_ditto_incref", None)
+                if incref is not None:
+                    incref()
 
     def clear_implicits(self, node: ComputationNode) -> None:
         """Drop all of ``node``'s implicit arguments (before re-execution or
@@ -130,13 +140,16 @@ class MemoTable:
                 if not dependents:
                     del self._reverse[location]
             container = location.container
-            decref_loc = getattr(container, "_ditto_decref_loc", None)
-            if decref_loc is not None:
-                decref_loc(location)
+            if isinstance(container, (TrackedObject, TrackedArray)):
+                container._ditto_decref_loc(location)
             else:
-                decref = getattr(container, "_ditto_decref", None)
-                if decref is not None:
-                    decref()
+                decref_loc = getattr(container, "_ditto_decref_loc", None)
+                if decref_loc is not None:
+                    decref_loc(location)
+                else:
+                    decref = getattr(container, "_ditto_decref", None)
+                    if decref is not None:
+                        decref()
         node.implicits.clear()
 
     def nodes_reading(self, location: Location) -> set[ComputationNode]:

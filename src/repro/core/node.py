@@ -35,19 +35,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 class ComputationNode:
     """One dynamic invocation ``f(explicit_args)`` of a check function."""
 
+    # Slot order is tuned for the hot loops, hottest first: the memo probe
+    # and propagate loop test ``dirty``/``has_result`` and read
+    # ``return_val``/``depth``/``callers``/``calls`` on every visit, while
+    # ``func``/``key``/ticks are touched once per (re)execution.  CPython
+    # lays slots out in declaration order, so the early ones share the
+    # object head's cache lines.
     __slots__ = (
+        "dirty",
+        "has_result",
+        "return_val",
+        "depth",
+        "callers",
+        "calls",
+        "implicits",
+        "in_progress",
+        "failed",
+        "order_rec",
         "func",
         "key",
-        "implicits",
-        "calls",
-        "callers",
-        "return_val",
-        "has_result",
-        "dirty",
-        "failed",
-        "in_progress",
-        "depth",
-        "order_rec",
         "last_exec_tick",
         "value_tick",
     )

@@ -24,6 +24,12 @@ _UNIVERSE = 1 << 62
 #: Density threshold base 1 < T < 2; range at level ``i`` (size ``2**i``)
 #: may be relabeled when its record count is below ``2**i / T**i``.
 _T = 1.5
+#: Stride for the append fast path.  Bisecting between the last record and
+#: the tail sentinel halves the remaining gap on every append, forcing a
+#: relabel about every 60 inserts in the append-heavy graph-build phase; a
+#: fixed stride leaves ~2**42 appends before the universe end is reached
+#: (where the bisect/relabel slow path takes over and re-compacts labels).
+_APPEND_GAP = 1 << 20
 
 
 class Record:
@@ -86,11 +92,15 @@ class OrderList:
             raise ValueError("record does not belong to this OrderList")
         nxt = rec.next
         assert nxt is not None
-        if nxt.label - rec.label < 2:
-            self._rebalance(rec if rec is not self._head else nxt)
-            nxt = rec.next
-            assert nxt is not None
-        new = Record((rec.label + nxt.label) // 2, self)
+        if nxt is self._tail and rec.label + _APPEND_GAP < _UNIVERSE:
+            label = rec.label + _APPEND_GAP
+        else:
+            if nxt.label - rec.label < 2:
+                self._rebalance(rec if rec is not self._head else nxt)
+                nxt = rec.next
+                assert nxt is not None
+            label = (rec.label + nxt.label) // 2
+        new = Record(label, self)
         new.prev, new.next = rec, nxt
         rec.next = new
         nxt.prev = new

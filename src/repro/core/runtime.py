@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
-from .errors import StepLimitExceeded, TrackingError
+from .errors import TrackingError
 from .tracked import TrackedArray, TrackedObject
 from ..instrument.transform import (
     IMMUTABLE_RECEIVERS,
@@ -46,24 +46,13 @@ class Runtime:
     # Implicit-argument recording. ---------------------------------------------
 
     def _step(self) -> None:
+        # The limit/hook cascade lives in DittoEngine._step_tail, shared
+        # with the specialized tier's inlined step sequence; unlimited runs
+        # pay one flag test here.
         engine = self.engine
         engine.steps += 1
-        if (
-            engine.step_limit is not None
-            and engine.in_incremental_run
-            and engine.steps > engine.step_limit
-        ):
-            raise StepLimitExceeded(
-                f"incremental run exceeded {engine.step_limit} steps"
-            )
-        if engine.step_hook is not None:
-            # Cooperative cancellation: every ``step_hook_interval`` steps
-            # the hook gets a chance to abort the run (soft deadlines in
-            # the serving layer raise CheckDeadlineExceeded from here).
-            engine._hook_countdown -= 1
-            if engine._hook_countdown <= 0:
-                engine._hook_countdown = engine.step_hook_interval
-                engine.step_hook(engine)
+        if engine._step_active:
+            engine._step_tail()
 
     def get_attr(self, obj: Any, name: str) -> Any:
         self._step()
@@ -184,11 +173,31 @@ class Runtime:
 
     def method(self, receiver: Any, name: str, *args: Any) -> Any:
         self._step()
-        self.engine.stats.helper_calls += 1
-        if self.engine.strict and not is_pure_method(receiver, name):
+        engine = self.engine
+        engine.stats.helper_calls += 1
+        if engine.strict and not is_pure_method(receiver, name):
             raise TrackingError(
                 f"check called method {name!r} on "
                 f"{type(receiver).__name__}; register it with "
                 f"repro.register_pure_method if it is pure"
             )
+        summary = self._method_summary(receiver, name)
+        if summary is not None:
+            # Attribute the method body's depth-1 heap reads to the calling
+            # node, exactly as ``helper`` does: the body runs uninstrumented
+            # but the lint summary proved it reads at most receiver/argument
+            # fields and lengths (Definition 1 soundness for method calls).
+            self._attribute_helper_reads(summary, (receiver,) + args)
         return getattr(receiver, name)(*args)
+
+    def _method_summary(self, receiver: Any, name: str) -> Any:
+        """The registered pure method's read summary, resolved along the
+        receiver's MRO (mirrors ``is_pure_method`` resolution)."""
+        summaries = self.engine.method_summaries
+        if not summaries:
+            return None
+        for cls in type(receiver).__mro__:
+            summary = summaries.get((cls, name))
+            if summary is not None:
+                return summary
+        return None

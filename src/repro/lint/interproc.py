@@ -41,6 +41,7 @@ from ..instrument.analysis import (
     SAFE_BINDINGS,
     classify_binding,
 )
+from ..core.tracked import TrackedArray, TrackedObject
 from ..instrument.registry import CheckFunction, closure_of
 from ..instrument.transform import _PURE_HELPERS, _PURE_METHODS
 from .purity import HelperSummary, analyze_helper
@@ -70,6 +71,12 @@ class EntryPlan:
     reads_indices: bool
     #: Live helper function -> its purity/read summary.
     helper_summaries: dict[Any, HelperSummary] = field(default_factory=dict)
+    #: (class, method name) -> read summary for registered pure methods
+    #: the entry calls; the runtime attributes their depth-1 receiver and
+    #: argument reads exactly like helper reads (param 0 is the receiver).
+    method_summaries: dict[tuple[type, str], HelperSummary] = field(
+        default_factory=dict
+    )
     #: Helpers statically verified pure with fully-coverable reads.
     verified_helpers: frozenset = frozenset()
     diagnostics: list[Diagnostic] = field(default_factory=list)
@@ -84,6 +91,12 @@ class EntryPlan:
 
 def _helper_registered(func: Any) -> bool:
     return func in _PURE_HELPERS
+
+
+def _receiver_tracked(cls: type) -> bool:
+    """Does ``cls`` participate in write-barrier tracking?  Methods on
+    untracked receivers have no barrier-visible heap to misattribute."""
+    return issubclass(cls, (TrackedObject, TrackedArray))
 
 
 def _pure_method_impls(name: str) -> list[tuple[type, Any]]:
@@ -111,6 +124,7 @@ def build_plan(entry: CheckFunction) -> EntryPlan:
     reads_indices = False
 
     helper_summaries: dict[Any, HelperSummary] = {}
+    method_summaries: dict[tuple[type, str], HelperSummary] = {}
     #: Helpers whose summary (or a callee's) failed — not verifiable.
     tainted_helpers: set[Any] = set()
     worklist: list[tuple[Any, CheckFunction]] = []
@@ -172,27 +186,62 @@ def build_plan(entry: CheckFunction) -> EntryPlan:
                 ))
                 continue
             for cls, impl in impls:
-                if isinstance(impl, types.FunctionType):
-                    summary = analyze_helper(impl)
-                    if summary is not None and not summary.pure:
-                        reasons = "; ".join(
-                            f"line {ln}: {msg}"
-                            for ln, msg in summary.impure[:3]
-                        )
-                        ifile, iline = _position(impl)
+                summary = (
+                    analyze_helper(impl)
+                    if isinstance(impl, types.FunctionType)
+                    else None
+                )
+                if summary is None:
+                    if _receiver_tracked(cls):
+                        # No source -> no read summary -> the runtime
+                        # cannot attribute the method body's heap reads to
+                        # the calling node; mutations it depends on would
+                        # never dirty the graph.
                         diagnostics.append(Diagnostic(
-                            "DIT006",
+                            "DIT008",
                             f"{cls.__name__}.{name} is registered as a "
-                            f"pure method but has side effects ({reasons})",
-                            file=ifile, line=iline,
+                            f"pure method on a tracked class but has no "
+                            f"analyzable source; its heap reads cannot be "
+                            f"attributed to the calling node — define it "
+                            f"as plain Python or make it a @check",
+                            file=file, line=line,
                             function=f"{cls.__name__}.{name}",
                         ))
-                    elif summary is not None:
-                        fields |= summary.fields_read
-                        reads_len = reads_len or summary.reads_len
-                        reads_indices = (
-                            reads_indices or summary.reads_indices
-                        )
+                    continue
+                if not summary.pure:
+                    reasons = "; ".join(
+                        f"line {ln}: {msg}"
+                        for ln, msg in summary.impure[:3]
+                    )
+                    ifile, iline = _position(impl)
+                    diagnostics.append(Diagnostic(
+                        "DIT006",
+                        f"{cls.__name__}.{name} is registered as a "
+                        f"pure method but has side effects ({reasons})",
+                        file=ifile, line=iline,
+                        function=f"{cls.__name__}.{name}",
+                    ))
+                    continue
+                fields |= summary.fields_read
+                reads_len = reads_len or summary.reads_len or bool(
+                    summary.arg_len_read
+                )
+                reads_indices = reads_indices or summary.reads_indices
+                method_summaries[(cls, name)] = summary
+                if summary.deep_reads and _receiver_tracked(cls):
+                    reasons = "; ".join(
+                        f"line {ln}: {msg}"
+                        for ln, msg in summary.deep_reads[:3]
+                    )
+                    ifile, iline = _position(impl)
+                    diagnostics.append(Diagnostic(
+                        "DIT008",
+                        f"{cls.__name__}.{name} reads heap locations the "
+                        f"engine cannot attribute to the calling node "
+                        f"({reasons})",
+                        file=ifile, line=iline,
+                        function=f"{cls.__name__}.{name}",
+                    ))
 
         for name in sorted(analysis.globals_read):
             value = fn.lookup_name(name)
@@ -329,6 +378,7 @@ def build_plan(entry: CheckFunction) -> EntryPlan:
         reads_len=reads_len,
         reads_indices=reads_indices,
         helper_summaries=helper_summaries,
+        method_summaries=method_summaries,
         verified_helpers=frozenset(verified),
         diagnostics=diagnostics,
     )

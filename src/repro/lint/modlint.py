@@ -121,6 +121,8 @@ class ModuleInfo:
     registered_pure: set[str] = field(default_factory=set)
     #: Method names registered through ``register_pure_method``.
     pure_method_names: set[str] = field(default_factory=set)
+    #: (class leaf name, method name) pairs of those registrations.
+    pure_method_pairs: set[tuple[str, str]] = field(default_factory=set)
     #: Module-level binding name -> classification string.
     constants: dict[str, str] = field(default_factory=dict)
     #: Imported local name -> leaf name at the import site.
@@ -207,6 +209,9 @@ def _collect(info: ModuleInfo) -> None:
                 method.value, str
             ):
                 info.pure_method_names.add(method.value)
+                cls_name = _leaf_name(node.args[0])
+                if cls_name:
+                    info.pure_method_pairs.add((cls_name, method.value))
 
 
 class Program:
@@ -220,12 +225,24 @@ class Program:
         self.pure_method_names: set[str] = set()
         self.tracked_classes: set[str] = set(TRACKED_BASES)
         self.constants: dict[str, str] = {}
+        self.pure_method_pairs: set[tuple[str, str]] = set()
+        #: (class name, method name) -> (module, method def).
+        self.method_defs: dict[
+            tuple[str, str], tuple[ModuleInfo, ast.FunctionDef]
+        ] = {}
         for info in modules:
             self.check_names |= set(info.checks)
             for name, fd in info.helpers.items():
                 self.helper_defs.setdefault(name, (info, fd))
             self.registered_pure |= info.registered_pure
             self.pure_method_names |= info.pure_method_names
+            self.pure_method_pairs |= info.pure_method_pairs
+            for cls_name, cd in info.classes.items():
+                for stmt in cd.body:
+                    if isinstance(stmt, ast.FunctionDef):
+                        self.method_defs.setdefault(
+                            (cls_name, stmt.name), (info, stmt)
+                        )
             for name, kind in info.constants.items():
                 self.constants.setdefault(name, kind)
         # Tracked-class fixpoint over leaf base names across all modules.
@@ -444,6 +461,58 @@ def _analyze_helpers(program: Program, report: LintReport) -> None:
                 ))
 
 
+def _analyze_registered_methods(program: Program, report: LintReport) -> None:
+    """DIT006/DIT008 over ``register_pure_method`` registrations on tracked
+    classes — the static mirror of the live plan's method-summary pass: a
+    registered method whose reads the runtime cannot attribute to the
+    calling node is a soundness hole (mutations it depends on never dirty
+    the graph)."""
+    for cls_name, method in sorted(program.pure_method_pairs):
+        if cls_name not in program.tracked_classes:
+            continue
+        resolved = program.method_defs.get((cls_name, method))
+        if resolved is None:
+            for info in program.modules:
+                if (cls_name, method) in info.pure_method_pairs:
+                    report.add(Diagnostic(
+                        "DIT008",
+                        f"{cls_name}.{method} is registered as a pure "
+                        f"method on a tracked class but its definition "
+                        f"cannot be found; its heap reads cannot be "
+                        f"attributed to the calling node",
+                        file=info.path, line=0,
+                        function=f"{cls_name}.{method}",
+                    ))
+                    break
+            continue
+        info, fd = resolved
+        summary = analyze_helper_tree(fd)
+        if not summary.pure:
+            reasons = "; ".join(
+                f"line {ln}: {msg}" for ln, msg in summary.impure[:3]
+            )
+            report.add(Diagnostic(
+                "DIT006",
+                f"{cls_name}.{method} is registered as a pure method but "
+                f"has side effects ({reasons})",
+                file=info.path, line=fd.lineno,
+                function=f"{cls_name}.{method}",
+            ))
+            continue
+        program.monitored_fields |= summary.fields_read
+        if summary.deep_reads:
+            reasons = "; ".join(
+                f"line {ln}: {msg}" for ln, msg in summary.deep_reads[:3]
+            )
+            report.add(Diagnostic(
+                "DIT008",
+                f"{cls_name}.{method} reads heap locations the engine "
+                f"cannot attribute to the calling node ({reasons})",
+                file=info.path, line=fd.lineno,
+                function=f"{cls_name}.{method}",
+            ))
+
+
 def _apply_noqa(
     report: LintReport, modules: dict[str, ModuleInfo]
 ) -> LintReport:
@@ -506,6 +575,7 @@ def lint_paths(paths: list[str]) -> LintReport:
     for info in modules.values():
         _analyze_module_checks(program, info, report)
     _analyze_helpers(program, report)
+    _analyze_registered_methods(program, report)
     for info in modules.values():
         report.extend(scan_module(
             info.tree,

@@ -87,6 +87,13 @@ RULES: dict[str, Rule] = {
             ERROR,
             "check violates the admissible language subset",
         ),
+        Rule(
+            "DIT008",
+            "unattributable-method",
+            ERROR,
+            "pure method on a tracked receiver has reads the engine "
+            "cannot attribute to the calling node",
+        ),
         # Mutator-side barrier-bypass detection (DIT1xx). --------------------
         Rule(
             "DIT101",

@@ -46,6 +46,10 @@ UNGATED = (
     "generated_by", "appends", "logged", "checks", "tenants", "trips",
     "rejections", "hits", "filtered", "completed", "submitted",
     "deadline_calls", "shed_rate",
+    # BENCH_crossover.json: crossover estimates are rung-quantized and
+    # censoring-clamped; bench_crossover.py's --check gate compares them
+    # censoring-aware, which this generic ratio net cannot.
+    "crossover", "win_rung", "mods",
 )
 # shed_rate appears in both: listed HIGHER_BETTER for documentation of
 # direction but UNGATED in practice — it is a load-shape outcome, not a

@@ -38,6 +38,26 @@ from .trace import CHECK, FAULT, Op, Trace
 #: Engine modes the oracle compares, truth source first.
 DEFAULT_MODES = ("scratch", "ditto", "naive")
 
+#: Tier qualifiers an incremental mode may carry (``ditto-specialized``
+#: pins the compiled tier on, ``ditto-interpreted`` pins it off; a bare
+#: mode inherits the engine default / ``DITTO_SPECIALIZE``).  The QA
+#: cross-tier corpus runs ``ditto-specialized`` against
+#: ``ditto-interpreted`` and demands bit-identical outcomes and counters.
+_TIER_SUFFIXES = {"specialized": "on", "interpreted": "off"}
+
+
+def _engine_config(mode: str) -> tuple[str, str]:
+    """Split an oracle mode into ``(engine_mode, specialize)``."""
+    base, _, tier = mode.partition("-")
+    if not tier:
+        return base, "auto"
+    if base == "scratch" or tier not in _TIER_SUFFIXES:
+        raise ValueError(
+            f"invalid oracle mode {mode!r}: tier suffixes "
+            f"{sorted(_TIER_SUFFIXES)} apply to incremental modes only"
+        )
+    return base, _TIER_SUFFIXES[tier]
+
 
 @dataclass
 class Divergence:
@@ -72,6 +92,10 @@ class OracleReport:
     audit_findings: dict[str, list[str]] = field(default_factory=dict)
     faults_armed: int = 0
     duration: float = 0.0
+    #: Final per-mode engine counters (int fields of ``EngineStats``),
+    #: captured after the last check so cross-tier replays can assert the
+    #: tiers did identical work, not merely returned identical values.
+    engine_stats: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -83,6 +107,18 @@ class OracleReport:
             f"{self.structure}: {self.ops_applied} ops, "
             f"{self.checks_run} checks, {verdict} ({self.duration:.2f}s)"
         )
+
+
+def _int_counters(stats: Any) -> dict[str, int]:
+    """The integer counter fields of an ``EngineStats`` (phase timers are
+    wall-clock and excluded: tiers must match in work done, not seconds)."""
+    from dataclasses import fields as dataclass_fields
+
+    return {
+        f.name: getattr(stats, f.name)
+        for f in dataclass_fields(stats)
+        if isinstance(getattr(stats, f.name), int)
+    }
 
 
 def _outcome(engine: DittoEngine, args: tuple) -> tuple[str, Any]:
@@ -124,6 +160,8 @@ class Oracle:
                 "oracle needs 'scratch' (ground truth) plus at least one "
                 f"incremental mode, got {modes!r}"
             )
+        for mode in modes:
+            _engine_config(mode)  # raises on malformed tier qualifiers
         self.modes = modes
         self.audit = audit
         #: Also run the assertion-based ``engine.validate()`` after the
@@ -149,11 +187,13 @@ class Oracle:
                 # scratch emits one exec span per run, which would drown
                 # the repair spans the trace exists to show.
                 sink = self.trace_sink if mode != "scratch" else None
+                engine_mode, specialize = _engine_config(mode)
                 engines[mode] = DittoEngine(
                     self.model.entry,
-                    mode=mode,
+                    mode=engine_mode,
                     recursion_limit=None,
                     trace_sink=sink,
+                    specialize=specialize,
                 )
             structure = self.model.fresh()
             for index, op in enumerate(trace.ops):
@@ -207,7 +247,8 @@ class Oracle:
         finally:
             for injector in injectors:
                 injector.__exit__(None, None, None)
-            for engine in engines.values():
+            for mode, engine in engines.items():
+                report.engine_stats[mode] = _int_counters(engine.stats)
                 engine.close()
         report.duration = time.perf_counter() - started
         self._record_metrics(report)
@@ -269,7 +310,14 @@ class Oracle:
         report: OracleReport,
     ) -> None:
         kind, amount = op.args[0], int(op.args[1])
-        target = engines.get("ditto") or engines.get("naive")
+        target = None
+        for base in ("ditto", "naive"):
+            for mode, engine in engines.items():
+                if _engine_config(mode)[0] == base:
+                    target = engine
+                    break
+            if target is not None:
+                break
         if target is None:
             return
         if kind == "drop_writes":

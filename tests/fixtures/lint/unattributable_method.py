@@ -1,0 +1,26 @@
+"""DIT008 fixture: a registered-pure method on a tracked class whose heap
+reads cannot be attributed to the calling node (depth-2 chain through the
+receiver), so mutations it depends on would never dirty the graph."""
+
+from repro import TrackedObject, check, register_pure_method
+
+
+class Owner(TrackedObject):
+    def __init__(self, name):
+        self.name = name
+
+
+class Wallet(TrackedObject):
+    def __init__(self, owner):
+        self.owner = owner
+
+    def owner_name(self):
+        return self.owner.name
+
+
+register_pure_method(Wallet, "owner_name")
+
+
+@check
+def wallet_named(w):
+    return w is None or w.owner_name() != ""

@@ -3,10 +3,12 @@ for primitives, pointer identity for heap objects."""
 
 from __future__ import annotations
 
+import math
+
 import pytest
 from hypothesis import given, strategies as st
 
-from repro import ArgsKey, TrackedObject
+from repro import ArgsKey, TrackedObject, check
 from repro.core.argkeys import is_primitive
 
 
@@ -175,3 +177,87 @@ class TestMutableArguments:
         ka, kb = ArgsKey((box, -1)), ArgsKey((box, -2))
         assert ka != kb
         assert {ka: "a", kb: "b"}[ArgsKey((box, -2))] == "b"
+
+
+class TestFloatEdges:
+    """The IEEE-754 edge cases of float-keyed invocations.
+
+    ``0.0 == -0.0`` yet ``1/0.0 != 1/-0.0``: sharing a memo node between
+    the two zeros serves one sign's result for the other.  ``nan != nan``
+    (even to itself) means value-equality keys can never memo-hit a NaN
+    invocation, leaking one fresh node per run.  Keys therefore encode the
+    sign bit of zeros and fall back to identity for NaN."""
+
+    def test_signed_zeros_do_not_alias(self):
+        ka, kb = ArgsKey((0.0,)), ArgsKey((-0.0,))
+        assert 0.0 == -0.0  # the premise: Python equality conflates them
+        assert ka != kb
+        table = {ka: "pos", kb: "neg"}
+        assert len(table) == 2
+        assert table[ArgsKey((0.0,))] == "pos"
+        assert table[ArgsKey((-0.0,))] == "neg"
+
+    def test_signed_zeros_nested_in_tuples(self):
+        assert ArgsKey(((0.0, 1),)) != ArgsKey(((-0.0, 1),))
+        assert ArgsKey((complex(0.0, 0.0),)) == ArgsKey((complex(0.0, 0.0),))
+
+    def test_nonzero_floats_stay_semantic(self):
+        assert ArgsKey((1.5,)) == ArgsKey((1.5,))
+        assert hash(ArgsKey((1.5,))) == hash(ArgsKey((1.5,)))
+        assert ArgsKey((0.0,)) == ArgsKey((0.0,))
+        assert ArgsKey((-0.0,)) == ArgsKey((-0.0,))
+
+    def test_same_nan_object_memo_hits(self):
+        nan = float("nan")
+        ka, kb = ArgsKey((nan,)), ArgsKey((nan,))
+        assert nan != nan  # the premise: value equality can never hit
+        assert ka == kb
+        assert hash(ka) == hash(kb)
+        assert {ka: "node"}[kb] == "node"
+
+    def test_distinct_nan_objects_do_not_alias(self):
+        # Different NaN payload/object: identity semantics, like heap args.
+        a, b = float("nan"), float("nan")
+        assert a is not b
+        assert ArgsKey((a,)) != ArgsKey((b,))
+
+    def test_float_subclass_zero_keeps_type_tag(self):
+        class MyFloat(float):
+            pass
+
+        assert ArgsKey((MyFloat(0.0),)) != ArgsKey((0.0,))
+        assert ArgsKey((MyFloat(0.0),)) == ArgsKey((MyFloat(0.0),))
+
+
+class TestFloatEdgesEngine:
+    """End-to-end regressions: the unsound aliasing observable through a
+    real engine (stale result for the other zero; NaN node leak)."""
+
+    def test_negative_zero_not_served_stale_result(self, engine_factory):
+        @check
+        def renders_negative(x):
+            return str(x) == "-0.0"
+
+        engine = engine_factory(renders_negative)
+        # Pinned differential corpus entry: scratch execution of the
+        # uninstrumented check is ground truth at every step.
+        assert engine.run(0.0) is renders_negative.original(0.0) is False
+        # Before the sign-bit fix this reused the 0.0 node: False.
+        assert engine.run(-0.0) is renders_negative.original(-0.0) is True
+
+    def test_nan_reruns_do_not_leak_nodes(self, engine_factory):
+        @check
+        def self_equal(x):
+            return x == x
+
+        nan = float("nan")
+        engine = engine_factory(self_equal)
+        assert engine.run(nan) is False
+        size = engine.graph_size
+        created = engine.stats.nodes_created
+        for _ in range(5):
+            assert engine.run(nan) is False
+        # Before the identity fix every rerun missed the memo probe and
+        # minted a fresh root node.
+        assert engine.graph_size == size
+        assert engine.stats.nodes_created == created

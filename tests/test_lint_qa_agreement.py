@@ -112,6 +112,110 @@ def test_bypass_mutator_reproduces_divergence(engine_factory):
     assert engine.run(lst.head) is False
 
 
+def test_pure_method_reads_are_attributed(engine_factory):
+    """Agreement, method edition — direction 1: a registered pure method
+    whose reads are depth-1 lints clean (no DIT008), and the engine
+    attributes those reads to the calling node, so mutating the field the
+    *method* (not the check body) reads still dirties and repairs the
+    graph.  Before method-read attribution this served a stale result:
+    ``Runtime.method`` policed purity but recorded nothing."""
+    from repro import TrackedObject, check, register_pure_method
+
+    class Tag(TrackedObject):
+        def __init__(self, tag, next=None):
+            self.tag = tag
+            self.next = next
+
+        def tag_upper(self):
+            return self.tag.upper()
+
+    register_pure_method(Tag, "tag_upper")
+
+    @check
+    def no_bad_tags(e):
+        if e is None:
+            return True
+        if e.tag_upper() == "BAD":
+            return False
+        return no_bad_tags(e.next)
+
+    engine = engine_factory(no_bad_tags)
+    head = Tag("alpha", Tag("beta", Tag("gamma")))
+    assert engine.run(head) is True
+
+    head.next.tag = "bad"  # through the barrier; read only by the method
+    incremental = engine.run(head)
+    scratch = no_bad_tags.original(head)
+    assert scratch is False
+    assert incremental == scratch, (
+        "method-read left unattributed: stale result served"
+    )
+
+
+def test_unattributable_method_flagged_and_diverges(
+    tmp_path, engine_factory
+):
+    """Agreement, method edition — direction 2: a registered pure method
+    with depth-2 reads is flagged (DIT008) — and the finding is
+    load-bearing: only the depth-1 receiver read is attributable, so
+    mutating the deeper location really does leave the incremental result
+    stale against scratch execution."""
+    deep_source = (
+        "from repro import TrackedObject, check, register_pure_method\n"
+        "\n"
+        "class Owner(TrackedObject):\n"
+        "    def __init__(self, name):\n"
+        "        self.name = name\n"
+        "\n"
+        "class Purse(TrackedObject):\n"
+        "    def __init__(self, owner):\n"
+        "        self.owner = owner\n"
+        "    def owner_name(self):\n"
+        "        return self.owner.name\n"
+        "\n"
+        "register_pure_method(Purse, 'owner_name')\n"
+        "\n"
+        "@check\n"
+        "def purse_named(p):\n"
+        "    return p is None or p.owner_name() != ''\n"
+    )
+    path = tmp_path / "deep_method.py"
+    path.write_text(deep_source)
+    report = lint_paths([str(path)])
+    assert "DIT008" in report.codes()
+    assert report.exit_code() == 1
+
+    from repro import TrackedObject, check, register_pure_method
+
+    class Owner(TrackedObject):
+        def __init__(self, name):
+            self.name = name
+
+    class Purse(TrackedObject):
+        def __init__(self, owner):
+            self.owner = owner
+
+        def owner_name(self):
+            return self.owner.name
+
+    register_pure_method(Purse, "owner_name")
+
+    @check
+    def purse_named(p):
+        return p is None or p.owner_name() != ""
+
+    engine = engine_factory(purse_named)
+    purse = Purse(Owner("ada"))
+    assert engine.run(purse) is True
+
+    purse.owner.name = ""  # depth-2: beyond attributable summaries
+    incremental = engine.run(purse)
+    scratch = purse_named.original(purse)
+    assert scratch is False
+    assert incremental is True  # stale, exactly as DIT008 predicts
+    assert incremental != scratch
+
+
 def test_suppressed_lint_still_diverges(tmp_path, engine_factory):
     """noqa silences the diagnostic, not the bug: the suppressed variant
     lints clean yet the runtime divergence is unchanged."""

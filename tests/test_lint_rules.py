@@ -34,7 +34,8 @@ def diags(report: LintReport, code: str) -> list[Diagnostic]:
 def test_rule_catalogue_is_stable():
     assert set(RULES) == {
         "DIT001", "DIT002", "DIT003", "DIT004", "DIT005", "DIT006",
-        "DIT007", "DIT101", "DIT102", "DIT103", "DIT104", "DIT105",
+        "DIT007", "DIT008", "DIT101", "DIT102", "DIT103", "DIT104",
+        "DIT105",
     }
     for code, rule in RULES.items():
         assert rule.code == code
@@ -164,6 +165,60 @@ def test_dit005_registered_method_not_flagged(tmp_path):
     path = tmp_path / "registered_method.py"
     path.write_text(source)
     assert not diags(lint_paths([str(path)]), "DIT005")
+
+
+# DIT008 — unattributable tracked-receiver method. -----------------------------
+
+
+def test_dit008_deep_reading_method_flagged():
+    report = lint_fixture("unattributable_method.py")
+    found = diags(report, "DIT008")
+    assert len(found) == 1
+    assert found[0].severity == ERROR
+    assert found[0].function == "Wallet.owner_name"
+    assert "cannot attribute" in found[0].message
+
+
+def test_dit008_depth1_method_not_flagged(tmp_path):
+    source = (
+        "from repro import TrackedObject, check, register_pure_method\n"
+        "\n"
+        "class Item(TrackedObject):\n"
+        "    def __init__(self, value):\n"
+        "        self.value = value\n"
+        "    def digest(self):\n"
+        "        return hash(self.value)\n"
+        "\n"
+        "register_pure_method(Item, 'digest')\n"
+        "\n"
+        "@check\n"
+        "def item_ok(item):\n"
+        "    return item is None or item.digest() >= 0\n"
+    )
+    path = tmp_path / "depth1_method.py"
+    path.write_text(source)
+    assert not diags(lint_paths([str(path)]), "DIT008")
+
+
+def test_dit008_untracked_class_not_flagged(tmp_path):
+    # Methods on untracked receivers have no barrier-visible heap to
+    # misattribute; only tracked classes gate.
+    source = (
+        "from repro import check, register_pure_method\n"
+        "\n"
+        "class Plain:\n"
+        "    def deep(self):\n"
+        "        return self.inner.value\n"
+        "\n"
+        "register_pure_method(Plain, 'deep')\n"
+        "\n"
+        "@check\n"
+        "def plain_ok(p):\n"
+        "    return p is None or p.deep() >= 0\n"
+    )
+    path = tmp_path / "untracked_method.py"
+    path.write_text(source)
+    assert not diags(lint_paths([str(path)]), "DIT008")
 
 
 # DIT006 — registered-pure lie. ------------------------------------------------

@@ -1,0 +1,163 @@
+"""Step-hook countdown freshness.
+
+The hook countdown (`DittoEngine._hook_countdown`) must be re-primed
+whenever the hook or the interval is (re)assigned — not only at run entry.
+Before the property-setter fix, plain attribute assignment left the
+countdown wherever the previous configuration had drained it to, so
+tightening the cadence mid-run (the serving layer's deadline-escalation
+pattern) silently kept the old, coarser cadence until the stale countdown
+expired.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TrackedObject, check
+from repro.serving import DEADLINE, EnginePool, PoolConfig
+
+
+class Node(TrackedObject):
+    def __init__(self, value, next=None):
+        self.value = value
+        self.next = next
+
+
+@check
+def hook_ordered(e):
+    if e is None or e.next is None:
+        return True
+    if e.value > e.next.value:
+        return False
+    return hook_ordered(e.next)
+
+
+def build(n):
+    head = None
+    for v in range(n, 0, -1):
+        head = Node(v, head)
+    return head
+
+
+# Setter re-priming (white box). ----------------------------------------------
+
+
+def test_hook_assignment_primes_countdown(engine_factory):
+    engine = engine_factory(hook_ordered, step_hook_interval=7)
+    engine.step_hook = lambda e: None
+    assert engine._hook_countdown == 7
+
+
+def test_interval_assignment_primes_countdown(engine_factory):
+    engine = engine_factory(hook_ordered)
+    engine.run(build(60))  # drain the countdown partway
+    engine.step_hook_interval = 5
+    assert engine._hook_countdown == 5
+    assert engine.step_hook_interval == 5
+
+
+def test_interval_setter_validates(engine_factory):
+    engine = engine_factory(hook_ordered)
+    with pytest.raises(ValueError):
+        engine.step_hook_interval = 0
+
+
+# Mid-run retuning (the reachable staleness). ---------------------------------
+
+
+def test_tightening_interval_mid_run_takes_effect_immediately(
+    engine_factory,
+):
+    """A hook that tightens its own cadence (deadline escalation) must get
+    the finer cadence from the very next step, not after the stale
+    countdown of the old interval expires."""
+    fires = []
+
+    def escalate(engine):
+        fires.append(engine.steps)
+        if len(fires) == 1:
+            engine.step_hook_interval = 1
+
+    engine = engine_factory(
+        hook_ordered, step_hook=escalate, step_hook_interval=40
+    )
+    engine.run(build(50))  # ~4 steps per list element
+    assert len(fires) >= 3
+    # After the first fire every subsequent step must tick the hook:
+    # consecutive fire step-counts differ by exactly 1.
+    deltas = {b - a for a, b in zip(fires[1:], fires[2:])}
+    assert deltas <= {1}, fires
+
+
+def test_swapped_hook_gets_full_fresh_interval(engine_factory):
+    """Replacing the hook mid-run re-primes the countdown: the new hook's
+    first fire comes one full interval after installation, regardless of
+    how far the old hook's countdown had drained."""
+    first_fires, second_fires = [], []
+
+    def second(engine):
+        second_fires.append(engine.steps)
+
+    def first(engine):
+        first_fires.append(engine.steps)
+        engine.step_hook = second
+
+    engine = engine_factory(
+        hook_ordered, step_hook=first, step_hook_interval=25
+    )
+    engine.run(build(50))
+    assert len(first_fires) == 1
+    assert second_fires, "replacement hook never fired"
+    gap = second_fires[0] - first_fires[0]
+    assert gap == 25, (first_fires, second_fires)
+
+
+# Serving-layer flavor: deadline escalation through the pool. -----------------
+
+
+def test_pool_deadline_enforced_after_probe_tightens_interval():
+    """The deadline path stays responsive when a step probe tightens the
+    tenant engine's hook cadence mid-run: the deadline test runs at the
+    new cadence immediately, so a stalled check is cut off at the next
+    tick instead of one stale (coarse) countdown later."""
+    clock_value = [0.0]
+
+    def clock():
+        return clock_value[0]
+
+    with EnginePool(
+        PoolConfig(step_hook_interval=64), clock=clock
+    ) as pool:
+        pool.register("t", hook_ordered)
+        head = build(200)
+        assert pool.check("t", head).ok
+
+        ticks = []
+
+        def probe():
+            ticks.append(pool.engine("t").steps)
+            if len(ticks) == 1:
+                # Escalate: from now on test the deadline at every step.
+                pool.engine("t").step_hook_interval = 1
+                # ... and the deadline is already blown.
+                clock_value[0] += 100.0
+
+        pool.set_step_probe("t", probe)
+
+        # Corrupt the deep end: the changed return value propagates back
+        # up through every caller, giving the repair run enough steps to
+        # reach a hook tick at the initial coarse cadence.
+        tail = head
+        while tail.next is not None:
+            tail = tail.next
+
+        def corrupt():
+            tail.value = 0
+
+        pool.mutate("t", corrupt)
+        res = pool.check("t", head, deadline=1.0)
+        assert res.status == DEADLINE
+        # The abort happened at the escalated cadence: the second tick is
+        # the very next step after the first, not 64 steps later.
+        assert len(ticks) >= 2
+        assert ticks[1] - ticks[0] == 1, ticks
