@@ -1,0 +1,290 @@
+"""Steady-state repair: synthesized derived maintenance vs the memo
+graph, on the three DIT201-admissible invariants.
+
+The memo engine repairs a point mutation by re-executing every memo node
+whose value changed — for a linear fold that is the whole suffix chain
+below the mutation site, O(site) work.  The derived strategy applies the
+synthesized per-mutator delta rule instead: O(1) per mutation regardless
+of structure size.  This bench measures exactly that asymptotic claim in
+the steady state (after the one-time bind fold), per repaired check:
+
+* ``vector_sum``   — point writes rotating over a large ``IntVector``,
+* ``heap_min``     — ever-decreasing corruptions (each lowers the global
+  minimum, so every suffix min changes and memo must re-fold the chain
+  while the min monoid absorbs the new champion in O(1)),
+* ``table_occupancy`` — toggling a singleton bucket (put/remove of a key
+  that lands in an otherwise-empty bucket, so occupancy really changes).
+
+Run as a script to emit/gate the ``BENCH_derived.json`` perf-trajectory
+record:
+
+    python benchmarks/bench_derived.py --emit BENCH_derived.json \
+        --check benchmarks/BENCH_derived.json
+
+The gate is intentionally blunt: at the top size (10k elements) the
+derived strategy must beat memo steady-state repair by at least 10x on
+every workload, and the measured speedup must keep at least half of the
+committed baseline's (speedups here are 2-4 orders of magnitude, so 50%
+retention is far outside timing jitter while still catching a broken
+delta rule, which collapses the speedup to ~1x).  Absolute per-repair
+seconds are recorded for trajectory plots inside the ``sizes`` list,
+which the ``repro.obs analyze`` drift net deliberately does not recurse
+into (machine-dependent); the gated scalar is ``top.steady_speedup``,
+registered higher-is-better with the analyzer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro import DittoEngine, reset_tracking
+from repro.bench.runner import run_with_big_stack
+from repro.structures import (
+    BinaryHeap,
+    HashTable,
+    IntVector,
+    heap_min,
+    table_occupancy,
+    vector_sum,
+)
+from repro.structures.hash_table import stable_hash
+
+#: Geometric size ladder; the top rung is the gated N>=10k regime.
+SIZES = (1000, 3000, 10000)
+TOP_SIZE = SIZES[-1]
+#: Timed mutation+run cycles per measurement (after warmup).  Memo
+#: repair is O(N) per cycle, so this bounds the bench's wall clock.
+MUTATIONS = 10
+WARMUP = 3
+REPEATS = 3
+SEED = 0xD17D
+
+
+class _VectorSumWorkload:
+    """Point writes rotating over the vector; every write changes the
+    sum, so memo re-folds the suffix chain below the site."""
+
+    name = "vector_sum"
+    entry = vector_sum
+
+    def build(self, size):
+        self.vec = IntVector(range(size))
+        self.size = size
+        self.step = 0
+        return (self.vec,)
+
+    def mutate(self):
+        self.vec[(self.step * 7919) % self.size] = self.step
+        self.step += 1
+
+
+class _HeapMinWorkload:
+    """Ever-decreasing corruptions: each installs a new global minimum,
+    which a min monoid absorbs in O(1) while every suffix min changes."""
+
+    name = "heap_min"
+    entry = heap_min
+
+    def build(self, size):
+        self.heap = BinaryHeap(capacity=4)
+        for value in range(size):
+            self.heap.push(value)
+        self.size = size
+        self.step = 0
+        self.value = -1
+        return (self.heap,)
+
+    def mutate(self):
+        self.heap.corrupt((self.step * 7919) % self.size, self.value)
+        self.step += 1
+        self.value -= 1
+
+
+class _TableOccupancyWorkload:
+    """Toggle one singleton bucket: the put/remove pair flips that
+    bucket's head between None and a chain of one, so the occupancy
+    count genuinely changes on every cycle (a same-value overwrite would
+    let memo's cutoff win for free)."""
+
+    name = "table_occupancy"
+    entry = table_occupancy
+
+    def build(self, size):
+        self.table = HashTable(capacity=4)
+        for key in range(size):
+            self.table.put(key, key)
+        capacity = len(self.table.buckets)
+        self.key = next(
+            k for k in range(size, size + capacity)
+            if self.table.buckets[stable_hash(k) % capacity] is None
+        )
+        self.step = 0
+        return (self.table,)
+
+    def mutate(self):
+        if self.step % 2 == 0:
+            self.table.put(self.key, self.key)
+        else:
+            self.table.remove(self.key)
+        self.step += 1
+
+
+WORKLOADS = (_VectorSumWorkload, _HeapMinWorkload, _TableOccupancyWorkload)
+#: Engine strategies compared at every size.
+STRATEGIES = ("memo", "derived")
+
+
+def _measure_once(workload_cls, size, strategy):
+    """Seconds per steady-state mutation+repair cycle, one build."""
+    reset_tracking()
+    workload = workload_cls()
+    args = workload.build(size)
+    engine = DittoEngine(
+        workload.entry, strategy=strategy, recursion_limit=8 * size + 10_000
+    )
+    try:
+        engine.run(*args)
+        for _ in range(WARMUP):
+            workload.mutate()
+            engine.run(*args)
+        started = time.perf_counter()
+        for _ in range(MUTATIONS):
+            workload.mutate()
+            engine.run(*args)
+        return (time.perf_counter() - started) / MUTATIONS
+    finally:
+        engine.close()
+        reset_tracking()
+
+
+def _best_seconds(workload_cls, size, strategy, repeats):
+    return min(
+        run_with_big_stack(lambda: _measure_once(workload_cls, size, strategy))
+        for _ in range(repeats)
+    )
+
+
+def run_derived_benchmark(sizes=SIZES, repeats=REPEATS):
+    result = {
+        "benchmark": "derived-maintenance",
+        "generated_by": "benchmarks/bench_derived.py",
+        "params": {
+            "sizes": list(sizes),
+            "mutations": MUTATIONS,
+            "warmup": WARMUP,
+            "repeats": repeats,
+            "seed": SEED,
+        },
+        "workloads": {},
+    }
+    for workload_cls in WORKLOADS:
+        rows = []
+        for size in sizes:
+            row = {"size": size}
+            for strategy in STRATEGIES:
+                row[f"{strategy}_repair_s"] = _best_seconds(
+                    workload_cls, size, strategy, repeats
+                )
+            row["speedup"] = row["memo_repair_s"] / row["derived_repair_s"]
+            rows.append(row)
+        top = rows[-1]
+        result["workloads"][workload_cls.name] = {
+            "sizes": rows,
+            "top": {
+                "size": top["size"],
+                "steady_speedup": top["speedup"],
+            },
+        }
+    return result
+
+
+#: Gate thresholds (see the module docstring).
+MIN_STEADY_SPEEDUP = 10.0
+GATED_WORKLOADS = ("vector_sum", "heap_min", "table_occupancy")
+#: Fraction of the committed baseline speedup that must be retained.  A
+#: broken delta rule collapses the speedup to ~1x — orders of magnitude
+#: below any plausible timing wobble around a healthy 100x+.
+SPEEDUP_RETENTION = 0.5
+
+
+def check_against_baseline(result, baseline):
+    """Return a list of failure messages (empty when the gate passes)."""
+    failures = []
+    for name in GATED_WORKLOADS:
+        wl = (result.get("workloads") or {}).get(name)
+        if wl is None:
+            failures.append(f"{name}: missing from the bench result")
+            continue
+        speedup = wl["top"]["steady_speedup"]
+        if speedup < MIN_STEADY_SPEEDUP:
+            failures.append(
+                f"{name}: steady-state speedup {speedup:.1f}x at size "
+                f"{wl['top']['size']} < hard floor {MIN_STEADY_SPEEDUP}x"
+            )
+        if baseline is None:
+            continue
+        base_wl = (baseline.get("workloads") or {}).get(name)
+        if base_wl is None:
+            continue
+        floor = base_wl["top"]["steady_speedup"] * SPEEDUP_RETENTION
+        if speedup < floor:
+            failures.append(
+                f"{name}: steady-state speedup {speedup:.1f}x lost more "
+                f"than half of baseline "
+                f"{base_wl['top']['steady_speedup']:.1f}x"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--emit", metavar="PATH", help="write BENCH_derived.json here"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="gate against a committed BENCH_derived.json",
+    )
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument(
+        "--sizes", metavar="N,N,...",
+        help="override the size ladder (comma-separated)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = SIZES
+    if args.sizes:
+        sizes = tuple(int(s) for s in args.sizes.split(","))
+
+    result = run_derived_benchmark(sizes, repeats=args.repeats)
+    for name, wl in sorted(result["workloads"].items()):
+        top = wl["top"]
+        print(
+            f"{name}: memo {wl['sizes'][-1]['memo_repair_s'] * 1e6:.0f}us "
+            f"vs derived {wl['sizes'][-1]['derived_repair_s'] * 1e6:.0f}us "
+            f"per repair at size {top['size']} "
+            f"-> {top['steady_speedup']:.1f}x"
+        )
+    if args.emit:
+        with open(args.emit, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.emit}")
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_against_baseline(result, baseline)
+        if failures:
+            for failure in failures:
+                print(f"GATE FAILURE: {failure}", file=sys.stderr)
+            return 1
+        print(f"gate passed vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

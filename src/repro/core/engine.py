@@ -123,6 +123,24 @@ def _resolve_specialize(setting: str) -> bool:
     return setting == "on"
 
 
+#: Valid values of the ``strategy`` engine option (see :mod:`repro.derive`):
+#: ``"memo"`` always repairs through the memo graph; ``"derived"`` requires
+#: the fold classifier to accept the entry (raising otherwise); ``"hybrid"``
+#: picks derived maintenance where admissibility is proven and the memo
+#: graph everywhere else; ``"auto"`` reads ``DITTO_STRATEGY`` (defaulting
+#: to memo).
+_STRATEGY_CHOICES = ("memo", "derived", "hybrid", "auto")
+
+
+def _resolve_strategy(setting: str) -> str:
+    """Map the ``strategy`` option (plus ``DITTO_STRATEGY`` under
+    ``"auto"``) to the repair-strategy decision."""
+    if setting == "auto":
+        env = os.environ.get("DITTO_STRATEGY", "").strip().lower()
+        return env if env in ("memo", "derived", "hybrid") else "memo"
+    return setting
+
+
 class DittoEngine:
     """Automatic incrementalizer for one data structure invariant check."""
 
@@ -156,6 +174,7 @@ class DittoEngine:
         step_hook_interval: int = 128,
         profiler: Optional["RepairProfiler"] = None,
         specialize: str = "auto",
+        strategy: str = "auto",
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -163,6 +182,11 @@ class DittoEngine:
             raise ValueError(
                 f"specialize must be one of {_SPECIALIZE_CHOICES}, got "
                 f"{specialize!r}"
+            )
+        if strategy not in _STRATEGY_CHOICES:
+            raise ValueError(
+                f"strategy must be one of {_STRATEGY_CHOICES}, got "
+                f"{strategy!r}"
             )
         if paranoia < 0:
             raise ValueError(f"paranoia must be >= 0, got {paranoia!r}")
@@ -274,6 +298,36 @@ class DittoEngine:
         # pre-bound by specialized closures and must exist before compile).
         self._stack: list[ComputationNode] = []
 
+        # Repair strategy (repro.derive): when the fold classifier accepts
+        # the entry under strategy "derived"/"hybrid", the engine bypasses
+        # the memo graph entirely and repairs through synthesized fold
+        # maintainers driven off the same write-log cursor.
+        #: The requested ``strategy`` option, unresolved.
+        self.strategy = strategy
+        #: ``"derived"`` or ``"memo"`` — what this engine actually runs.
+        self.active_strategy = "memo"
+        #: The :class:`~repro.derive.maintain.DerivedState` facade, or None
+        #: when the memo graph is the strategy.
+        self.derived = None
+        resolved = _resolve_strategy(strategy) if mode == "ditto" else "memo"
+        if resolved in ("derived", "hybrid"):
+            from ..derive import DerivedState, classify_entry
+
+            classification = classify_entry(self.entry)
+            if classification.ok:
+                self.derived = DerivedState(
+                    self.entry, classification, self.tracking, self.stats,
+                )
+                self.active_strategy = "derived"
+            elif resolved == "derived":
+                raise CheckRestrictionError(
+                    self.entry.name,
+                    [
+                        "strategy='derived' requires an admissible fold: "
+                        + (classification.why_not() or "no fold found")
+                    ],
+                )
+
         # Compile instrumented versions (Figure 3) of every check function.
         #: Whether the specialization tier compiles this engine's checks
         #: (``specialize`` kwarg, ``DITTO_SPECIALIZE`` env under "auto");
@@ -281,7 +335,12 @@ class DittoEngine:
         self.specialize = specialize
         self.specialized = mode != "scratch" and _resolve_specialize(specialize)
         self._compiled: dict[int, Any] = {}
-        if self.specialized:
+        if self.derived is not None:
+            # Derived engines never call into the memo tiers; skipping
+            # instrumentation keeps their construction cost proportional
+            # to the classifier, not the compiler.
+            pass
+        elif self.specialized:
             from ..instrument.specialize import specialize_closure
 
             self._compiled.update(specialize_closure(self))
@@ -457,7 +516,10 @@ class DittoEngine:
             start = time.perf_counter()
             aborted = True
             try:
-                result = self._run_resilient(args)
+                if self.derived is not None:
+                    result = self._run_derived(args)
+                else:
+                    result = self._run_resilient(args)
                 aborted = False
                 return result
             finally:
@@ -475,7 +537,9 @@ class DittoEngine:
     def run_with_report(self, *args: Any) -> RunReport:
         """Like :meth:`run`, also returning per-run statistics."""
         before = self.stats.snapshot()
-        incremental = self._root is not None
+        incremental = self._root is not None or (
+            self.derived is not None and self.derived.is_bound
+        )
         result = self.run(*args)
         return RunReport(
             result=result,
@@ -497,6 +561,8 @@ class DittoEngine:
         self._root = None
         self._to_propagate.clear()
         self._failed.clear()
+        if self.derived is not None:
+            self.derived.invalidate()
         # Discard pending log entries; the next run re-reads everything.
         self.tracking.write_log.consume(self._log_cid)
 
@@ -505,6 +571,8 @@ class DittoEngine:
         if self._closed:
             return
         self.invalidate()
+        if self.derived is not None:
+            self.derived.release()
         self.tracking.write_log.unregister(self._log_cid)
         self.tracking.unmonitor_fields(self.monitored_fields)
         self._closed = True
@@ -626,6 +694,28 @@ class DittoEngine:
         return instrumented_source(fn, uid_map)
 
     # Run orchestration (Figure 7's ``incrementalize``). ----------------------------
+
+    def _run_derived(self, args: tuple) -> Any:
+        """One run under the derived strategy: drain the write log, let the
+        fold maintainers apply deltas (or rebuild), and evaluate the
+        combiner.  The original check still computes every authoritative
+        value, so exceptions and result types match scratch bit-for-bit."""
+        self.stats.runs += 1
+        if (
+            self.recursion_limit is not None
+            and sys.getrecursionlimit() < self.recursion_limit
+        ):
+            sys.setrecursionlimit(self.recursion_limit)
+        start = self._phase_begin("barrier_drain")
+        try:
+            pending = self.tracking.write_log.consume(self._log_cid)
+        finally:
+            self._phase_end("barrier_drain", start)
+        start = self._phase_begin("exec")
+        try:
+            return self.derived.run(args, pending)
+        finally:
+            self._phase_end("exec", start)
 
     def _run_resilient(self, args: tuple) -> Any:
         """Wrap one tracked run with the degradation ladder: cooldown

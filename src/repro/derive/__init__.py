@@ -1,0 +1,50 @@
+"""Derived maintenance: fold classification and synthesized O(1) repair.
+
+The package behind the engine's ``strategy="derived"/"hybrid"`` axis:
+
+* :mod:`repro.derive.classifier` — the admissibility judgment (linear
+  commutative-monoid folds over one tracked container) and the DIT2xx
+  why-not taxonomy.
+* :mod:`repro.derive.catalogue` — the monoid catalogue: identity
+  constraints, term-type guards, delta rules.
+* :mod:`repro.derive.synthesis` — term extraction and combiner rebinding.
+* :mod:`repro.derive.maintain` — the runtime maintainers and the
+  per-engine :class:`~repro.derive.maintain.DerivedState` facade.
+"""
+
+from .catalogue import MONOID_CATALOGUE, Monoid
+from .classifier import (
+    ADMISSIBLE,
+    FLOAT_SUM,
+    INADMISSIBLE,
+    OPAQUE_CALL,
+    EntryClassification,
+    FoldInfo,
+    Rejection,
+    classify_entry,
+    classify_fold,
+    clear_cache,
+    entry_diagnostics,
+)
+from .maintain import DerivedState, FoldMaintainer
+from .synthesis import build_combiner, compile_term
+
+__all__ = [
+    "ADMISSIBLE",
+    "INADMISSIBLE",
+    "OPAQUE_CALL",
+    "FLOAT_SUM",
+    "MONOID_CATALOGUE",
+    "Monoid",
+    "EntryClassification",
+    "FoldInfo",
+    "Rejection",
+    "classify_entry",
+    "classify_fold",
+    "clear_cache",
+    "entry_diagnostics",
+    "DerivedState",
+    "FoldMaintainer",
+    "build_combiner",
+    "compile_term",
+]

@@ -1,0 +1,83 @@
+"""Catalogue of maintainable monoids and their synthesized delta rules.
+
+One entry per combine operator the classifier recognizes.  The catalogue
+is the single place that records, for each monoid, (a) the identity the
+base case must return for the maintained aggregate to equal the recursive
+fold bit-for-bit, (b) the *term type* the runtime guard demands before a
+delta is applied (outside it the maintainer demotes to exact recompute —
+e.g. float sums are rejected statically, bool-typed "ints" would break
+``type``-strict QA parity), and (c) the per-mutator delta rule the runtime
+maintainer implements.
+
+The delta rules, in write-barrier vocabulary:
+
+* ``__setitem__`` on slot ``c`` → for every stencil entry ``(a, b)`` with
+  ``(c - b) % a == 0``, contribution ``i = (c - b) // a`` is recomputed
+  and the aggregate adjusted: sum subtracts the old term and adds the new;
+  conjunction adjusts a violation count; min/max tombstones the old value
+  in a lazy-deletion heap and pushes the new.
+* ``insert``/``pop`` (shifting) → the coalesced range barrier marks every
+  shifted slot plus the length; the maintainer recomputes exactly those
+  contributions and grows/shrinks the domain by one.
+* ``fill`` / any range covering at least half the domain → transactional
+  invalidation: the shadow is rebuilt by a full fold (the memo graph's
+  from-scratch analog, but still O(n) with no graph to rebuild).
+* container-field reassignment (``_grow``/``_rehash``) → the field
+  barrier fires, the maintainer re-resolves the binding and full-folds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+def _is_int(value: Any) -> bool:
+    return type(value) is int
+
+
+def _is_bool(value: Any) -> bool:
+    return type(value) is bool
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """One maintainable combine operator."""
+
+    name: str
+    #: Human description of the identity constraint on the base constant.
+    identity: str
+    #: Runtime term-type guard; a term outside it demotes the maintainer.
+    term_ok: Callable[[Any], bool]
+    #: One-line synthesized delta rule, for diagnostics and docs.
+    delta_rule: str
+
+
+MONOID_CATALOGUE: dict[str, Monoid] = {
+    "sum": Monoid(
+        "sum",
+        "base case must return 0",
+        _is_int,
+        "agg += term_new - term_old; O(1) per dirty slot",
+    ),
+    "and": Monoid(
+        "and",
+        "base case must return True",
+        _is_bool,
+        "violations += (not term_new) - (not term_old); verdict is "
+        "violations == 0",
+    ),
+    "min": Monoid(
+        "min",
+        "base case must return an integer sentinel (idempotent clamp)",
+        _is_int,
+        "lazy-deletion heap: tombstone term_old, push term_new; bounded "
+        "rebuild when tombstones exceed live entries",
+    ),
+    "max": Monoid(
+        "max",
+        "base case must return an integer sentinel (idempotent clamp)",
+        _is_int,
+        "negated lazy-deletion heap (same rule as min)",
+    ),
+}

@@ -1,0 +1,1051 @@
+"""Fold classifier: which checks admit synthesized O(1) maintenance.
+
+DITTO repairs every invariant through the memo graph; Liu's discrete
+incrementalization line argues that folds over a container — sums, counts,
+min/max, all-elements predicates, adjacent-pair orderings — should instead
+be *maintained* under each mutation.  This module is the admissibility
+judgment: a whole-program static pass over registered check bodies that
+either proves a check is a commutative-monoid fold whose per-slot
+contribution can be recomputed independently, or rejects it with a
+machine-readable why-not (surfaced as the DIT2xx lint family).
+
+Accepted shape (the *linear fold grammar*)::
+
+    def f(P..., i):            # positional params, one of them the index
+        [name = AFFINE|ALIAS]* # straight-line prelude (e.g. arr = h.items)
+        if i >= len(C) + k:    # base-case guard over the fold container
+            return B           # identity constant of the monoid
+        [name = EXPR]*         # slot reads, term preparation
+        rest = f(P..., i + 1)  # exactly one self-call, step +1, args else
+        [tail]                 # passthrough guards + one combine return
+        return COMBINE(term, rest)
+
+with COMBINE one of ``term + rest`` (sum, B == 0), ``term and rest``
+(conjunction, B is True), or ``term if term < rest else rest`` (min; ``>``
+for max; B any int, acting as an idempotent clamp).  ``return rest`` is a
+passthrough (identity contribution) and ``return False`` an absorbing
+contribution for conjunctions.  Everything the body reads must be the
+container's slots at indices affine in ``i``, ``len(C)``, the parameters,
+or constants.
+
+Soundness is structural, not semantic: the grammar guarantees the original
+recursion equals the monoid fold of the per-index terms.  The two rules
+that carry that guarantee:
+
+* **No pruning** — between the base guard and the self-call only plain
+  assignments may appear.  A conditional that returns before recursing
+  (``check_heap_order``'s ``if x is None`` branch) would prune the
+  traversal, making the original answer depend on *which* slots were
+  visited; the pointwise conjunction of terms would diverge.
+* **One linear self-call, step i+1** — tree recursion (``2*i + 1``) and
+  non-unit steps change the visited index set; only the linear step makes
+  "dirty coordinate → dirty contribution" an O(1) inverse map.
+
+The classifier is pure AST analysis so the same judgment serves the live
+path (engine construction, via :func:`classify_entry`) and the file-mode
+linter (:func:`fold_diagnostics` over parsed module tables).  Rejections
+carry the DIT2xx code as a plain string; the lint layer owns Diagnostic
+construction so this module never imports :mod:`repro.lint`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: Rejection taxonomy (kept in sync with ``repro.lint.rules``).
+ADMISSIBLE = "DIT201"
+INADMISSIBLE = "DIT202"
+OPAQUE_CALL = "DIT203"
+FLOAT_SUM = "DIT204"
+
+MONOIDS = ("sum", "and", "min", "max")
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Why a self-recursive check is not an admissible fold."""
+
+    code: str          # DIT202 / DIT203 / DIT204
+    message: str
+    function: str = ""
+    line: int = 0
+
+
+@dataclass
+class FoldInfo:
+    """A proven-admissible linear fold."""
+
+    name: str
+    params: tuple[str, ...]
+    index_pos: int
+    #: ("param", pos) or ("field", pos, attr) — the fold container.
+    container: tuple
+    monoid: str
+    base_const: Any
+    #: Domain is [start, len(container) + domain_offset).
+    domain_offset: int
+    #: Affine slot reads (a, b): term(i) reads container[a*i + b].
+    stencil: tuple[tuple[int, int], ...]
+    float_risk: bool
+    node: ast.FunctionDef = field(repr=False, default=None)
+
+    def describe(self) -> str:
+        cont = (
+            self.params[self.container[1]]
+            if self.container[0] == "param"
+            else f"{self.params[self.container[1]]}.{self.container[2]}"
+        )
+        reads = ", ".join(
+            f"{cont}[{a}*{self.params[self.index_pos]}{b:+d}]"
+            if a != 1 or b != 0
+            else (f"{cont}[{self.params[self.index_pos]}+{b}]" if b else
+                  f"{cont}[{self.params[self.index_pos]}]")
+            for a, b in self.stencil
+        ) or "(no slots)"
+        return (
+            f"{self.monoid} fold over {cont} with identity "
+            f"{self.base_const!r}, term reads {reads}"
+        )
+
+
+@dataclass
+class FoldSite:
+    """One statically-verified call of a fold from a combiner entry."""
+
+    callee_name: str       # name as called in the entry body
+    fold: FoldInfo
+    #: For each fold param position: ("param", entry_pos) or ("const", v).
+    arg_plan: tuple[tuple, ...]
+    start: int             # the constant start index at this site
+
+
+@dataclass
+class EntryClassification:
+    """Derived-strategy verdict for one check entry point."""
+
+    entry_name: str
+    #: "fold" (entry is itself a fold), "combiner", or "rejected".
+    kind: str
+    folds: dict[str, FoldInfo] = field(default_factory=dict)
+    scalar_names: tuple[str, ...] = ()
+    sites: tuple[FoldSite, ...] = ()
+    rejections: tuple[Rejection, ...] = ()
+    #: Per-function fold verdicts for diagnostics: name -> FoldInfo | Rejection.
+    verdicts: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.kind in ("fold", "combiner")
+
+    def why_not(self) -> str:
+        if self.ok:
+            return ""
+        return "; ".join(
+            f"{r.function or self.entry_name}: {r.message}"
+            for r in self.rejections
+        ) or "no maintainable fold found"
+
+
+# Affine mini-interpretation. -------------------------------------------------
+#
+# Values: ("aff", var, a, b) meaning a*var + b (var None => constant b);
+#         ("cont", key) a container reference; ("opaque",).
+
+_OPAQUE = ("opaque",)
+
+
+def _const(value: int) -> tuple:
+    return ("aff", None, 0, value)
+
+
+def _eval_affine(node: ast.AST, env: dict) -> tuple:
+    if isinstance(node, ast.Constant):
+        if type(node.value) is int:
+            return _const(node.value)
+        return _OPAQUE
+    if isinstance(node, ast.Name):
+        return env.get(node.id, _OPAQUE)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        val = _eval_affine(node.operand, env)
+        if val[0] == "aff":
+            return ("aff", val[1], -val[2], -val[3])
+        return _OPAQUE
+    if isinstance(node, ast.BinOp):
+        left = _eval_affine(node.left, env)
+        right = _eval_affine(node.right, env)
+        if left[0] != "aff" or right[0] != "aff":
+            return _OPAQUE
+        _, lv, la, lb = left
+        _, rv, ra, rb = right
+        if isinstance(node.op, ast.Add):
+            if lv is None or rv is None or lv == rv:
+                return ("aff", lv if lv is not None else rv, la + ra, lb + rb)
+        elif isinstance(node.op, ast.Sub):
+            if lv is None or rv is None or lv == rv:
+                var = lv if lv is not None else rv
+                return ("aff", var, la - ra, lb - rb)
+        elif isinstance(node.op, ast.Mult):
+            if lv is None:
+                return ("aff", rv, lb * ra, lb * rb)
+            if rv is None:
+                return ("aff", lv, la * rb, lb * rb)
+        return _OPAQUE
+    return _OPAQUE
+
+
+def _normalize(val: tuple) -> tuple:
+    """Collapse a*var+b with a == 0 to a constant."""
+    if val[0] == "aff" and val[1] is not None and val[2] == 0:
+        return _const(val[3])
+    return val
+
+
+def _container_of(node: ast.AST, env: dict, params: list[str]) -> Optional[tuple]:
+    """Resolve an expression to a container key, if it names one."""
+    if isinstance(node, ast.Name):
+        val = env.get(node.id)
+        if val is not None and val[0] == "cont":
+            return val[1]
+        if node.id in params:
+            return ("param", params.index(node.id))
+        return None
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.ctx, ast.Load)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in params
+    ):
+        return ("field", params.index(node.value.id), node.attr)
+    return None
+
+
+def _len_affine(node: ast.AST, env: dict, params: list[str]):
+    """Parse ``len(C) ± const`` -> (container_key, offset), else None."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "len"
+        and len(node.args) == 1
+        and not node.keywords
+    ):
+        key = _container_of(node.args[0], env, params)
+        if key is None:
+            return None
+        return (key, 0)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        inner = _len_affine(node.left, env, params)
+        if inner is None or not isinstance(node.right, ast.Constant):
+            return None
+        k = node.right.value
+        if type(k) is not int:
+            return None
+        key, off = inner
+        return (key, off + k if isinstance(node.op, ast.Add) else off - k)
+    return None
+
+
+# The linear-fold grammar. ----------------------------------------------------
+
+
+def _self_calls(fd: ast.FunctionDef) -> list[ast.Call]:
+    calls = []
+    for stmt in fd.body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == fd.name
+            ):
+                calls.append(node)
+    return calls
+
+
+def _contains(node: ast.AST, target: ast.AST) -> bool:
+    return any(child is target for child in ast.walk(node))
+
+
+_ALLOWED_EXPR = (
+    ast.BinOp, ast.BoolOp, ast.Compare, ast.IfExp, ast.Call, ast.Name,
+    ast.Constant, ast.Attribute, ast.Subscript, ast.UnaryOp,
+    ast.Load, ast.And, ast.Or, ast.Not, ast.USub, ast.UAdd,
+    ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod,
+    ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Is, ast.IsNot,
+)
+
+
+def classify_fold(fd: ast.FunctionDef):
+    """Judge one self-recursive function against the linear-fold grammar.
+
+    Returns ``FoldInfo`` on success, a ``Rejection`` when the function is
+    self-recursive but inadmissible, and ``None`` when it is not a fold
+    candidate at all (no self-call).
+    """
+    name = fd.name
+
+    def reject(code: str, message: str, node: ast.AST = None) -> Rejection:
+        return Rejection(
+            code, message, function=name,
+            line=getattr(node, "lineno", fd.lineno),
+        )
+
+    calls = _self_calls(fd)
+    if not calls:
+        return None
+
+    args = fd.args
+    if (
+        args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs
+        or args.defaults or args.kw_defaults
+    ):
+        return reject(
+            INADMISSIBLE,
+            "fold checks must take plain positional parameters",
+        )
+    params = [a.arg for a in args.args]
+
+    if len(calls) != 1:
+        return reject(
+            INADMISSIBLE,
+            f"{len(calls)} recursive calls (tree recursion) — only a "
+            "single linear self-call with step i+1 can be maintained",
+            calls[1],
+        )
+    rec_call = calls[0]
+
+    body = list(fd.body)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]  # docstring
+
+    env: dict[str, tuple] = {p: ("aff", p, 1, 0) for p in params}
+    assigned: set[str] = set(params)
+
+    def process_assign(stmt: ast.Assign) -> Optional[Rejection]:
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            return reject(
+                INADMISSIBLE, "only single-name assignments are supported",
+                stmt,
+            )
+        target = stmt.targets[0].id
+        assigned.add(target)
+        cont = _container_of(stmt.value, env, params)
+        if cont is not None and isinstance(stmt.value, ast.Attribute):
+            env[target] = ("cont", cont)
+        else:
+            env[target] = _normalize(_eval_affine(stmt.value, env))
+        return None
+
+    # Prelude: straight-line assigns, then the base-case guard.
+    i = 0
+    while i < len(body) and isinstance(body[i], ast.Assign):
+        if _contains(body[i], rec_call):
+            break
+        err = process_assign(body[i])
+        if err:
+            return err
+        i += 1
+
+    if i >= len(body) or not isinstance(body[i], ast.If):
+        return reject(
+            INADMISSIBLE,
+            "missing base-case guard: expected `if i >= len(c): return B` "
+            "after the prelude assignments",
+            body[i] if i < len(body) else fd,
+        )
+    guard = body[i]
+    i += 1
+    if guard.orelse or len(guard.body) != 1 or not isinstance(
+        guard.body[0], ast.Return
+    ):
+        return reject(
+            INADMISSIBLE,
+            "base-case guard must be `if <test>: return <const>` with no "
+            "else branch",
+            guard,
+        )
+    base_ret = guard.body[0].value
+    if not isinstance(base_ret, ast.Constant) or type(base_ret.value) not in (
+        int, bool, float
+    ):
+        return reject(
+            INADMISSIBLE,
+            "base case must return a primitive constant (the monoid "
+            "identity)",
+            guard,
+        )
+    base_const = base_ret.value
+
+    test = guard.test
+    if not (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and len(test.comparators) == 1
+    ):
+        return reject(
+            INADMISSIBLE,
+            "base-case test must compare the index against len(container)",
+            guard,
+        )
+    op = test.ops[0]
+    if isinstance(op, ast.GtE):
+        idx_node, len_node = test.left, test.comparators[0]
+    elif isinstance(op, ast.LtE):
+        len_node, idx_node = test.left, test.comparators[0]
+    else:
+        return reject(
+            INADMISSIBLE,
+            "base-case test must use >= (or a flipped <=) so the domain is "
+            "the half-open prefix [start, len)",
+            guard,
+        )
+    if not (isinstance(idx_node, ast.Name) and idx_node.id in params):
+        return reject(
+            INADMISSIBLE,
+            "base-case test must compare a bare index parameter",
+            guard,
+        )
+    index_param = idx_node.id
+    index_pos = params.index(index_param)
+    parsed = _len_affine(len_node, env, params)
+    if parsed is None:
+        return reject(
+            INADMISSIBLE,
+            "base-case bound must be len(container) plus/minus a constant",
+            guard,
+        )
+    container, domain_offset = parsed
+
+    # Between the guard and the self-call: plain assignments only.  Any
+    # other statement could return before recursing — a pruned traversal
+    # whose answer depends on which slots were visited.
+    rec_marker: Optional[str] = None
+    rec_stmt_index = None
+    while i < len(body):
+        stmt = body[i]
+        if isinstance(stmt, ast.Assign) and _contains(stmt, rec_call):
+            if stmt.value is not rec_call:
+                return reject(
+                    INADMISSIBLE,
+                    "recursive call must be a plain `rest = f(...)` "
+                    "assignment, not nested inside an expression",
+                    stmt,
+                )
+            if len(stmt.targets) != 1 or not isinstance(
+                stmt.targets[0], ast.Name
+            ):
+                return reject(
+                    INADMISSIBLE,
+                    "recursive result must bind a single name", stmt,
+                )
+            rec_marker = stmt.targets[0].id
+            assigned.add(rec_marker)
+            rec_stmt_index = i
+            i += 1
+            break
+        if isinstance(stmt, ast.Return) and _contains(stmt, rec_call):
+            # Inline form: `return term + f(...)` as the final statement.
+            rec_stmt_index = i
+            break
+        if not isinstance(stmt, ast.Assign):
+            return reject(
+                INADMISSIBLE,
+                "a conditional (or other statement) precedes the recursive "
+                "call: a path may return without recursing, pruning the "
+                "traversal so the answer is not a pointwise fold",
+                stmt,
+            )
+        err = process_assign(stmt)
+        if err:
+            return err
+        i += 1
+
+    if rec_stmt_index is None:
+        return reject(
+            INADMISSIBLE,
+            "recursive call is nested under a conditional — a path may "
+            "skip it, pruning the traversal",
+            rec_call,
+        )
+
+    # The self-call: every non-index argument passes its parameter through
+    # unchanged; the index argument advances by exactly one.
+    if len(rec_call.args) != len(params) or rec_call.keywords:
+        return reject(
+            INADMISSIBLE,
+            "recursive call must pass exactly the original parameters",
+            rec_call,
+        )
+    for pos, arg in enumerate(rec_call.args):
+        val = _normalize(_eval_affine(arg, env))
+        if pos == index_pos:
+            if val != ("aff", index_param, 1, 1):
+                return reject(
+                    INADMISSIBLE,
+                    "recursion step must advance the index by exactly one "
+                    "(`i + 1`)",
+                    rec_call,
+                )
+        else:
+            if not (isinstance(arg, ast.Name) and arg.id == params[pos]):
+                return reject(
+                    INADMISSIBLE,
+                    f"recursive call must pass parameter "
+                    f"{params[pos]!r} through unchanged",
+                    rec_call,
+                )
+
+    # Tail: assignments (marker-free), passthrough guards, returns.
+    def uses_marker(node: ast.AST) -> bool:
+        if rec_marker is None:
+            return _contains(node, rec_call)
+        return any(
+            isinstance(n, ast.Name) and n.id == rec_marker
+            for n in ast.walk(node)
+        )
+
+    def is_marker(node: ast.AST) -> bool:
+        if rec_marker is None:
+            return node is rec_call
+        return isinstance(node, ast.Name) and node.id == rec_marker
+
+    returns: list[ast.expr] = []
+    tail = body[i:] if rec_marker is not None else [body[rec_stmt_index]]
+    for stmt in tail:
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                return reject(
+                    INADMISSIBLE, "fold checks must return a value", stmt,
+                )
+            returns.append(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            if uses_marker(stmt.value):
+                return reject(
+                    INADMISSIBLE,
+                    "recursive result may only be combined in a return "
+                    "expression, not stored through locals",
+                    stmt,
+                )
+            err = process_assign(stmt)
+            if err:
+                return err
+        elif isinstance(stmt, ast.If):
+            if (
+                stmt.orelse
+                or len(stmt.body) != 1
+                or not isinstance(stmt.body[0], ast.Return)
+                or uses_marker(stmt.test)
+            ):
+                return reject(
+                    INADMISSIBLE,
+                    "tail conditionals must be `if <cond>: return <...>` "
+                    "guards with a marker-free condition",
+                    stmt,
+                )
+            ret = stmt.body[0]
+            if ret.value is None:
+                return reject(
+                    INADMISSIBLE, "fold checks must return a value", ret,
+                )
+            returns.append(ret.value)
+        else:
+            return reject(
+                INADMISSIBLE,
+                f"unsupported statement {type(stmt).__name__} after the "
+                "recursive call",
+                stmt,
+            )
+    if not tail or not isinstance(tail[-1], ast.Return):
+        return reject(
+            INADMISSIBLE, "fold body must end in a return", fd,
+        )
+
+    monoid = None
+    saw_combine = False
+    for expr in returns:
+        shape = _classify_combine(expr, is_marker, uses_marker)
+        if shape is None:
+            return reject(
+                INADMISSIBLE,
+                "combine step is not a recognized commutative-monoid "
+                "operator (term + rest, term and rest, or an if/else "
+                "min/max); order-dependent combines cannot be maintained "
+                "out of mutation order",
+                expr,
+            )
+        if shape == "passthrough":
+            continue
+        if shape == "absorber_false":
+            if monoid not in (None, "and"):
+                return reject(
+                    INADMISSIBLE,
+                    "constant `return False` only folds into a conjunction",
+                    expr,
+                )
+            monoid = monoid or "and"
+            continue
+        saw_combine = True
+        if monoid is None or monoid == shape:
+            monoid = shape
+        else:
+            return reject(
+                INADMISSIBLE,
+                f"return paths disagree on the combine operator "
+                f"({monoid} vs {shape})",
+                expr,
+            )
+    if monoid is None or not saw_combine:
+        return reject(
+            INADMISSIBLE,
+            "the recursive result is never combined with a per-slot term",
+            fd,
+        )
+
+    # Identity-constant agreement with the monoid.
+    if monoid == "sum":
+        if not (type(base_const) in (int, float) and base_const == 0):
+            return reject(
+                INADMISSIBLE,
+                f"sum fold must bottom out at 0, got {base_const!r}", guard,
+            )
+    elif monoid == "and":
+        if base_const is not True:
+            return reject(
+                INADMISSIBLE,
+                f"conjunction fold must bottom out at True, got "
+                f"{base_const!r}",
+                guard,
+            )
+    else:  # min/max: any int constant is an idempotent clamp
+        if type(base_const) is not int:
+            return reject(
+                INADMISSIBLE,
+                f"{monoid} fold must bottom out at an integer sentinel, "
+                f"got {base_const!r}",
+                guard,
+            )
+
+    # Whole-body safety scan: every read must be attributable to a slot.
+    stencil: list[tuple[int, int]] = []
+    float_risk = type(base_const) is float
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(
+                node, _ALLOWED_EXPR + (
+                    ast.stmt, ast.expr_context, ast.operator, ast.cmpop,
+                    ast.boolop, ast.unaryop, ast.keyword, ast.arguments,
+                    ast.arg,
+                )
+            ):
+                return reject(
+                    INADMISSIBLE,
+                    f"unsupported construct {type(node).__name__} in a "
+                    "fold body",
+                    node if isinstance(node, ast.AST) else stmt,
+                )
+            if isinstance(node, ast.Constant) and type(node.value) is float:
+                float_risk = True
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                float_risk = True
+            if isinstance(node, ast.Call):
+                if node is rec_call:
+                    continue
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "len"
+                    and len(node.args) == 1
+                    and not node.keywords
+                ):
+                    if _container_of(node.args[0], env, params) != container:
+                        return reject(
+                            INADMISSIBLE,
+                            "len() of something other than the fold "
+                            "container",
+                            node,
+                        )
+                    continue
+                callee = (
+                    node.func.id
+                    if isinstance(node.func, ast.Name)
+                    else ast.unparse(node.func)
+                )
+                return reject(
+                    OPAQUE_CALL,
+                    f"term calls {callee!r}, whose reads cannot be "
+                    "attributed to container slots; inline it or keep the "
+                    "check on the memo path",
+                    node,
+                )
+            if isinstance(node, ast.Subscript):
+                base_key = _container_of(node.value, env, params)
+                if base_key != container:
+                    return reject(
+                        OPAQUE_CALL,
+                        "subscript of something other than the fold "
+                        "container",
+                        node,
+                    )
+                idx = _normalize(_eval_affine(node.slice, env))
+                if idx[0] != "aff" or idx[1] != index_param or idx[2] < 1:
+                    return reject(
+                        INADMISSIBLE,
+                        "slot index is not affine in the recursion index "
+                        "(a*i + b with a >= 1): a dirty slot could not be "
+                        "mapped back to its contribution",
+                        node,
+                    )
+                stencil.append((idx[2], idx[3]))
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                key = _container_of(node, env, params)
+                if key != container:
+                    return reject(
+                        OPAQUE_CALL,
+                        f"reads attribute {node.attr!r} outside the fold "
+                        "container binding (pointer chase); the maintainer "
+                        "cannot re-locate it per slot",
+                        node,
+                    )
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id not in assigned and node.id not in (
+                    "len", fd.name
+                ):
+                    return reject(
+                        OPAQUE_CALL,
+                        f"reads name {node.id!r} from an enclosing scope; "
+                        "only parameters, locals and len() are admissible",
+                        node,
+                    )
+
+    if float_risk and monoid == "sum":
+        return reject(
+            FLOAT_SUM,
+            "sum fold over floating-point terms: float addition is not "
+            "associative, so a maintained sum would drift from the "
+            "recursive one bit-for-bit; kept on the memo path",
+            fd,
+        )
+
+    dedup = tuple(dict.fromkeys(stencil))
+    return FoldInfo(
+        name=name,
+        params=tuple(params),
+        index_pos=index_pos,
+        container=container,
+        monoid=monoid,
+        base_const=base_const,
+        domain_offset=domain_offset,
+        stencil=dedup,
+        float_risk=float_risk,
+        node=fd,
+    )
+
+
+def _classify_combine(expr, is_marker, uses_marker):
+    """Classify one return expression; None means unrecognized."""
+    if is_marker(expr):
+        return "passthrough"
+    if not uses_marker(expr):
+        if isinstance(expr, ast.Constant) and expr.value is False:
+            return "absorber_false"
+        return None
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+        if is_marker(expr.left) and not uses_marker(expr.right):
+            return "sum"
+        if is_marker(expr.right) and not uses_marker(expr.left):
+            return "sum"
+        return None
+    if isinstance(expr, ast.BoolOp) and isinstance(expr.op, ast.And):
+        markers = [v for v in expr.values if is_marker(v)]
+        others = [v for v in expr.values if not is_marker(v)]
+        if len(markers) == 1 and not any(uses_marker(v) for v in others):
+            return "and"
+        return None
+    if isinstance(expr, ast.IfExp):
+        test, body, orelse = expr.test, expr.body, expr.orelse
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and len(test.comparators) == 1
+        ):
+            return None
+        if is_marker(body) and not uses_marker(orelse):
+            marker_branch, term_branch = body, orelse
+        elif is_marker(orelse) and not uses_marker(body):
+            marker_branch, term_branch = orelse, body
+        else:
+            return None
+        left, right = test.left, test.comparators[0]
+        term_dump = ast.dump(term_branch)
+
+        def side_kind(node):
+            if is_marker(node):
+                return "marker"
+            if ast.dump(node) == term_dump and not uses_marker(node):
+                return "term"
+            return None
+
+        lk, rk = side_kind(left), side_kind(right)
+        if {lk, rk} != {"marker", "term"}:
+            return None
+        op = test.ops[0]
+        if isinstance(op, (ast.Lt, ast.LtE)):
+            smaller = lk  # left is the smaller side when test is true
+        elif isinstance(op, (ast.Gt, ast.GtE)):
+            smaller = rk
+        else:
+            return None
+        chosen = "marker" if is_marker(body) else "term"
+        # When the test holds, `body` is returned; the fold is a min when
+        # the returned side is the smaller one.
+        return "min" if chosen == smaller else "max"
+    return None
+
+
+# Entry-level classification (live mode). -------------------------------------
+
+_ENTRY_CACHE: dict[int, EntryClassification] = {}
+
+
+def classify_entry(entry) -> EntryClassification:
+    """Classify a registered check entry point for the derived strategy.
+
+    An entry qualifies when it is itself an admissible fold, or when it is
+    a non-recursive *combiner*: straight-line code whose only check calls
+    are (a) admissible folds invoked once each with passthrough arguments
+    and a constant start index and (b) O(1) scalar checks, combined
+    arbitrarily.  Everything else is rejected (the memo graph remains the
+    strategy for it), with per-function why-nots preserved for lint.
+    """
+    cached = _ENTRY_CACHE.get(entry.uid)
+    if cached is not None:
+        return cached
+    result = _classify_entry_uncached(entry)
+    _ENTRY_CACHE[entry.uid] = result
+    return result
+
+
+def _classify_entry_uncached(entry) -> EntryClassification:
+    from ..instrument.registry import closure_of
+
+    name = entry.name
+    rejections: list[Rejection] = []
+    verdicts: dict[str, Any] = {}
+
+    try:
+        funcs = closure_of(entry)
+    except Exception as exc:  # unparseable closure: not derivable
+        rej = Rejection(
+            INADMISSIBLE, f"cannot analyze check closure: {exc}", name,
+        )
+        return EntryClassification(
+            name, "rejected", rejections=(rej,), verdicts={name: rej},
+        )
+
+    folds: dict[str, FoldInfo] = {}
+    scalars: set[str] = set()
+    for fn in funcs.values():
+        try:
+            verdict = classify_fold(fn.tree())
+        except Exception as exc:
+            verdict = Rejection(
+                INADMISSIBLE, f"classification failed: {exc}", fn.name,
+            )
+        if verdict is not None:
+            verdicts[fn.name] = verdict
+        if isinstance(verdict, FoldInfo):
+            folds[fn.name] = verdict
+        elif isinstance(verdict, Rejection):
+            rejections.append(verdict)
+
+    entry_verdict = verdicts.get(name)
+    if isinstance(entry_verdict, FoldInfo):
+        result = EntryClassification(
+            name, "fold", folds={name: entry_verdict},
+            rejections=tuple(rejections), verdicts=verdicts,
+        )
+        return result
+    if isinstance(entry_verdict, Rejection):
+        return EntryClassification(
+            name, "rejected", rejections=tuple(rejections),
+            verdicts=verdicts,
+        )
+
+    # Non-recursive entry: try the combiner shape.
+    verdict = _classify_combiner(entry, funcs, folds, verdicts, rejections)
+    return verdict
+
+
+def _classify_combiner(entry, funcs, folds, verdicts, rejections):
+    name = entry.name
+
+    def rejected(code, message, node=None):
+        rej = Rejection(
+            code, message, function=name,
+            line=getattr(node, "lineno", 0),
+        )
+        return EntryClassification(
+            name, "rejected", rejections=tuple(rejections) + (rej,),
+            verdicts=verdicts,
+        )
+
+    if entry.original.__code__.co_freevars:
+        return rejected(
+            INADMISSIBLE,
+            "entry resolves callees through closure cells; derived "
+            "evaluation rebinds globals and needs a module-level entry",
+        )
+    try:
+        tree = entry.tree()
+        callees = entry.resolve_callees()
+    except Exception as exc:
+        return rejected(INADMISSIBLE, f"cannot analyze entry: {exc}")
+
+    params = [a.arg for a in tree.args.args]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.While)):
+            return rejected(
+                INADMISSIBLE,
+                "loops in the entry cannot be combined in O(1)", node,
+            )
+
+    sites: list[FoldSite] = []
+    seen_fold_callees: set[str] = set()
+    scalar_names: set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+            continue
+        callee_name = node.func.id
+        callee = callees.get(callee_name)
+        if callee is None:
+            continue  # helper/builtin: the scalar path executes it as-is
+        info = verdicts.get(callee.name)
+        if isinstance(info, FoldInfo):
+            if callee_name in seen_fold_callees:
+                return rejected(
+                    INADMISSIBLE,
+                    f"fold {callee_name!r} is called more than once; one "
+                    "maintained aggregate cannot serve two sites",
+                    node,
+                )
+            seen_fold_callees.add(callee_name)
+            site = _verify_fold_site(node, info, params)
+            if isinstance(site, str):
+                return rejected(INADMISSIBLE, site, node)
+            sites.append(
+                FoldSite(callee_name, info, site,
+                         start=site[info.index_pos][1])
+            )
+        elif isinstance(info, Rejection):
+            return rejected(
+                info.code,
+                f"calls {callee_name!r}, which is not maintainable "
+                f"({info.message})",
+                node,
+            )
+        else:
+            scalar = _is_scalar_check(callee)
+            if scalar is not True:
+                return rejected(
+                    INADMISSIBLE,
+                    f"calls {callee_name!r}, which is neither a fold nor "
+                    f"an O(1) scalar check ({scalar})",
+                    node,
+                )
+            scalar_names.add(callee_name)
+
+    if not sites:
+        return rejected(
+            INADMISSIBLE,
+            "no maintainable fold reached from the entry",
+        )
+    result = EntryClassification(
+        name, "combiner",
+        folds={s.callee_name: s.fold for s in sites},
+        scalar_names=tuple(sorted(scalar_names)),
+        sites=tuple(sites),
+        rejections=tuple(rejections),
+        verdicts=verdicts,
+    )
+    return result
+
+
+def _verify_fold_site(call: ast.Call, info: FoldInfo, entry_params):
+    """Check a combiner's call of a fold: passthrough args + constant
+    start.  Returns the arg plan tuple, or an error string."""
+    if len(call.args) != len(info.params) or call.keywords:
+        return (
+            f"call of fold {info.name!r} must pass its "
+            f"{len(info.params)} positional parameters"
+        )
+    plan = []
+    for pos, arg in enumerate(call.args):
+        if pos == info.index_pos:
+            if not (
+                isinstance(arg, ast.Constant) and type(arg.value) is int
+            ):
+                return (
+                    f"fold {info.name!r} must be started at a constant "
+                    "index"
+                )
+            plan.append(("const", arg.value))
+        else:
+            if not (isinstance(arg, ast.Name) and arg.id in entry_params):
+                return (
+                    f"fold {info.name!r} must receive entry parameters "
+                    "unchanged"
+                )
+            plan.append(("param", entry_params.index(arg.id)))
+    return tuple(plan)
+
+
+def _is_scalar_check(fn) -> "bool | str":
+    """True when ``fn`` is an O(1) non-recursive check: loop-free,
+    call-free, straight-line.  Such checks are re-executed on every derived
+    run (they are constant work), preserving their natural exceptions."""
+    try:
+        tree = fn.tree()
+    except Exception as exc:
+        return f"unparseable: {exc}"
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.While)):
+            return "contains a loop"
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "len", "abs", "min", "max",
+            ):
+                continue
+            return "calls other functions"
+    return True
+
+
+def entry_diagnostics(entry) -> list[tuple]:
+    """DIT2xx raw diagnostics for one live entry: a list of
+    ``(code, message, function, line)`` tuples — one per self-recursive
+    function in the closure (admissible or not).  The lint layer wraps
+    them into Diagnostics."""
+    cls = classify_entry(entry)
+    out = []
+    for fname, verdict in sorted(cls.verdicts.items()):
+        if isinstance(verdict, FoldInfo):
+            out.append((
+                ADMISSIBLE,
+                f"admissible {verdict.describe()}; eligible for O(1) "
+                "derived maintenance",
+                fname,
+                getattr(verdict.node, "lineno", 0),
+            ))
+        elif isinstance(verdict, Rejection):
+            out.append((verdict.code, verdict.message, fname, verdict.line))
+    return out
+
+
+def clear_cache() -> None:
+    """Drop the entry-classification cache (test isolation)."""
+    _ENTRY_CACHE.clear()

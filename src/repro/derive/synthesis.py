@@ -1,0 +1,87 @@
+"""Synthesis: turn a classified fold into executable maintenance pieces.
+
+Two compilations happen here, both ordinary CPython codegen (no third
+parties):
+
+* **Term extraction** — the per-slot contribution function ``term(...,
+  i)`` is the fold body with its single self-call replaced by the base
+  constant ``B``.  Because the classifier proved the combine operator is
+  a commutative monoid with identity ``B`` (or, for min/max, an
+  idempotent clamp), the original recursion equals the monoid fold of
+  ``term`` over the index domain — the term is everything the maintainer
+  ever needs to run.
+* **Combiner rebinding** — a combiner entry (non-recursive, calls folds
+  and scalar checks) is re-materialized as a new function object sharing
+  the entry's *code* but with the fold callee names rebound, in a copied
+  globals dict, to O(1) wrappers over the live maintainers.  Scalar
+  callees stay untouched and re-execute on every run, preserving their
+  natural exceptions (``vector_tail`` raising IndexError on an empty
+  vector must raise identically under every strategy).
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import types
+from typing import Any, Callable
+
+from .classifier import EntryClassification, FoldInfo
+
+
+class _SelfCallRewriter(ast.NodeTransformer):
+    """Replace ``f(...)`` self-calls with the base constant."""
+
+    def __init__(self, name: str, base_const: Any):
+        self.name = name
+        self.base_const = base_const
+
+    def visit_Call(self, node: ast.Call) -> ast.AST:
+        self.generic_visit(node)
+        if isinstance(node.func, ast.Name) and node.func.id == self.name:
+            return ast.Constant(value=self.base_const)
+        return node
+
+
+def compile_term(info: FoldInfo) -> Callable:
+    """Compile the per-slot contribution function of a classified fold.
+
+    Same signature as the fold itself; calling ``term(*args)`` with the
+    index parameter set to ``i`` evaluates slot ``i``'s contribution.
+    """
+    node = copy.deepcopy(info.node)
+    node.name = f"__derived_term_{info.name}"
+    _SelfCallRewriter(info.name, info.base_const).visit(node)
+    ast.fix_missing_locations(node)
+    module = ast.Module(body=[node], type_ignores=[])
+    code = compile(module, filename=f"<derived-term:{info.name}>", mode="exec")
+    namespace: dict[str, Any] = {}
+    exec(code, namespace)
+    return namespace[node.name]
+
+
+def build_combiner(entry, classification: EntryClassification,
+                   fold_values: dict[str, Callable]) -> Callable:
+    """Rebind a combiner entry's fold callees to maintainer lookups.
+
+    ``fold_values`` maps each fold callee *name* (as called in the entry
+    body) to a zero-cost value thunk; the returned function has the
+    entry's exact code object, so everything else — scalar check calls,
+    arithmetic, argument handling, exceptions — behaves identically to
+    the un-incrementalized entry.
+    """
+    func = entry.original
+    namespace = dict(func.__globals__)
+    for site in classification.sites:
+        thunk = fold_values[site.callee_name]
+        namespace[site.callee_name] = _ignore_args(thunk)
+    return types.FunctionType(
+        func.__code__, namespace, func.__name__, func.__defaults__, None,
+    )
+
+
+def _ignore_args(thunk: Callable) -> Callable:
+    def fold_value(*_args: Any) -> Any:
+        return thunk()
+
+    return fold_value

@@ -9,6 +9,7 @@ Examples::
     python -m repro.lint src/repro/structures examples
     python -m repro.lint src/repro/structures --format json > lint.json
     python -m repro.lint --rules         # print the rule catalogue
+    python -m repro.lint --explain DIT203   # one rule, in depth
 """
 
 from __future__ import annotations
@@ -24,6 +25,27 @@ def _print_rules() -> None:
     for code in sorted(RULES):
         rule = RULES[code]
         print(f"{code}  {rule.severity:<7}  {rule.name:<26} {rule.summary}")
+
+
+def _explain_rule(code: str) -> int:
+    rule = RULES.get(code.upper())
+    if rule is None:
+        known = ", ".join(sorted(RULES))
+        print(f"error: unknown rule code {code!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+    print(f"{rule.code} ({rule.name}) — severity: {rule.severity}")
+    print()
+    print(rule.summary)
+    if rule.rationale:
+        print()
+        print(rule.rationale)
+    if rule.example:
+        print()
+        print("Example:")
+        for line in rule.example.splitlines():
+            print(f"    {line}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -61,8 +83,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print one rule's summary, rationale, and example, then exit "
+             "(exit code 2 for an unknown code)",
+    )
     args = parser.parse_args(argv)
 
+    if args.explain:
+        return _explain_rule(args.explain)
     if args.rules:
         _print_rules()
         return 0

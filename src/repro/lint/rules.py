@@ -9,12 +9,19 @@ side* — stores that would evade the write barriers of §4, which the
 dynamic system can only catch probabilistically (paranoia re-execution or
 the QA fuzzer happening to hit the divergence).
 
+The ``DIT2xx`` block covers *strategy classification* — whether a check
+admits the derived (fold-maintenance) strategy of :mod:`repro.derive`,
+and, when it does not, why.  These findings never indicate a soundness
+problem: a rejected check simply stays on the memo-graph path.
+
 Severities: ``error`` findings are soundness holes — the incremental
 result can silently diverge from a from-scratch execution; the CLI exits
 non-zero and strict engine registration refuses the check.  ``warning``
 findings are unprovable-but-plausible constructs the analyzer cannot
 verify (unresolvable call targets, dynamic attribute names); they are
-reported but do not gate.
+reported but do not gate.  ``note`` findings are informational
+classification results (the DIT2xx family); they never affect exit codes,
+even under ``--strict-warnings``.
 """
 
 from __future__ import annotations
@@ -25,22 +32,27 @@ from typing import Iterable, Iterator
 
 ERROR = "error"
 WARNING = "warning"
+NOTE = "note"
 
-_SEVERITY_ORDER = {ERROR: 0, WARNING: 1}
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1, NOTE: 2}
 
 
 @dataclass(frozen=True)
 class Rule:
-    """One lint rule: a stable code, a default severity, and a summary."""
+    """One lint rule: a stable code, a default severity, a one-line
+    summary, and (for ``--explain``) a rationale paragraph plus a short
+    illustrative example."""
 
     code: str
     name: str
     severity: str
     summary: str
+    rationale: str = ""
+    example: str = ""
 
 
 #: The shipped rule catalogue, keyed by code.  See ``docs/architecture.md``
-#: §10 for the full rationale of each rule.
+#: §10 and §14 for the full rationale of each rule.
 RULES: dict[str, Rule] = {
     rule.code: rule
     for rule in (
@@ -50,42 +62,126 @@ RULES: dict[str, Rule] = {
             "impure-helper",
             ERROR,
             "helper reachable from a check has side effects",
+            rationale=(
+                "Checks must be side-effect-free (paper §3.5): the engine "
+                "memoizes and selectively re-executes nodes, so a helper "
+                "that mutates state runs a data-dependent number of times "
+                "and the incremental result silently diverges from a "
+                "from-scratch execution."
+            ),
+            example=(
+                "def helper(x):\n"
+                "    CACHE[x] = x * 2   # store — impure\n"
+                "    return CACHE[x]"
+            ),
         ),
         Rule(
             "DIT002",
             "unverifiable-call",
             WARNING,
             "call target cannot be resolved or statically verified",
+            rationale=(
+                "The analyzer proves purity by reading source; a call "
+                "whose target cannot be resolved (or has no Python "
+                "source) might do anything.  Register the target with "
+                "repro.register_pure_helper to assert purity explicitly."
+            ),
+            example=(
+                "@check\n"
+                "def c(v):\n"
+                "    return mystery(v)  # 'mystery' not defined in "
+                "linted files"
+            ),
         ),
         Rule(
             "DIT003",
             "untracked-helper-read",
             ERROR,
             "helper reads heap locations the engine cannot attribute",
+            rationale=(
+                "Helper reads become implicit arguments of the calling "
+                "node, but only depth-1 reads of the helper's parameters "
+                "can be attributed.  Deeper pointer chases (a.b.c) are "
+                "invisible to the dirty-marking pass: mutations there "
+                "never re-execute the node."
+            ),
+            example=(
+                "def helper(e):\n"
+                "    return e.next.key  # depth-2 read — unattributable"
+            ),
         ),
         Rule(
             "DIT004",
             "mutable-global",
             ERROR,
             "check or helper reads a global bound to a mutable value",
+            rationale=(
+                "Write barriers cover tracked objects, not module "
+                "globals.  A check reading a mutable global can change "
+                "its answer without any barrier event, so the memo graph "
+                "is never dirtied and the stale result is reused."
+            ),
+            example=(
+                "LIMITS = [10, 20]      # mutable module global\n"
+                "@check\n"
+                "def c(v):\n"
+                "    return len(v) < LIMITS[0]"
+            ),
         ),
         Rule(
             "DIT005",
             "unverifiable-method",
             WARNING,
             "method call purity cannot be statically verified",
+            rationale=(
+                "Method dispatch is dynamic: the receiver's class is "
+                "unknown statically, so the analyzer cannot find the "
+                "implementation to verify.  Register the implementation "
+                "with repro.register_pure_method to name it explicitly."
+            ),
+            example=(
+                "@check\n"
+                "def c(t):\n"
+                "    return t.depth() > 0  # .depth() unverifiable"
+            ),
         ),
         Rule(
             "DIT006",
             "registered-pure-lie",
             ERROR,
             "function registered as pure fails the purity analysis",
+            rationale=(
+                "register_pure_helper / register_pure_method are trust "
+                "declarations the engine acts on (it skips re-execution "
+                "of registered calls).  When the analyzer can prove the "
+                "registered body has side effects, the declaration is a "
+                "soundness lie, not an unprovable claim."
+            ),
+            example=(
+                "@register_pure_helper\n"
+                "def h(x):\n"
+                "    LOG.append(x)  # registered pure, provably impure\n"
+                "    return x"
+            ),
         ),
         Rule(
             "DIT007",
             "check-restriction",
             ERROR,
             "check violates the admissible language subset",
+            rationale=(
+                "The incrementalizer supports the paper's check language "
+                "(§3.5): straight-line recursive functions without "
+                "short-circuits guarded by callee results, stores, or "
+                "unbounded constructs.  Outside the subset the memo "
+                "graph's reuse conditions do not hold."
+            ),
+            example=(
+                "@check\n"
+                "def c(n):\n"
+                "    return n.ok and c(n.next)  # callee-guarded "
+                "short-circuit"
+            ),
         ),
         Rule(
             "DIT008",
@@ -93,6 +189,18 @@ RULES: dict[str, Rule] = {
             ERROR,
             "pure method on a tracked receiver has reads the engine "
             "cannot attribute to the calling node",
+            rationale=(
+                "A registered-pure method on a tracked class is executed "
+                "without instrumentation; its heap reads are attributed "
+                "to the calling node from its static read summary.  "
+                "Reads the summary cannot cover (deep chases, dynamic "
+                "subscripts) make mutations invisible to dirty marking."
+            ),
+            example=(
+                "class T(TrackedObject):\n"
+                "    def tail(self):\n"
+                "        return self.head.next.key  # depth-2 read"
+            ),
         ),
         # Mutator-side barrier-bypass detection (DIT1xx). --------------------
         Rule(
@@ -100,30 +208,174 @@ RULES: dict[str, Rule] = {
             "setattr-bypass",
             ERROR,
             "object.__setattr__/__delattr__ store evades the write barrier",
+            rationale=(
+                "TrackedObject's barrier lives in __setattr__; calling "
+                "object.__setattr__ directly stores without logging, so "
+                "the engine reuses memoized results computed from the "
+                "old value."
+            ),
+            example=(
+                "object.__setattr__(node, 'key', 7)  # no barrier event"
+            ),
         ),
         Rule(
             "DIT102",
             "dict-store-bypass",
             ERROR,
             "store through __dict__/vars() evades the write barrier",
+            rationale=(
+                "Writing instance.__dict__['f'] = v (or through vars()) "
+                "skips __setattr__ entirely — the same silent-staleness "
+                "hole as DIT101 via a different door."
+            ),
+            example="node.__dict__['key'] = 7  # no barrier event",
         ),
         Rule(
             "DIT103",
             "dynamic-setattr",
             WARNING,
             "dynamic-name setattr cannot be checked against monitored fields",
+            rationale=(
+                "setattr(obj, name, v) with a non-literal name does pass "
+                "through the barrier, but the linter cannot prove the "
+                "name is (or is not) a monitored field, so the finding "
+                "is advisory."
+            ),
+            example="setattr(node, field_name, value)  # name unknown",
         ),
         Rule(
             "DIT104",
             "raw-backing-alias",
             ERROR,
             "raw backing list of a tracked container mutated in place",
+            rationale=(
+                "Aliasing a tracked container's private backing list "
+                "(obj._items) and mutating the alias stores without any "
+                "barrier: the container's locations never log and every "
+                "dependent check goes stale."
+            ),
+            example=(
+                "raw = vec._items\n"
+                "raw.append(5)  # invisible to the write log"
+            ),
         ),
         Rule(
             "DIT105",
             "untracked-monitored-store",
             WARNING,
             "monitored field name stored on a class without write barriers",
+            rationale=(
+                "A store to a field name some check reads, on a class "
+                "that does not inherit a tracked base, suggests state "
+                "the checks depend on living outside the barrier's "
+                "reach.  Often intentional (plain value objects), hence "
+                "a warning."
+            ),
+            example=(
+                "class Plain:           # not a TrackedObject\n"
+                "    def set(self):\n"
+                "        self.items = []  # 'items' is monitored"
+            ),
+        ),
+        # Strategy classification: derived-fold admissibility (DIT2xx). ------
+        Rule(
+            "DIT201",
+            "fold-admissible",
+            NOTE,
+            "check is an admissible linear fold; eligible for O(1) "
+            "derived maintenance",
+            rationale=(
+                "The check matches the linear-fold grammar: a single "
+                "self-call stepping i+1 over one tracked container, with "
+                "a commutative-monoid combine (sum, conjunction, min/max "
+                "via a comparison-select).  The derived strategy "
+                "(strategy='derived'/'hybrid', repro.derive) maintains "
+                "its value with an O(1) delta per point mutation instead "
+                "of re-running the fold."
+            ),
+            example=(
+                "@check\n"
+                "def total(v, i):\n"
+                "    if i >= len(v):\n"
+                "        return 0\n"
+                "    x = v[i]\n"
+                "    rest = total(v, i + 1)\n"
+                "    return x + rest"
+            ),
+        ),
+        Rule(
+            "DIT202",
+            "fold-inadmissible",
+            NOTE,
+            "self-recursive check does not match the linear-fold grammar",
+            rationale=(
+                "The check recurses but falls outside the maintainable "
+                "shape: tree recursion, a pruned traversal (an early "
+                "return between the base guard and the self-call), an "
+                "order-dependent or non-monoid combine, or a non-affine "
+                "index.  Such folds depend on element order or structure "
+                "in ways a per-element delta cannot repair, so the check "
+                "stays on the memo-graph path — this is a classification "
+                "note, not a defect."
+            ),
+            example=(
+                "@check\n"
+                "def digits(v, i):\n"
+                "    if i >= len(v):\n"
+                "        return 0\n"
+                "    rest = digits(v, i + 1)\n"
+                "    return rest * 10 + v[i]  # order-dependent combine"
+            ),
+        ),
+        Rule(
+            "DIT203",
+            "fold-opaque-call",
+            NOTE,
+            "fold body has calls or reads the maintainer cannot attribute "
+            "to container slots",
+            rationale=(
+                "Derived maintenance re-evaluates one element's "
+                "contribution when that element changes, which requires "
+                "every read in the per-element term to be a function of "
+                "the fold index (container[a*i+b]).  Calls to other "
+                "functions, pointer chases (e.next), or reads of foreign "
+                "state cannot be re-located per slot, so the delta rule "
+                "cannot be synthesized."
+            ),
+            example=(
+                "@check\n"
+                "def chained(t, i):\n"
+                "    if i >= len(t.buckets):\n"
+                "        return True\n"
+                "    ok = scan_chain(t.buckets[i])  # opaque call\n"
+                "    rest = chained(t, i + 1)\n"
+                "    return ok and rest"
+            ),
+        ),
+        Rule(
+            "DIT204",
+            "fold-float-sum",
+            WARNING,
+            "float summation is not associative; derived maintenance "
+            "would change the rounding",
+            rationale=(
+                "The derived strategy reassociates the fold (subtract "
+                "old contribution, add new).  Integer monoids are exact "
+                "under reassociation; IEEE-754 addition is not, so a "
+                "derived float sum can differ from the from-scratch "
+                "value in the last ulp — violating the bit-identical "
+                "parity the QA oracle enforces.  The check is kept on "
+                "the memo path; restructure to integers (fixed-point) "
+                "for O(1) maintenance."
+            ),
+            example=(
+                "@check\n"
+                "def mean_part(v, i):\n"
+                "    if i >= len(v):\n"
+                "        return 0.0          # float identity\n"
+                "    rest = mean_part(v, i + 1)\n"
+                "    return v[i] * 0.5 + rest"
+            ),
         ),
     )
 }
@@ -195,6 +447,10 @@ class LintReport:
         return [d for d in self.diagnostics if d.severity == WARNING]
 
     @property
+    def notes(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == NOTE]
+
+    @property
     def ok(self) -> bool:
         """True when no error-severity findings are present."""
         return not self.errors
@@ -222,9 +478,12 @@ class LintReport:
 
     def format_text(self) -> str:
         lines = [d.format() for d in self.sorted()]
-        lines.append(
+        summary = (
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
         )
+        if self.notes:
+            summary += f", {len(self.notes)} note(s)"
+        lines.append(summary)
         return "\n".join(lines)
 
     def to_json(self) -> str:
@@ -235,6 +494,7 @@ class LintReport:
                 "summary": {
                     "errors": len(self.errors),
                     "warnings": len(self.warnings),
+                    "notes": len(self.notes),
                 },
                 "diagnostics": [d.to_dict() for d in self.sorted()],
             },

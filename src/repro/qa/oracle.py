@@ -45,18 +45,28 @@ DEFAULT_MODES = ("scratch", "ditto", "naive")
 #: ``ditto-interpreted`` and demands bit-identical outcomes and counters.
 _TIER_SUFFIXES = {"specialized": "on", "interpreted": "off"}
 
+#: Strategy modes (:mod:`repro.derive`): ``derived`` pins the fold-
+#: maintenance strategy on (construction fails unless the entry
+#: classifies), ``hybrid`` lets the engine pick per entry.  Both run in
+#: engine mode ``ditto``.  The plain ``ditto``/``naive`` modes pin
+#: ``strategy="memo"`` so the differential stays memo-vs-derived even
+#: when ``DITTO_STRATEGY`` is set in the environment.
+_STRATEGY_MODES = {"derived": "derived", "hybrid": "hybrid"}
 
-def _engine_config(mode: str) -> tuple[str, str]:
-    """Split an oracle mode into ``(engine_mode, specialize)``."""
+
+def _engine_config(mode: str) -> tuple[str, str, str]:
+    """Split an oracle mode into ``(engine_mode, specialize, strategy)``."""
     base, _, tier = mode.partition("-")
+    strategy = _STRATEGY_MODES.get(base, "memo")
+    engine_mode = "ditto" if base in _STRATEGY_MODES else base
     if not tier:
-        return base, "auto"
+        return engine_mode, "auto", strategy
     if base == "scratch" or tier not in _TIER_SUFFIXES:
         raise ValueError(
             f"invalid oracle mode {mode!r}: tier suffixes "
             f"{sorted(_TIER_SUFFIXES)} apply to incremental modes only"
         )
-    return base, _TIER_SUFFIXES[tier]
+    return engine_mode, _TIER_SUFFIXES[tier], strategy
 
 
 @dataclass
@@ -187,13 +197,14 @@ class Oracle:
                 # scratch emits one exec span per run, which would drown
                 # the repair spans the trace exists to show.
                 sink = self.trace_sink if mode != "scratch" else None
-                engine_mode, specialize = _engine_config(mode)
+                engine_mode, specialize, strategy = _engine_config(mode)
                 engines[mode] = DittoEngine(
                     self.model.entry,
                     mode=engine_mode,
                     recursion_limit=None,
                     trace_sink=sink,
                     specialize=specialize,
+                    strategy=strategy,
                 )
             structure = self.model.fresh()
             for index, op in enumerate(trace.ops):

@@ -1,0 +1,19 @@
+"""Lint fixture: an admissible linear fold.  Expect one DIT201 note.
+
+``running_total`` matches the fold grammar end to end: plain positional
+parameters, the ``i >= len(v)`` base guard returning the sum identity, a
+single affine slot read, one linear self-call stepping ``i + 1``, and a
+commutative-monoid combine (``x + rest`` with the callee result bare on
+one side).  The derived strategy can maintain it in O(1) per mutation.
+"""
+
+from repro import check
+
+
+@check
+def running_total(v, i):
+    if i >= len(v):
+        return 0
+    x = v[i]
+    rest = running_total(v, i + 1)
+    return x + rest

@@ -1,0 +1,20 @@
+"""Lint fixture: a float summation fold.  Expect one DIT204 warning.
+
+``half_weight_sum`` is structurally a perfect sum fold, but the term and
+identity are floats.  IEEE-754 addition is not associative, and derived
+maintenance reassociates the fold (subtract the old contribution, add the
+new), so the maintained value can drift from the from-scratch result in
+the last ulp — violating the bit-identical parity the QA oracle enforces.
+The classifier warns and keeps the check on the memo path.
+"""
+
+from repro import check
+
+
+@check
+def half_weight_sum(v, i):
+    if i >= len(v):
+        return 0.0
+    x = v[i]
+    rest = half_weight_sum(v, i + 1)
+    return x * 0.5 + rest

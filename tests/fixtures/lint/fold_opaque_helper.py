@@ -1,0 +1,33 @@
+"""Lint fixture: a fold whose term calls a helper.  Expect one DIT203 note.
+
+``all_chains_ok`` has an admissible shape (and-monoid combine, linear
+self-call, affine slot read), but its per-element term calls
+``chain_ok`` — a read the fold maintainer cannot attribute to container
+slots, so a changed element's contribution cannot be re-evaluated in
+isolation and no delta rule can be synthesized.  The helper itself is
+registered pure with only depth-1 reads, so no DIT0xx finding fires: the
+rejection is purely a strategy classification.
+"""
+
+from repro import TrackedObject, check, register_pure_helper
+
+
+class Link(TrackedObject):
+    def __init__(self, key, next=None):
+        self.key = key
+        self.next = next
+
+
+@register_pure_helper
+def chain_ok(e):
+    return e is None or e.key >= 0
+
+
+@check
+def all_chains_ok(t, i):
+    buckets = t.buckets
+    if i >= len(buckets):
+        return True
+    ok = chain_ok(buckets[i])
+    rest = all_chains_ok(t, i + 1)
+    return ok and rest

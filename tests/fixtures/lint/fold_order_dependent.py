@@ -1,0 +1,18 @@
+"""Lint fixture: an order-dependent fold.  Expect one DIT202 note.
+
+``digit_value`` recurses linearly and reads an affine slot, but its
+combine ``rest * 10 + v[i]`` multiplies the callee result before adding —
+the operation is not a commutative monoid with the callee bare on one
+side, so a per-element delta cannot repair it (removing an element shifts
+the weight of every element after it).  The check stays on the memo path.
+"""
+
+from repro import check
+
+
+@check
+def digit_value(v, i):
+    if i >= len(v):
+        return 0
+    rest = digit_value(v, i + 1)
+    return rest * 10 + v[i]

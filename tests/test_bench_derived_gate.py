@@ -1,0 +1,73 @@
+"""The BENCH_derived.json regression gate, tested deterministically.
+
+No timing happens here: the gate logic in ``benchmarks/bench_derived.py``
+is exercised against hand-built records, and the *committed* record is
+checked to satisfy the hard floor the CI gate enforces — so a commit can
+never introduce a baseline the gate would immediately reject.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_BENCH = os.path.join(_REPO, "benchmarks", "bench_derived.py")
+_RECORD = os.path.join(_REPO, "benchmarks", "BENCH_derived.json")
+
+spec = importlib.util.spec_from_file_location("bench_derived", _BENCH)
+bench_derived = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_derived)
+
+
+def _record(speedups):
+    return {
+        "workloads": {
+            name: {"top": {"size": 10000, "steady_speedup": value}}
+            for name, value in speedups.items()
+        }
+    }
+
+
+HEALTHY = {"vector_sum": 900.0, "heap_min": 1200.0, "table_occupancy": 700.0}
+
+
+def test_healthy_record_passes_with_and_without_baseline():
+    record = _record(HEALTHY)
+    assert bench_derived.check_against_baseline(record, None) == []
+    assert bench_derived.check_against_baseline(record, record) == []
+
+
+def test_hard_floor_catches_collapsed_delta_rule():
+    broken = _record({**HEALTHY, "heap_min": 1.1})
+    failures = bench_derived.check_against_baseline(broken, _record(HEALTHY))
+    assert any("hard floor" in f for f in failures)
+    assert any("heap_min" in f for f in failures)
+
+
+def test_retention_catches_halved_speedup_above_floor():
+    eroded = _record({**HEALTHY, "table_occupancy": 80.0})  # >10x, <50%
+    failures = bench_derived.check_against_baseline(eroded, _record(HEALTHY))
+    assert failures == [
+        "table_occupancy: steady-state speedup 80.0x lost more than half "
+        "of baseline 700.0x"
+    ]
+
+
+def test_missing_workload_is_a_failure():
+    partial = _record({"vector_sum": 900.0})
+    failures = bench_derived.check_against_baseline(partial, None)
+    assert len(failures) == 2  # heap_min and table_occupancy absent
+
+
+def test_committed_record_satisfies_the_gate():
+    """The baseline in the tree must itself clear the hard floor: every
+    gated workload at N>=10k with >=10x steady-state speedup."""
+    with open(_RECORD) as fh:
+        record = json.load(fh)
+    assert bench_derived.check_against_baseline(record, None) == []
+    for name in bench_derived.GATED_WORKLOADS:
+        top = record["workloads"][name]["top"]
+        assert top["size"] >= 10_000
+        assert top["steady_speedup"] >= bench_derived.MIN_STEADY_SPEEDUP

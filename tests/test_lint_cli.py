@@ -109,3 +109,44 @@ def test_injected_bypass_in_structure_copy(tmp_path):
     assert diag.severity == "error"
     assert diag.file == str(target)
     assert diag.line == len(lines) + 3  # the injected setattr line
+
+
+# --explain. -------------------------------------------------------------------
+
+
+def test_explain_known_rule(capsys):
+    assert main(["--explain", "DIT203"]) == 0
+    out = capsys.readouterr().out
+    assert "DIT203" in out and "fold-opaque-call" in out
+    assert "Example:" in out
+
+
+def test_explain_is_case_insensitive(capsys):
+    assert main(["--explain", "dit101"]) == 0
+    assert "setattr-bypass" in capsys.readouterr().out
+
+
+def test_explain_unknown_rule_is_usage_error(capsys):
+    assert main(["--explain", "DIT999"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule code" in err and "DIT999" in err
+
+
+def test_explain_covers_full_catalogue(capsys):
+    """Every shipped rule explains itself: id, summary, rationale, and an
+    example — none of the entries is a stub."""
+    from repro.lint import RULES
+
+    for code, rule in sorted(RULES.items()):
+        assert main(["--explain", code]) == 0
+        out = capsys.readouterr().out
+        assert code in out
+        assert rule.name in out
+        assert "Example:" in out
+
+
+def test_explain_needs_no_paths(capsys):
+    """--explain is standalone: no paths required, unlike a lint run."""
+    assert main(["--explain", "DIT201"]) == 0
+    capsys.readouterr()
+    assert main([]) == 2  # whereas a pathless lint run is a usage error

@@ -1,0 +1,242 @@
+"""Property tests for the derived (synthesized-maintenance) strategy.
+
+The equivalence contract is the same one the memo engines answer to —
+after ANY mutation sequence the engine returns exactly what from-scratch
+execution returns — but the mechanism under test is different: here the
+value is maintained by per-mutator delta rules synthesized by the fold
+classifier, with full-fold rebuilds on anything the rules cannot absorb.
+
+Each hypothesis stateful machine drives a strict ``derived`` engine and a
+``hybrid`` engine in lock-step against ``entry.original``, deliberately
+mixing:
+
+* point mutations the delta rules absorb in O(1),
+* structural events (heap ``_grow``, hash-table rehash, whole-vector
+  shifts) that must transactionally invalidate back to a full fold, and
+* mid-trace fault injection — ``engine.invalidate()`` — the external
+  analogue of a failed delta, forcing the rebuild path at arbitrary
+  trace positions.
+
+The teardown asserts the strict engine really ran derived (and actually
+took both the delta and the full-fold path), so a silent fallback to the
+memo graph cannot vacuously pass the machines.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import DittoEngine, reset_tracking
+from repro.structures import (
+    BinaryHeap,
+    HashTable,
+    IntVector,
+    heap_min,
+    table_occupancy,
+    vector_digest,
+    vector_sum,
+)
+
+_MACHINE_SETTINGS = settings(
+    max_examples=20, stateful_step_count=40, deadline=None
+)
+
+
+def _outcome(fn, args):
+    """Run ``fn`` and capture its outcome — value or exception — so the
+    machines can demand *exception* parity too (``vector_digest`` on an
+    empty vector raises IndexError from scratch, and derived must match,
+    not mask it)."""
+    try:
+        return ("value", fn(*args))
+    except Exception as exc:  # noqa: BLE001 — parity includes any error
+        return ("error", type(exc).__name__, exc.args)
+
+
+class _StrategyMachine(RuleBasedStateMachine):
+    """Common scaffolding: strict derived + hybrid engines vs scratch."""
+
+    entry = None  # set by subclasses
+
+    def _setup_engines(self):
+        reset_tracking()
+        self.derived = DittoEngine(
+            self.entry, strategy="derived", recursion_limit=None
+        )
+        self.hybrid = DittoEngine(
+            self.entry, strategy="hybrid", recursion_limit=None
+        )
+
+    def teardown(self):
+        # The machine proves nothing if the strict engine quietly served
+        # memo results: pin the active strategy and demand the delta path
+        # actually fired at least once per example run.
+        assert self.derived.active_strategy == "derived"
+        stats = self.derived.stats
+        assert stats.derived_runs > 0
+        assert stats.derived_full_folds > 0  # first bind counts as one
+        self.derived.close()
+        self.hybrid.close()
+        reset_tracking()
+
+    def check_args(self):
+        raise NotImplementedError
+
+    @invariant()
+    def derived_equals_scratch(self):
+        args = self.check_args()
+        expected = _outcome(self.entry.original, args)
+        got_derived = _outcome(self.derived.run, args)
+        got_hybrid = _outcome(self.hybrid.run, args)
+        assert got_derived == expected, (got_derived, expected)
+        assert got_hybrid == expected, (got_hybrid, expected)
+
+    @rule()
+    def invalidate_mid_trace(self):
+        """Fault injection: discard the maintained terms outright.  The
+        next run must rebind via a full fold and still agree."""
+        self.derived.invalidate()
+
+    @rule()
+    def reenter_after_close_of_nothing(self):
+        """Invalidate is idempotent; doubling it must not skew stats or
+        correctness."""
+        self.derived.invalidate()
+        self.derived.invalidate()
+
+
+class VectorSumMachine(_StrategyMachine):
+    """``vector_sum``: the textbook sum fold over a growable int vector."""
+
+    entry = vector_sum
+
+    @initialize()
+    def setup(self):
+        self._setup_engines()
+        self.vec = IntVector([])
+
+    def check_args(self):
+        return (self.vec,)
+
+    @rule(value=st.integers(-50, 50))
+    def append(self, value):
+        if len(self.vec) < 120:
+            self.vec.append(value)
+
+    @precondition(lambda self: len(self.vec))
+    @rule(index=st.integers(0, 500), value=st.integers(-50, 50))
+    def set_point(self, index, value):
+        self.vec[index % len(self.vec)] = value
+
+    @precondition(lambda self: len(self.vec))
+    @rule()
+    def pop_end(self):
+        self.vec.pop()
+
+    @precondition(lambda self: len(self.vec))
+    @rule()
+    def pop_front(self):
+        """Shifts every surviving slot: a range write the delta rules
+        must refuse, falling back to a full fold."""
+        self.vec.pop(0)
+
+    @rule(value=st.integers(-50, 50))
+    def insert_front(self, value):
+        if len(self.vec) < 120:
+            self.vec.insert(0, value)
+
+
+class VectorDigestMachine(VectorSumMachine):
+    """``vector_digest``: sum fold composed with a scalar tail read —
+    the multi-term shape, same mutation surface."""
+
+    entry = vector_digest
+
+
+class HeapMinMachine(_StrategyMachine):
+    """``heap_min``: a min fold over the heap's backing array, crossing
+    ``_grow`` capacity doublings (container rebinding) and raw slot
+    corruption."""
+
+    entry = heap_min
+
+    @initialize()
+    def setup(self):
+        self._setup_engines()
+        self.heap = BinaryHeap(capacity=4)
+        self.size = 0
+
+    def check_args(self):
+        return (self.heap,)
+
+    @rule(value=st.integers(-30, 70))
+    def push(self, value):
+        self.heap.push(value)
+        self.size += 1
+
+    @precondition(lambda self: self.size)
+    @rule()
+    def pop(self):
+        self.heap.pop()
+        self.size -= 1
+
+    @precondition(lambda self: self.size)
+    @rule(index=st.integers(0, 200), value=st.integers(-30, 70))
+    def corrupt(self, index, value):
+        self.heap.corrupt(index % self.size, value)
+
+
+class TableOccupancyMachine(_StrategyMachine):
+    """``table_occupancy``: a sum fold over bucket heads, crossing
+    rehashes (every bucket location rebinds) and chain corruption."""
+
+    entry = table_occupancy
+
+    @initialize()
+    def setup(self):
+        self._setup_engines()
+        self.table = HashTable(capacity=4)
+        self.keys: set[int] = set()
+
+    def check_args(self):
+        return (self.table,)
+
+    @rule(key=st.integers(0, 60))
+    def put(self, key):
+        self.table.put(key, key)
+        self.keys.add(key)
+
+    @precondition(lambda self: self.keys)
+    @rule(data=st.data())
+    def remove(self, data):
+        key = data.draw(st.sampled_from(sorted(self.keys)))
+        self.table.remove(key)
+        self.keys.discard(key)
+
+    @precondition(lambda self: self.keys)
+    @rule(data=st.data())
+    def corrupt_then_purge(self, data):
+        key = data.draw(st.sampled_from(sorted(self.keys)))
+        if self.table.corrupt(key):
+            args = self.check_args()
+            expected = _outcome(self.entry.original, args)
+            assert _outcome(self.derived.run, args) == expected
+            self.table.purge(key)
+            self.keys.discard(key)
+
+
+TestVectorSumMachine = VectorSumMachine.TestCase
+TestVectorSumMachine.settings = _MACHINE_SETTINGS
+TestVectorDigestMachine = VectorDigestMachine.TestCase
+TestVectorDigestMachine.settings = _MACHINE_SETTINGS
+TestHeapMinMachine = HeapMinMachine.TestCase
+TestHeapMinMachine.settings = _MACHINE_SETTINGS
+TestTableOccupancyMachine = TableOccupancyMachine.TestCase
+TestTableOccupancyMachine.settings = _MACHINE_SETTINGS
